@@ -1,0 +1,32 @@
+// Shared helpers for the per-figure reproduction harnesses.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/stack.h"
+#include "core/table.h"
+#include "flash/profile.h"
+
+namespace bio::bench {
+
+inline std::unique_ptr<core::Stack> make_stack(
+    core::StackKind kind, const flash::DeviceProfile& device) {
+  return std::make_unique<core::Stack>(core::StackConfig::make(kind, device));
+}
+
+inline void banner(const char* id, const char* what) {
+  std::printf("\n=== %s — %s ===\n", id, what);
+}
+
+inline std::string k_of(double v, int precision = 2) {
+  return core::Table::num(v / 1000.0, precision);
+}
+
+/// Prints PASS/WARN for a shape expectation so EXPERIMENTS.md can quote it.
+inline void expect_shape(bool ok, const char* description) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "WARN", description);
+}
+
+}  // namespace bio::bench

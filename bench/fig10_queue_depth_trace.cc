@@ -1,0 +1,50 @@
+// Fig 10: device queue depth over time, Wait-on-Transfer vs barrier-enabled,
+// on plain-SSD and UFS. The paper's picture: X hugs QD<=1; B saturates the
+// queue. We print a downsampled (time, depth) series per configuration.
+#include <algorithm>
+#include <vector>
+
+#include "bench_util.h"
+#include "wl/random_write.h"
+
+using namespace bio;
+using bench::make_stack;
+
+namespace {
+
+void run_and_print(const char* label, const flash::DeviceProfile& dev,
+                   core::StackKind kind, wl::RandomWriteParams::Mode mode,
+                   std::uint64_t ops) {
+  wl::RandomWriteParams p;
+  p.mode = mode;
+  p.ops = ops;
+  auto stack = make_stack(kind, dev);
+  stack->device().enable_qd_trace();
+  auto r = wl::run_random_write(*stack, p, sim::Rng(3));
+
+  const auto& points = stack->device().qd_trace().points();
+  std::printf("\n%s (%s): avg QD %.2f, max QD %.0f, %zu transitions\n",
+              label, dev.name.c_str(), r.avg_queue_depth,
+              stack->device().qd_trace().max_value(), points.size());
+  // Downsample to ~32 samples for the printed series.
+  const std::size_t stride = std::max<std::size_t>(1, points.size() / 32);
+  std::printf("  t(ms):QD ");
+  for (std::size_t i = 0; i < points.size(); i += stride)
+    std::printf("%.2f:%.0f ", sim::to_millis(points[i].at),
+                points[i].value);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig 10", "queue depth: Wait-on-Transfer vs barrier");
+  for (const auto& dev :
+       {flash::DeviceProfile::plain_ssd(), flash::DeviceProfile::ufs()}) {
+    run_and_print("Wait-on-Transfer (X)", dev, core::StackKind::kExt4OD,
+                  wl::RandomWriteParams::Mode::kFdatasync, 600);
+    run_and_print("Barrier (B)", dev, core::StackKind::kBfsOD,
+                  wl::RandomWriteParams::Mode::kFdatabarrier, 3000);
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fig 11: application-level context switches per 4 KiB write + sync, for
+// EXT4-DR / BFS-DR / EXT4-OD / BFS-OD on the three devices.
+// Expected shape (paper): EXT4-DR = 2.00 everywhere; BFS-DR in [1, 2]
+// (fsync degenerates to fdatasync within a timer tick); EXT4-OD ~= 1;
+// BFS-OD ~= 0 (fbarrier/fdatabarrier return without blocking).
+#include <vector>
+
+#include "bench_util.h"
+#include "wl/random_write.h"
+
+using namespace bio;
+using bench::make_stack;
+
+namespace {
+
+double run_case(const flash::DeviceProfile& dev, core::StackKind kind) {
+  wl::RandomWriteParams p;
+  p.mode = wl::RandomWriteParams::Mode::kSyncFile;
+  p.ops = 1500;
+  p.working_set_pages = 2048;
+  auto stack = make_stack(kind, dev);
+  auto r = wl::run_random_write(*stack, p, sim::Rng(9));
+  return r.context_switches_per_op;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig 11", "context switches per write+sync");
+  core::Table table(
+      {"device", "EXT4-DR", "BFS-DR", "EXT4-OD", "BFS-OD"});
+  for (const auto& dev :
+       {flash::DeviceProfile::ufs(), flash::DeviceProfile::plain_ssd(),
+        flash::DeviceProfile::supercap_ssd()}) {
+    const double ext4_dr = run_case(dev, core::StackKind::kExt4DR);
+    const double bfs_dr = run_case(dev, core::StackKind::kBfsDR);
+    const double ext4_od = run_case(dev, core::StackKind::kExt4OD);
+    const double bfs_od = run_case(dev, core::StackKind::kBfsOD);
+    table.add_row({dev.name, core::Table::num(ext4_dr),
+                   core::Table::num(bfs_dr), core::Table::num(ext4_od),
+                   core::Table::num(bfs_od)});
+    std::printf("%s:\n", dev.name.c_str());
+    bench::expect_shape(ext4_dr > 1.9 && ext4_dr < 2.1,
+                        "EXT4-DR blocks twice per op (D wait + commit/flush)");
+    bench::expect_shape(bfs_dr >= 0.95 && bfs_dr <= 2.05,
+                        "BFS-DR between 1 (journal commit) and 2 (fdatasync)");
+    bench::expect_shape(ext4_od > 0.9 && ext4_od < 1.6,
+                        "EXT4-OD ~1 (Wait-on-Transfer remains)");
+    bench::expect_shape(bfs_od < 0.5,
+                        "BFS-OD nearly free of context switches");
+  }
+  std::printf("\n");
+  table.print();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Fig 14: SQLite inserts/sec.
+//  (a) UFS (mobile): PERSIST and WAL journal modes, EXT4-DR vs BFS-DR, plus
+//      the ordering-guarantee variants (paper: +75% DR, 2.8x OD in PERSIST;
+//      WAL has little headroom).
+//  (b) plain-SSD (server): EXT4-OD vs OptFS vs BFS-OD, with EXT4-DR as the
+//      durability baseline (paper: BFS-OD reaches ~73x EXT4-DR).
+#include "bench_util.h"
+#include "wl/sqlite.h"
+
+using namespace bio;
+using bench::make_stack;
+
+namespace {
+
+double run_case(const flash::DeviceProfile& dev, core::StackKind kind,
+                wl::SqliteParams::Mode mode, std::uint64_t tx) {
+  wl::SqliteParams p;
+  p.mode = mode;
+  p.transactions = tx;
+  auto stack = make_stack(kind, dev);
+  auto r = wl::run_sqlite(*stack, p, sim::Rng(21));
+  return r.tx_per_sec;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig 14", "SQLite inserts/sec");
+
+  // ---- (a) UFS ------------------------------------------------------------
+  {
+    const auto ufs = flash::DeviceProfile::ufs();
+    const double persist_ext4 =
+        run_case(ufs, core::StackKind::kExt4DR,
+                 wl::SqliteParams::Mode::kPersist, 400);
+    const double persist_bfs_dr =
+        run_case(ufs, core::StackKind::kBfsDR,
+                 wl::SqliteParams::Mode::kPersist, 800);
+    const double persist_bfs_od =
+        run_case(ufs, core::StackKind::kBfsOD,
+                 wl::SqliteParams::Mode::kPersist, 3000);
+    const double wal_ext4 = run_case(
+        ufs, core::StackKind::kExt4DR, wl::SqliteParams::Mode::kWal, 800);
+    const double wal_bfs_dr = run_case(
+        ufs, core::StackKind::kBfsDR, wl::SqliteParams::Mode::kWal, 800);
+
+    std::printf("\n[UFS]\n");
+    core::Table t({"mode", "EXT4-DR tx/s", "BFS-DR tx/s", "BFS-OD tx/s",
+                   "DR gain", "OD gain"});
+    t.add_row({"PERSIST", core::Table::num(persist_ext4, 0),
+               core::Table::num(persist_bfs_dr, 0),
+               core::Table::num(persist_bfs_od, 0),
+               core::Table::num(persist_bfs_dr / persist_ext4, 2),
+               core::Table::num(persist_bfs_od / persist_ext4, 2)});
+    t.add_row({"WAL", core::Table::num(wal_ext4, 0),
+               core::Table::num(wal_bfs_dr, 0), "-",
+               core::Table::num(wal_bfs_dr / wal_ext4, 2), "-"});
+    t.print();
+    bench::expect_shape(persist_bfs_dr > 1.3 * persist_ext4,
+                        "PERSIST: BFS-DR well above EXT4-DR (paper: +75%)");
+    bench::expect_shape(persist_bfs_od > 2.0 * persist_ext4,
+                        "PERSIST: ordering-only gains multiples "
+                        "(paper: 2.8x)");
+    bench::expect_shape(
+        wal_bfs_dr / wal_ext4 < persist_bfs_dr / persist_ext4,
+        "WAL: single fdatasync per commit leaves less headroom");
+  }
+
+  // ---- (b) plain-SSD --------------------------------------------------------
+  {
+    const auto ssd = flash::DeviceProfile::plain_ssd();
+    const double dr_baseline =
+        run_case(ssd, core::StackKind::kExt4DR,
+                 wl::SqliteParams::Mode::kPersist, 300);
+    const double ext4_od = run_case(
+        ssd, core::StackKind::kExt4OD, wl::SqliteParams::Mode::kPersist,
+        3000);
+    const double optfs = run_case(
+        ssd, core::StackKind::kOptFs, wl::SqliteParams::Mode::kPersist,
+        3000);
+    const double bfs_od = run_case(
+        ssd, core::StackKind::kBfsOD, wl::SqliteParams::Mode::kPersist,
+        8000);
+
+    std::printf("\n[plain-SSD]\n");
+    core::Table t({"stack", "tx/s", "vs EXT4-DR"});
+    t.add_row({"EXT4-DR", core::Table::num(dr_baseline, 0), "1.00"});
+    t.add_row({"EXT4-OD", core::Table::num(ext4_od, 0),
+               core::Table::num(ext4_od / dr_baseline, 1)});
+    t.add_row({"OptFS", core::Table::num(optfs, 0),
+               core::Table::num(optfs / dr_baseline, 1)});
+    t.add_row({"BFS-OD", core::Table::num(bfs_od, 0),
+               core::Table::num(bfs_od / dr_baseline, 1)});
+    t.print();
+    bench::expect_shape(bfs_od > ext4_od,
+                        "BFS-OD beats EXT4-OD (no Wait-on-Transfer)");
+    bench::expect_shape(bfs_od / dr_baseline > 20.0,
+                        "relaxing durability buys order(s) of magnitude "
+                        "(paper: 73x)");
+    bench::expect_shape(optfs < bfs_od,
+                        "OptFS trails BFS-OD (osync still waits on "
+                        "transfer)");
+  }
+  return 0;
+}

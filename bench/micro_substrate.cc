@@ -1,0 +1,132 @@
+// Wall-clock microbenchmarks (google-benchmark) of the simulation
+// substrate's hot paths: event loop throughput, synchronization hand-off,
+// IO-scheduler operations and the latency recorder. These guard the
+// simulator's own performance, not the paper's results.
+#include <benchmark/benchmark.h>
+
+#include "blk/epoch_scheduler.h"
+#include "blk/io_scheduler.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+#include "sim/sync.h"
+
+namespace {
+
+using namespace bio::sim::literals;
+using bio::sim::Simulator;
+using bio::sim::Task;
+
+void BM_EventLoopDelays(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    auto body = [&]() -> Task {
+      for (int i = 0; i < 1000; ++i) co_await sim.delay(1_us);
+    };
+    sim.spawn("t", body());
+    sim.run();
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventLoopDelays);
+
+void BM_SemaphorePingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    bio::sim::Semaphore a(sim, 1), b(sim, 0);
+    auto ping = [&]() -> Task {
+      for (int i = 0; i < 500; ++i) {
+        co_await a.acquire();
+        b.release();
+      }
+    };
+    auto pong = [&]() -> Task {
+      for (int i = 0; i < 500; ++i) {
+        co_await b.acquire();
+        a.release();
+      }
+    };
+    sim.spawn("ping", ping());
+    sim.spawn("pong", pong());
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SemaphorePingPong);
+
+void BM_ChannelThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    bio::sim::Channel<int> ch(sim, 16);
+    auto producer = [&]() -> Task {
+      for (int i = 0; i < 1000; ++i) co_await ch.push(i);
+      ch.close();
+    };
+    auto consumer = [&]() -> Task {
+      for (;;) {
+        auto v = co_await ch.pop();
+        if (!v) break;
+        benchmark::DoNotOptimize(*v);
+      }
+    };
+    sim.spawn("p", producer());
+    sim.spawn("c", consumer());
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ChannelThroughput);
+
+void BM_ElevatorEnqueueDequeue(benchmark::State& state) {
+  Simulator sim;
+  std::uint64_t lba = 0;
+  for (auto _ : state) {
+    bio::blk::ElevatorScheduler sched;
+    for (int i = 0; i < 256; ++i) {
+      lba = (lba * 2654435761u + 17) % 100000;
+      std::vector<std::pair<bio::flash::Lba, bio::flash::Version>> blocks;
+      blocks.emplace_back(lba * 4, 1);
+      sched.enqueue(bio::blk::make_write_request(sim, std::move(blocks)));
+    }
+    while (auto r = sched.dequeue()) benchmark::DoNotOptimize(r->first_lba());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_ElevatorEnqueueDequeue);
+
+void BM_EpochSchedulerBarrierChurn(benchmark::State& state) {
+  Simulator sim;
+  for (auto _ : state) {
+    bio::blk::EpochScheduler sched(
+        std::make_unique<bio::blk::NoopScheduler>());
+    for (int i = 0; i < 128; ++i) {
+      std::vector<std::pair<bio::flash::Lba, bio::flash::Version>> blocks;
+      blocks.emplace_back(static_cast<bio::flash::Lba>(i * 8), 1);
+      sched.enqueue(bio::blk::make_write_request(sim, std::move(blocks),
+                                                 true, (i % 4) == 3));
+    }
+    while (auto r = sched.dequeue()) benchmark::DoNotOptimize(r->barrier);
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_EpochSchedulerBarrierChurn);
+
+void BM_LatencyRecorderPercentile(benchmark::State& state) {
+  bio::sim::LatencyRecorder rec;
+  std::uint64_t x = 88172645463325252ull;
+  for (int i = 0; i < 100000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    rec.add(x % 1000000);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rec.percentile(99.99));
+    rec.add(1);  // invalidate the sort cache: measure re-sorting
+  }
+}
+BENCHMARK(BM_LatencyRecorderPercentile);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Example: demonstrate what the barrier stack guarantees across a power
+// failure — and what the legacy stack does not.
+//
+// We run the same "log then checkpoint" application pattern on two stacks,
+// cut power at the same instant, and inspect what recovery would find.
+//
+// Build: cmake --build build && ./build/examples/crash_consistency
+#include <cstdio>
+
+#include "blk/block_layer.h"
+#include "flash/device.h"
+#include "flash/profile.h"
+#include "sim/rng.h"
+
+using namespace bio;
+using namespace bio::sim::literals;
+
+namespace {
+
+struct Outcome {
+  int pairs_written = 0;
+  int broken_pairs = 0;  // checkpoint persisted without its log record
+};
+
+/// The application alternates: append a LOG record (high LBA region),
+/// barrier, write a CHECKPOINT (low LBA region), barrier. The regions are
+/// far apart, as log and data areas are on a real disk — which is exactly
+/// what makes the reordering elevator dangerous on the legacy stack.
+/// Recovery is correct only if a checkpoint never survives without its
+/// log record.
+Outcome run_once(bool barrier_stack, sim::SimTime crash_at) {
+  sim::Simulator sim;
+  flash::DeviceProfile profile = flash::DeviceProfile::plain_ssd();
+  profile.queue_depth = 16;
+  profile.cache_entries = 64;
+  profile.barrier_mode = barrier_stack ? flash::BarrierMode::kInOrderRecovery
+                                       : flash::BarrierMode::kNone;
+  flash::StorageDevice dev(sim, profile);
+  blk::BlockLayerConfig bcfg;
+  bcfg.scheduler = "elevator";
+  bcfg.epoch_scheduling = barrier_stack;
+  bcfg.order_preserving_dispatch = barrier_stack;
+  blk::BlockLayer blk(sim, dev, bcfg);
+  dev.start();
+  blk.start();
+
+  Outcome out;
+  std::vector<std::pair<flash::Version, flash::Version>> pairs;
+  auto app = [&]() -> sim::Task {
+    for (int i = 0; i < 40; ++i) {
+      std::vector<std::pair<flash::Lba, flash::Version>> log_write;
+      log_write.emplace_back(static_cast<flash::Lba>(8000 + i),
+                             blk.next_version());
+      const flash::Version log_v = log_write[0].second;
+      blk.submit(blk::make_write_request(sim, std::move(log_write),
+                                         /*ordered=*/true, /*barrier=*/true));
+      std::vector<std::pair<flash::Lba, flash::Version>> ckpt_write;
+      ckpt_write.emplace_back(static_cast<flash::Lba>(i),
+                              blk.next_version());
+      const flash::Version ckpt_v = ckpt_write[0].second;
+      blk.submit(blk::make_write_request(sim, std::move(ckpt_write),
+                                         /*ordered=*/true, /*barrier=*/true));
+      pairs.emplace_back(log_v, ckpt_v);
+      co_await sim.delay(20_us);
+    }
+  };
+  sim.spawn("app", app());
+  sim.run_until(crash_at);  // power failure
+
+  auto durable = dev.durable_state();
+  out.pairs_written = static_cast<int>(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const flash::Lba log_lba = static_cast<flash::Lba>(8000 + i);
+    const flash::Lba ckpt_lba = static_cast<flash::Lba>(i);
+    const bool ckpt_ok =
+        durable.contains(ckpt_lba) && durable.at(ckpt_lba) >= pairs[i].second;
+    const bool log_ok =
+        durable.contains(log_lba) && durable.at(log_lba) >= pairs[i].first;
+    if (ckpt_ok && !log_ok) ++out.broken_pairs;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Application invariant: a CHECKPOINT block must never persist\n"
+      "without the LOG record written (and barriered) before it.\n\n");
+
+  int legacy_broken = 0, barrier_broken = 0, trials = 0;
+  for (sim::SimTime t = 300; t <= 2400; t += 300) {
+    ++trials;
+    legacy_broken += run_once(false, t * 1_us).broken_pairs;
+    barrier_broken += run_once(true, t * 1_us).broken_pairs;
+  }
+  std::printf("power cuts tried:            %d\n", trials);
+  std::printf("legacy stack broken pairs:   %d  (orderless: barriers are "
+              "ignored)\n",
+              legacy_broken);
+  std::printf("barrier stack broken pairs:  %d  (epoch order preserved by "
+              "in-order recovery)\n",
+              barrier_broken);
+  return barrier_broken == 0 ? 0 : 1;
+}

@@ -1,0 +1,54 @@
+// Example: a mail-server-style fsync-heavy service (varmail) on all five
+// stacks of the paper's evaluation — the "which stack should I deploy"
+// comparison for a durability-sensitive service.
+//
+// Build: cmake --build build && ./build/examples/mail_server
+#include <cstdio>
+
+#include "core/stack.h"
+#include "core/table.h"
+#include "flash/profile.h"
+#include "wl/varmail.h"
+
+using namespace bio;
+
+namespace {
+
+double run(core::StackKind kind) {
+  core::StackConfig cfg =
+      core::StackConfig::make(kind, flash::DeviceProfile::plain_ssd());
+  core::Stack stack(cfg);
+  wl::VarmailParams p;
+  p.threads = 8;
+  p.files = 200;
+  p.iterations = 25;
+  wl::VarmailResult r = wl::run_varmail(stack, p, sim::Rng(7));
+  return r.ops_per_sec;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("varmail on plain-SSD: 8 threads, create/append/sync/read "
+              "mail flow\n\n");
+  core::Table t({"stack", "ops/s", "durability at sync?"});
+  struct Row {
+    core::StackKind kind;
+    const char* durable;
+  };
+  const Row rows[] = {
+      {core::StackKind::kExt4DR, "yes (flush per fsync)"},
+      {core::StackKind::kBfsDR, "yes (single flush, no waits)"},
+      {core::StackKind::kOptFs, "delayed (osync)"},
+      {core::StackKind::kExt4OD, "NO (nobarrier, unsafe)"},
+      {core::StackKind::kBfsOD, "ordering only (fbarrier)"},
+  };
+  for (const Row& row : rows)
+    t.add_row({core::to_string(row.kind), core::Table::num(run(row.kind), 0),
+               row.durable});
+  t.print();
+  std::printf(
+      "\nBFS-DR keeps full durability and still beats EXT4-DR; BFS-OD gives\n"
+      "EXT4-OD-class speed while still guaranteeing mailbox write order.\n");
+  return 0;
+}

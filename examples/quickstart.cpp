@@ -1,0 +1,80 @@
+// Quickstart: assemble a Barrier-Enabled IO stack, write a file, and
+// compare the cost of the four synchronization primitives.
+//
+//   fsync()         durability + ordering, waits for the flush
+//   fdatasync()     like fsync, data (+ size) only
+//   fbarrier()      ordering only: returns once the journal commit is
+//                   *dispatched*
+//   fdatabarrier()  ordering only, data only: returns immediately after
+//                   dispatching barrier-tagged writes
+//
+// Build: cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/stack.h"
+#include "flash/profile.h"
+
+using namespace bio;
+
+namespace {
+
+sim::Task demo(core::Stack& stack) {
+  fs::Filesystem& filesystem = stack.fs();
+  sim::Simulator& sim = stack.sim();
+
+  fs::Inode* file = nullptr;
+  co_await filesystem.create("demo.db", file, 1024);
+
+  auto timed = [&](const char* label, sim::Task op) -> sim::Task {
+    const sim::SimTime t0 = sim.now();
+    co_await std::move(op);
+    std::printf("  %-16s %8.1f us\n", label,
+                sim::to_micros(sim.now() - t0));
+  };
+
+  std::printf("4 KiB write + sync primitive latencies on %s (BarrierFS):\n",
+              stack.device().profile().name.c_str());
+
+  co_await filesystem.write(*file, 0, 1);
+  co_await timed("fsync", filesystem.fsync(*file));
+
+  co_await filesystem.write(*file, 1, 1);
+  co_await timed("fdatasync", filesystem.fdatasync(*file));
+
+  co_await filesystem.write(*file, 2, 1);
+  co_await timed("fbarrier", filesystem.fbarrier(*file));
+
+  co_await filesystem.write(*file, 3, 1);
+  co_await timed("fdatabarrier", filesystem.fdatabarrier(*file));
+
+  // The paper's §4.1 codelet: ordering without durability.
+  co_await filesystem.write(*file, 10, 1);  // "Hello"
+  co_await filesystem.fdatabarrier(*file);
+  co_await filesystem.write(*file, 11, 1);  // "World"
+  std::printf(
+      "\nwrite(Hello); fdatabarrier(); write(World); -> on this stack,\n"
+      "World can never persist without Hello, and the caller never "
+      "blocked.\n");
+}
+
+}  // namespace
+
+int main() {
+  core::StackConfig cfg = core::StackConfig::make(
+      core::StackKind::kBfsDR, flash::DeviceProfile::ufs());
+  core::Stack stack(cfg);
+  stack.start();
+  stack.sim().spawn("app", demo(stack));
+  stack.sim().run();
+
+  std::printf("\ndevice: %llu writes, %llu barrier writes, %llu flushes\n",
+              static_cast<unsigned long long>(stack.device().stats().writes),
+              static_cast<unsigned long long>(
+                  stack.device().stats().barrier_writes),
+              static_cast<unsigned long long>(
+                  stack.device().stats().flushes));
+  std::printf("journal: %llu commits\n",
+              static_cast<unsigned long long>(
+                  stack.fs().journal().stats().commits));
+  return 0;
+}

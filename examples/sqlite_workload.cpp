@@ -1,0 +1,54 @@
+// Example: run the SQLite insert-transaction model on three IO stacks and
+// print the inserts/sec progression the paper's §5/§6.4 describe:
+// every fdatasync used purely for *ordering* can become an fdatabarrier.
+//
+// Build: cmake --build build && ./build/examples/sqlite_workload
+#include <cstdio>
+
+#include "core/stack.h"
+#include "core/table.h"
+#include "flash/profile.h"
+#include "wl/sqlite.h"
+
+using namespace bio;
+
+namespace {
+
+double run(core::StackKind kind, std::uint64_t txns) {
+  core::StackConfig cfg =
+      core::StackConfig::make(kind, flash::DeviceProfile::plain_ssd());
+  core::Stack stack(cfg);
+  wl::SqliteParams p;
+  p.mode = wl::SqliteParams::Mode::kPersist;
+  p.transactions = txns;
+  wl::SqliteResult r = wl::run_sqlite(stack, p, sim::Rng(42));
+  return r.tx_per_sec;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("SQLite PERSIST-mode inserts on a plain SSD.\n");
+  std::printf("Each insert = undo log, header, B-tree pages, commit —\n");
+  std::printf("four syncs, three of which only need *ordering*.\n\n");
+
+  const double ext4 = run(core::StackKind::kExt4DR, 300);
+  const double bfs_dr = run(core::StackKind::kBfsDR, 1000);
+  const double bfs_od = run(core::StackKind::kBfsOD, 4000);
+
+  core::Table t({"stack", "syncs per txn", "inserts/sec", "speedup"});
+  t.add_row({"EXT4 (fdatasync x4)", "4 durable", core::Table::num(ext4, 0),
+             "1.0x"});
+  t.add_row({"BarrierFS DR (fdatabarrier x3 + fdatasync)", "1 durable",
+             core::Table::num(bfs_dr, 0),
+             core::Table::num(bfs_dr / ext4, 1) + "x"});
+  t.add_row({"BarrierFS OD (fdatabarrier x4)", "0 durable",
+             core::Table::num(bfs_od, 0),
+             core::Table::num(bfs_od / ext4, 1) + "x"});
+  t.print();
+
+  std::printf(
+      "\nThe ordering guarantees are identical in all three rows; only the\n"
+      "point of durability moves (transaction boundary vs device cache).\n");
+  return 0;
+}

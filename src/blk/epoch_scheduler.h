@@ -1,0 +1,90 @@
+// Epoch-based IO scheduling with barrier reassignment (§3.3, Fig 5).
+//
+// Requests between two barriers form an *epoch*. The wrapper:
+//   1. strips the barrier flag from an incoming barrier write and stops
+//      accepting new requests (they stage outside the queue),
+//   2. lets the wrapped scheduler freely reorder/merge what is inside
+//      (all of it belongs to one epoch, plus orderless requests),
+//   3. re-attaches the barrier flag to the *last order-preserving request
+//      that leaves the queue* (epoch-based barrier reassignment), then
+//      unblocks and feeds the staged requests in.
+//
+// Orderless requests staged while blocked simply join the next epoch.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "blk/io_scheduler.h"
+
+namespace bio::blk {
+
+class EpochScheduler : public IoScheduler {
+ public:
+  explicit EpochScheduler(std::unique_ptr<IoScheduler> base)
+      : base_(std::move(base)) {
+    BIO_CHECK(base_ != nullptr);
+  }
+
+  void enqueue(RequestPtr r) override {
+    ++stats_.enqueued;
+    if (blocked_) {
+      staged_.push_back(std::move(r));
+      return;
+    }
+    accept(std::move(r));
+  }
+
+  RequestPtr dequeue() override {
+    RequestPtr r = base_->dequeue();
+    if (r == nullptr) return nullptr;
+    ++stats_.dispatched;
+    if (blocked_ && r->ordered && !base_->has_ordered()) {
+      // This is the last order-preserving request of the closing epoch:
+      // it becomes the new barrier (Fig 5, w1 in the paper's example).
+      r->barrier = true;
+      ++reassignments_;
+      blocked_ = false;
+      std::deque<RequestPtr> staged = std::move(staged_);
+      staged_.clear();
+      for (RequestPtr& s : staged) {
+        if (blocked_) {
+          // A staged barrier re-blocked the queue: keep the rest staged.
+          staged_.push_back(std::move(s));
+        } else {
+          accept(std::move(s));
+        }
+      }
+    }
+    return r;
+  }
+
+  std::size_t size() const override { return base_->size() + staged_.size(); }
+  bool has_ordered() const override { return base_->has_ordered(); }
+  const char* name() const override { return "epoch"; }
+
+  bool blocked() const noexcept { return blocked_; }
+  std::size_t staged_count() const noexcept { return staged_.size(); }
+  std::uint64_t barrier_reassignments() const noexcept {
+    return reassignments_;
+  }
+  const IoScheduler& base() const noexcept { return *base_; }
+
+ private:
+  void accept(RequestPtr r) {
+    if (r->barrier) {
+      // Strip the flag; the epoch closes once this queue drains its
+      // order-preserving requests (the flag is re-attached at dequeue).
+      r->barrier = false;
+      blocked_ = true;
+    }
+    base_->enqueue(std::move(r));
+  }
+
+  std::unique_ptr<IoScheduler> base_;
+  bool blocked_ = false;
+  std::deque<RequestPtr> staged_;
+  std::uint64_t reassignments_ = 0;
+};
+
+}  // namespace bio::blk

@@ -1,0 +1,111 @@
+#include "blk/io_scheduler.h"
+
+#include <algorithm>
+#include <string>
+
+namespace bio::blk {
+
+bool IoScheduler::try_back_merge(Request& back, const Request& r) {
+  if (!back.is_write() || !r.is_write()) return false;
+  // Flush/FUA attributes pin a request's identity; never merge across them.
+  if (back.flush || back.fua || r.flush || r.fua) return false;
+  // Barrier flags never reach a base scheduler (the epoch wrapper strips
+  // them), but be defensive: a barrier must stay the last block of its
+  // epoch, so nothing may merge behind it.
+  if (back.barrier || r.barrier) return false;
+  if (back.blocks.size() + r.blocks.size() > kMaxMergedBlocks) return false;
+  if (back.last_lba() + 1 != r.first_lba()) return false;
+  back.blocks.insert(back.blocks.end(), r.blocks.begin(), r.blocks.end());
+  back.ordered = back.ordered || r.ordered;  // §3.3: merge keeps ordering
+  return true;
+}
+
+// ---- NoopScheduler ---------------------------------------------------------
+
+void NoopScheduler::enqueue(RequestPtr r) {
+  ++stats_.enqueued;
+  if (!queue_.empty() && r->is_write() &&
+      try_back_merge(*queue_.back(), *r)) {
+    ++stats_.merges;
+    queue_.back()->absorbed.push_back(std::move(r));
+    return;
+  }
+  queue_.push_back(std::move(r));
+}
+
+RequestPtr NoopScheduler::dequeue() {
+  if (queue_.empty()) return nullptr;
+  RequestPtr r = std::move(queue_.front());
+  queue_.pop_front();
+  ++stats_.dispatched;
+  return r;
+}
+
+bool NoopScheduler::has_ordered() const {
+  return std::any_of(queue_.begin(), queue_.end(),
+                     [](const RequestPtr& r) { return r->ordered; });
+}
+
+// ---- ElevatorScheduler -----------------------------------------------------
+
+void ElevatorScheduler::enqueue(RequestPtr r) {
+  ++stats_.enqueued;
+  if (!r->is_write()) {
+    others_.push_back(std::move(r));
+    return;
+  }
+  // Insert in LBA order; try to merge with the neighbours.
+  auto pos = std::lower_bound(
+      writes_.begin(), writes_.end(), r->first_lba(),
+      [](const RequestPtr& q, flash::Lba lba) { return q->first_lba() < lba; });
+  if (pos != writes_.begin()) {
+    auto prev = std::prev(pos);
+    if (try_back_merge(**prev, *r)) {
+      ++stats_.merges;
+      (*prev)->absorbed.push_back(std::move(r));
+      return;
+    }
+  }
+  if (pos != writes_.end() && try_back_merge(*r, **pos)) {
+    // Front-merge: r absorbs *pos; swap r into its place.
+    ++stats_.merges;
+    r->absorbed.push_back(*pos);
+    std::swap(*pos, r);
+    return;
+  }
+  writes_.insert(pos, std::move(r));
+}
+
+RequestPtr ElevatorScheduler::dequeue() {
+  if (!others_.empty()) {
+    RequestPtr r = std::move(others_.front());
+    others_.pop_front();
+    ++stats_.dispatched;
+    return r;
+  }
+  if (writes_.empty()) return nullptr;
+  // C-SCAN: first request at or above the head position, else wrap.
+  auto pos = std::lower_bound(
+      writes_.begin(), writes_.end(), head_pos_,
+      [](const RequestPtr& q, flash::Lba lba) { return q->first_lba() < lba; });
+  if (pos == writes_.end()) pos = writes_.begin();
+  RequestPtr r = std::move(*pos);
+  writes_.erase(pos);
+  head_pos_ = r->last_lba() + 1;
+  ++stats_.dispatched;
+  return r;
+}
+
+bool ElevatorScheduler::has_ordered() const {
+  return std::any_of(writes_.begin(), writes_.end(),
+                     [](const RequestPtr& r) { return r->ordered; });
+}
+
+std::unique_ptr<IoScheduler> make_scheduler(const std::string& kind) {
+  if (kind == "noop") return std::make_unique<NoopScheduler>();
+  if (kind == "elevator") return std::make_unique<ElevatorScheduler>();
+  BIO_CHECK_MSG(false, "unknown scheduler kind: " + kind);
+  return nullptr;
+}
+
+}  // namespace bio::blk

@@ -1,0 +1,102 @@
+// Block-layer request types (§3.1).
+//
+// The order-preserving block layer distinguishes three kinds of writes:
+//   * orderless        — neither flag; schedulable across epochs,
+//   * order-preserving — REQ_ORDERED; free to reorder *within* its epoch,
+//   * barrier          — REQ_ORDERED|REQ_BARRIER; delimits an epoch.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "flash/types.h"
+#include "sim/check.h"
+#include "sim/sync.h"
+#include "sim/time.h"
+
+namespace bio::blk {
+
+enum class ReqOp : std::uint8_t { kWrite, kRead, kFlush };
+
+struct Request {
+  ReqOp op = ReqOp::kWrite;
+  /// REQ_ORDERED: order-preserving write.
+  bool ordered = false;
+  /// REQ_BARRIER: epoch delimiter (implies ordered).
+  bool barrier = false;
+  /// REQ_FLUSH: flush the device cache before this request.
+  bool flush = false;
+  /// REQ_FUA: persist the payload before completing.
+  bool fua = false;
+
+  /// Write payload, ascending contiguous LBAs.
+  std::vector<std::pair<flash::Lba, flash::Version>> blocks;
+  flash::Lba read_lba = 0;
+
+  sim::SimTime queued_at = 0;
+  /// Host completion IRQ.
+  std::unique_ptr<sim::Event> completion;
+  /// Requests merged into this one; their completions fire with ours.
+  std::vector<std::shared_ptr<Request>> absorbed;
+
+  flash::Lba first_lba() const {
+    BIO_CHECK(!blocks.empty());
+    return blocks.front().first;
+  }
+  flash::Lba last_lba() const {
+    BIO_CHECK(!blocks.empty());
+    return blocks.back().first;
+  }
+  bool is_write() const noexcept { return op == ReqOp::kWrite; }
+};
+
+using RequestPtr = std::shared_ptr<Request>;
+
+/// Fires the completion of every request absorbed (transitively) into `r`.
+/// The dispatcher calls this when the carrying request completes.
+inline void trigger_absorbed(Request& r) {
+  for (const RequestPtr& a : r.absorbed) {
+    a->completion->trigger();
+    trigger_absorbed(*a);
+  }
+}
+
+inline RequestPtr make_write_request(
+    sim::Simulator& sim, std::vector<std::pair<flash::Lba, flash::Version>> blocks,
+    bool ordered = false, bool barrier = false, bool flush = false,
+    bool fua = false) {
+  BIO_CHECK_MSG(!blocks.empty(), "write request without blocks");
+  for (std::size_t i = 1; i < blocks.size(); ++i)
+    BIO_CHECK_MSG(blocks[i].first == blocks[i - 1].first + 1,
+                  "write request blocks must be contiguous ascending");
+  auto r = std::make_shared<Request>();
+  r->op = ReqOp::kWrite;
+  r->ordered = ordered || barrier;  // barrier implies order-preserving
+  r->barrier = barrier;
+  r->flush = flush;
+  r->fua = fua;
+  r->blocks = std::move(blocks);
+  r->queued_at = sim.now();
+  r->completion = std::make_unique<sim::Event>(sim);
+  return r;
+}
+
+inline RequestPtr make_read_request(sim::Simulator& sim, flash::Lba lba) {
+  auto r = std::make_shared<Request>();
+  r->op = ReqOp::kRead;
+  r->read_lba = lba;
+  r->queued_at = sim.now();
+  r->completion = std::make_unique<sim::Event>(sim);
+  return r;
+}
+
+inline RequestPtr make_flush_request(sim::Simulator& sim) {
+  auto r = std::make_shared<Request>();
+  r->op = ReqOp::kFlush;
+  r->queued_at = sim.now();
+  r->completion = std::make_unique<sim::Event>(sim);
+  return r;
+}
+
+}  // namespace bio::blk

@@ -1,0 +1,113 @@
+#include "core/stack.h"
+
+namespace bio::core {
+
+const char* to_string(StackKind k) noexcept {
+  switch (k) {
+    case StackKind::kExt4DR: return "EXT4-DR";
+    case StackKind::kExt4OD: return "EXT4-OD";
+    case StackKind::kBfsDR: return "BFS-DR";
+    case StackKind::kBfsOD: return "BFS-OD";
+    case StackKind::kOptFs: return "OptFS";
+  }
+  return "?";
+}
+
+StackConfig StackConfig::make(StackKind kind, flash::DeviceProfile device) {
+  StackConfig c;
+  c.kind = kind;
+  const bool mobile = device.name == "UFS" || device.name == "eMMC";
+  switch (kind) {
+    case StackKind::kExt4DR:
+    case StackKind::kExt4OD:
+      c.device = device.with_barrier(flash::BarrierMode::kNone);
+      c.blk.scheduler = "elevator";
+      c.blk.epoch_scheduling = false;
+      c.blk.order_preserving_dispatch = false;
+      c.fs.journal = fs::JournalKind::kJbd2;
+      c.fs.nobarrier = kind == StackKind::kExt4OD;
+      c.fs.journal_checksum = mobile;  // §6.3: smartphone EXT4 setup
+      break;
+    case StackKind::kBfsDR:
+    case StackKind::kBfsOD:
+      c.device = device.with_barrier(flash::BarrierMode::kInOrderRecovery);
+      c.blk.scheduler = "elevator";
+      c.blk.epoch_scheduling = true;
+      c.blk.order_preserving_dispatch = true;
+      c.fs.journal = fs::JournalKind::kBarrierFs;
+      break;
+    case StackKind::kOptFs:
+      c.device = device.with_barrier(flash::BarrierMode::kNone);
+      c.blk.scheduler = "elevator";
+      c.blk.epoch_scheduling = false;
+      c.blk.order_preserving_dispatch = false;
+      c.fs.journal = fs::JournalKind::kOptFs;
+      break;
+  }
+  return c;
+}
+
+Stack::Stack(StackConfig config)
+    : config_(std::move(config)), sim_(config_.sim) {
+  device_ = std::make_unique<flash::StorageDevice>(sim_, config_.device);
+  blk_ = std::make_unique<blk::BlockLayer>(sim_, *device_, config_.blk);
+  fs_ = std::make_unique<fs::Filesystem>(sim_, *blk_, config_.fs);
+}
+
+void Stack::start() {
+  device_->start();
+  blk_->start();
+  fs_->start();
+}
+
+sim::Task Stack::order_point(fs::Inode& f) {
+  switch (config_.kind) {
+    case StackKind::kExt4DR:
+    case StackKind::kExt4OD:
+      co_await fs_->fdatasync(f);
+      break;
+    case StackKind::kBfsDR:
+    case StackKind::kBfsOD:
+      co_await fs_->fdatabarrier(f);
+      break;
+    case StackKind::kOptFs:
+      co_await fs_->osync(f, /*wait_transfer=*/true);
+      break;
+  }
+}
+
+sim::Task Stack::durability_point(fs::Inode& f) {
+  switch (config_.kind) {
+    case StackKind::kExt4DR:
+    case StackKind::kExt4OD:
+    case StackKind::kBfsDR:
+      co_await fs_->fdatasync(f);
+      break;
+    case StackKind::kBfsOD:
+      co_await fs_->fdatabarrier(f);  // durability deliberately relaxed
+      break;
+    case StackKind::kOptFs:
+      co_await fs_->osync(f, /*wait_transfer=*/true);
+      break;
+  }
+}
+
+sim::Task Stack::sync_file(fs::Inode& f) {
+  switch (config_.kind) {
+    case StackKind::kExt4DR:
+    case StackKind::kExt4OD:
+      co_await fs_->fsync(f);
+      break;
+    case StackKind::kBfsDR:
+      co_await fs_->fsync(f);
+      break;
+    case StackKind::kBfsOD:
+      co_await fs_->fbarrier(f);
+      break;
+    case StackKind::kOptFs:
+      co_await fs_->osync(f, /*wait_transfer=*/true);
+      break;
+  }
+}
+
+}  // namespace bio::core

@@ -1,0 +1,89 @@
+// Public API: assembling a whole IO stack for an experiment.
+//
+// A Stack owns the simulator, the device, the block layer and the
+// filesystem, wired per StackKind:
+//
+//   kind      | device barrier      | block layer          | filesystem
+//   ----------+---------------------+----------------------+---------------
+//   EXT4-DR   | none (legacy)       | legacy (elevator)    | JBD2
+//   EXT4-OD   | none (legacy)       | legacy (elevator)    | JBD2 nobarrier
+//   BFS-DR    | in-order recovery   | epoch + ordered disp.| BarrierFS
+//   BFS-OD    | in-order recovery   | epoch + ordered disp.| BarrierFS
+//   OptFS     | none (legacy)       | legacy (elevator)    | OptFS
+//
+// DR/OD for BarrierFS differ in which syscalls the workloads call; the
+// order_point()/durability_point() helpers encode the substitution table
+// the paper uses (§5, §6.4, §6.5).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "blk/block_layer.h"
+#include "flash/device.h"
+#include "flash/profile.h"
+#include "fs/filesystem.h"
+#include "sim/simulator.h"
+
+namespace bio::core {
+
+enum class StackKind : std::uint8_t {
+  kExt4DR,  // EXT4, full durability (baseline)
+  kExt4OD,  // EXT4 mounted nobarrier (ordering only, unsafely)
+  kBfsDR,   // BarrierFS, fsync/fdatasync
+  kBfsOD,   // BarrierFS, fbarrier/fdatabarrier
+  kOptFs,   // OptFS osync
+};
+
+const char* to_string(StackKind k) noexcept;
+
+struct StackConfig {
+  StackKind kind = StackKind::kExt4DR;
+  flash::DeviceProfile device = flash::DeviceProfile::plain_ssd();
+  blk::BlockLayerConfig blk;
+  fs::FsConfig fs;
+  sim::Simulator::Params sim{.wake_latency = 15'000};
+
+  /// Fills all dependent fields from (kind, device). Mobile devices get
+  /// JBD2 transactional checksums, as the paper's smartphone setup does.
+  static StackConfig make(StackKind kind, flash::DeviceProfile device);
+};
+
+class Stack {
+ public:
+  explicit Stack(StackConfig config);
+
+  /// Starts device, block layer, filesystem threads. Call once.
+  void start();
+
+  sim::Simulator& sim() noexcept { return sim_; }
+  flash::StorageDevice& device() noexcept { return *device_; }
+  blk::BlockLayer& blk() noexcept { return *blk_; }
+  fs::Filesystem& fs() noexcept { return *fs_; }
+  StackKind kind() const noexcept { return config_.kind; }
+  const StackConfig& config() const noexcept { return config_; }
+
+  // ---- syscall substitution table (paper §5) ----------------------------
+
+  /// A *storage-order* point: the application needs "everything before
+  /// this persists before everything after", not durability.
+  /// EXT4 -> fdatasync, BarrierFS -> fdatabarrier, OptFS -> osync.
+  sim::Task order_point(fs::Inode& f);
+
+  /// A *durability* point: the application needs the data on media now.
+  /// BFS-OD deliberately relaxes this to fdatabarrier (the paper's
+  /// "relaxing the durability" configurations); OptFS has no durable sync.
+  sim::Task durability_point(fs::Inode& f);
+
+  /// Full-file sync (fsync flavour) under the stack's guarantee mode.
+  sim::Task sync_file(fs::Inode& f);
+
+ private:
+  StackConfig config_;
+  sim::Simulator sim_;
+  std::unique_ptr<flash::StorageDevice> device_;
+  std::unique_ptr<blk::BlockLayer> blk_;
+  std::unique_ptr<fs::Filesystem> fs_;
+};
+
+}  // namespace bio::core

@@ -1,0 +1,57 @@
+// Tiny fixed-width table printer for the benchmark harnesses, so every
+// bench binary prints paper-style rows without hand-aligned iostream code.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace bio::core {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+        widths[c] = std::max(widths[c], row[c].size());
+    print_row(headers_, widths);
+    std::string sep;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      sep += std::string(widths[c], '-');
+      if (c + 1 < widths.size()) sep += "-+-";
+    }
+    std::printf("%s\n", sep.c_str());
+    for (const auto& row : rows_) print_row(row, widths);
+  }
+
+  static std::string num(double v, int precision = 2) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    return buf;
+  }
+
+ private:
+  static void print_row(const std::vector<std::string>& cells,
+                        const std::vector<std::size_t>& widths) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::printf("%-*s", static_cast<int>(widths[c]), cells[c].c_str());
+      if (c + 1 < cells.size()) std::printf(" | ");
+    }
+    std::printf("\n");
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bio::core

@@ -1,0 +1,346 @@
+#include "flash/device.h"
+
+#include <algorithm>
+
+namespace bio::flash {
+
+StorageDevice::StorageDevice(sim::Simulator& sim, DeviceProfile profile)
+    : sim_(sim),
+      profile_(std::move(profile)),
+      nand_(sim, profile_.geometry, profile_.nand,
+            profile_.barrier_mode != BarrierMode::kNone && !profile_.plp
+                ? profile_.barrier_program_penalty
+                : 0.0),
+      log_(sim, nand_),
+      cache_(sim, profile_.cache_entries),
+      queue_event_(sim),
+      host_bus_(sim, 1),
+      drain_slots_(sim, profile_.effective_drain_inflight()),
+      epoch_drained_(sim),
+      txn_wake_(sim),
+      txn_done_(sim) {}
+
+void StorageDevice::start() {
+  BIO_CHECK(!started_);
+  started_ = true;
+  start_time_ = sim_.now();
+  qd_last_change_ = sim_.now();
+  log_.start();
+  // Device-internal actors are hardware: no host scheduler wake latency.
+  sim_.spawn("dev:ctl", controller_loop()).wake_latency = 0;
+  switch (profile_.barrier_mode) {
+    case BarrierMode::kInOrderWriteback:
+      sim_.spawn("dev:drain", drain_loop_epoch()).wake_latency = 0;
+      break;
+    case BarrierMode::kTransactional:
+      sim_.spawn("dev:txn", transactional_loop()).wake_latency = 0;
+      break;
+    case BarrierMode::kNone:
+    case BarrierMode::kInOrderRecovery:
+      sim_.spawn("dev:drain", drain_loop_fifo()).wake_latency = 0;
+      break;
+  }
+  // PLP devices also drain in the background (the cache is durable, but
+  // its capacity is finite), regardless of barrier mode.
+}
+
+bool StorageDevice::try_submit(std::shared_ptr<Command> cmd) {
+  BIO_CHECK_MSG(started_, "StorageDevice::start() not called");
+  BIO_CHECK_MSG(cmd->done != nullptr, "command without completion event");
+  if (window_.size() >= profile_.queue_depth) {
+    ++stats_.busy_rejections;
+    return false;
+  }
+  cmd->seq = next_seq_++;
+  window_.push_back(Slot{std::move(cmd), false, false});
+  note_qd_change();
+  queue_event_.notify_all();
+  return true;
+}
+
+bool StorageDevice::transfer_eligible(
+    const std::list<Slot>::const_iterator& it) const {
+  // §3.4: the command *processing* overlaps freely; only the order of the
+  // data transfers is fenced by ORDERED priorities.
+  const Command& cmd = *it->cmd;
+  if (cmd.priority == Priority::kHeadOfQueue) return true;
+  if (cmd.op == OpCode::kFlush) return true;  // flushes never wait for data
+  if (cmd.priority == Priority::kOrdered) {
+    // Every earlier data command must have transferred.
+    for (auto p = window_.cbegin(); p != it; ++p)
+      if (is_data(*p) && !p->dma_done) return false;
+    return true;
+  }
+  // SIMPLE: fenced only by earlier ORDERED data commands.
+  for (auto p = window_.cbegin(); p != it; ++p)
+    if (is_data(*p) && p->cmd->priority == Priority::kOrdered && !p->dma_done)
+      return false;
+  return true;
+}
+
+sim::Task StorageDevice::wait_transfer_turn(SlotIter it) {
+  while (!transfer_eligible(it)) co_await queue_event_.wait();
+}
+
+sim::Task StorageDevice::controller_loop() {
+  for (;;) {
+    for (auto it = window_.begin(); it != window_.end(); ++it) {
+      if (!it->started) {
+        it->started = true;
+        sim_.spawn("dev:cmd", handle(it)).wake_latency = 0;
+      }
+    }
+    co_await queue_event_.wait();
+  }
+}
+
+sim::Task StorageDevice::handle(SlotIter it) {
+  switch (it->cmd->op) {
+    case OpCode::kWrite:
+      co_await handle_write(it);
+      break;
+    case OpCode::kRead:
+      co_await handle_read(it);
+      break;
+    case OpCode::kFlush:
+      co_await handle_flush(it);
+      break;
+  }
+}
+
+void StorageDevice::complete(SlotIter it) {
+  sim::Event* done = it->cmd->done;
+  window_.erase(it);
+  note_qd_change();
+  queue_event_.notify_all();
+  done->trigger();
+}
+
+sim::Task StorageDevice::gc_stall() {
+  if (!profile_.gc_command_stall) co_return;
+  while (log_.erasing()) co_await log_.erase_done().wait();
+}
+
+sim::Task StorageDevice::handle_write(SlotIter it) {
+  std::shared_ptr<Command> cmd = it->cmd;
+  co_await gc_stall();
+  co_await sim_.delay(profile_.cmd_overhead);
+  if (cmd->flush_before) co_await do_flush();
+
+  co_await wait_transfer_turn(it);
+  co_await host_bus_.acquire();
+  co_await sim_.delay(profile_.dma_4k *
+                      static_cast<sim::SimTime>(cmd->blocks.size()));
+  const bool honor_barrier =
+      cmd->barrier && profile_.barrier_mode != BarrierMode::kNone;
+  for (std::size_t i = 0; i < cmd->blocks.size(); ++i) {
+    const bool last = i + 1 == cmd->blocks.size();
+    co_await cache_.insert(cmd->blocks[i].first, cmd->blocks[i].second,
+                           epoch_, honor_barrier && last);
+  }
+  host_bus_.release();
+  const std::uint64_t through = cache_.next_order();
+  if (honor_barrier) ++epoch_;
+  if (cmd->barrier) ++stats_.barrier_writes;
+  it->dma_done = true;
+  queue_event_.notify_all();
+
+  if (profile_.barrier_mode == BarrierMode::kTransactional) {
+    // Nudge the batch committer under cache pressure.
+    if (cache_.dirty_count() * 4 >= cache_.capacity() * 3)
+      txn_wake_.notify_all();
+  }
+  if (cmd->fua) {
+    if (profile_.fua_implies_flush && !profile_.plp)
+      co_await do_flush();  // SATA-style FUA: write + full flush
+    else
+      co_await wait_persisted_through(through);
+  }
+
+  ++stats_.writes;
+  stats_.blocks_written += cmd->blocks.size();
+  complete(it);
+}
+
+sim::Task StorageDevice::handle_read(SlotIter it) {
+  std::shared_ptr<Command> cmd = it->cmd;
+  co_await sim_.delay(profile_.cmd_overhead);
+  if (cache_.lookup(cmd->read_lba).has_value()) {
+    ++stats_.cache_read_hits;
+    co_await sim_.delay(profile_.read_hit_latency);
+  } else {
+    co_await log_.read(cmd->read_lba);
+  }
+  co_await wait_transfer_turn(it);
+  co_await host_bus_.acquire();
+  co_await sim_.delay(profile_.dma_4k);
+  host_bus_.release();
+  it->dma_done = true;
+  queue_event_.notify_all();
+  ++stats_.reads;
+  complete(it);
+}
+
+sim::Task StorageDevice::handle_flush(SlotIter it) {
+  co_await gc_stall();
+  co_await sim_.delay(profile_.cmd_overhead);
+  co_await do_flush();
+  it->dma_done = true;
+  ++stats_.flushes;
+  complete(it);
+}
+
+sim::Task StorageDevice::do_flush() {
+  co_await sim_.delay(profile_.flush_overhead);
+  if (profile_.plp) {
+    // Power-safe cache: a flush only acknowledges.
+    co_await sim_.delay(profile_.plp_flush_latency);
+    co_return;
+  }
+  co_await wait_persisted_through(cache_.next_order());
+}
+
+sim::Task StorageDevice::wait_persisted_through(std::uint64_t through) {
+  if (profile_.plp) co_return;  // durable on arrival
+  if (profile_.barrier_mode == BarrierMode::kTransactional) {
+    while (txn_committed_through_ < through) {
+      txn_wake_.notify_all();
+      co_await txn_done_.wait();
+    }
+    co_return;
+  }
+  co_await cache_.wait_drained_through(through);
+}
+
+// ---- drain policies -------------------------------------------------------
+
+sim::Task StorageDevice::drain_loop_fifo() {
+  for (;;) {
+    WritebackCache::Entry e;
+    co_await cache_.claim_next(e);
+    SegmentLog::Reservation r;
+    // Sequential reservation: log order == transfer order, which is what
+    // in-order recovery truncation relies on.
+    co_await log_.reserve(e.lba, e.version, r);
+    co_await drain_slots_.acquire();
+    sim_.spawn("dev:pgm", drain_one(e, r)).wake_latency = 0;
+  }
+}
+
+sim::Task StorageDevice::drain_loop_epoch() {
+  std::uint64_t draining_epoch = 0;
+  for (;;) {
+    WritebackCache::Entry e;
+    co_await cache_.claim_next(e);
+    if (e.epoch != draining_epoch) {
+      // Epoch boundary: wait for all in-flight programs of the previous
+      // epoch before issuing the first page of the next one.
+      while (epoch_inflight_programs_ > 0) co_await epoch_drained_.wait();
+      draining_epoch = e.epoch;
+    }
+    SegmentLog::Reservation r;
+    co_await log_.reserve(e.lba, e.version, r);
+    co_await drain_slots_.acquire();
+    ++epoch_inflight_programs_;
+    sim_.spawn("dev:pgm", drain_one(e, r)).wake_latency = 0;
+  }
+}
+
+sim::Task StorageDevice::drain_one(WritebackCache::Entry e,
+                                   SegmentLog::Reservation r) {
+  co_await log_.program_reserved(r);
+  cache_.mark_drained(e.order);
+  drain_slots_.release();
+  if (profile_.barrier_mode == BarrierMode::kInOrderWriteback) {
+    BIO_CHECK(epoch_inflight_programs_ > 0);
+    if (--epoch_inflight_programs_ == 0) epoch_drained_.notify_all();
+  }
+}
+
+sim::Task StorageDevice::transactional_loop() {
+  for (;;) {
+    co_await txn_wake_.wait();
+    while (cache_.dirty_count() > 0) {
+      // Snapshot the batch: everything currently transferred.
+      std::vector<WritebackCache::Entry> batch;
+      {
+        WritebackCache::Entry e;
+        while (cache_.dirty_count() > batch.size()) {
+          co_await cache_.claim_next(e);
+          batch.push_back(e);
+        }
+      }
+      std::vector<SegmentLog::Reservation> rs(batch.size());
+      for (std::size_t i = 0; i < batch.size(); ++i)
+        co_await log_.reserve(batch[i].lba, batch[i].version, rs[i]);
+      std::vector<sim::ThreadCtx*> workers;
+      workers.reserve(batch.size());
+      for (std::size_t i = 0; i < batch.size(); ++i)
+        {
+        sim::ThreadCtx& w = sim_.spawn("dev:pgm", log_.program_reserved(rs[i]));
+        w.wake_latency = 0;
+        workers.push_back(&w);
+      }
+      for (sim::ThreadCtx* w : workers) co_await sim_.join(*w);
+      // The batch becomes durable atomically at the commit point.
+      log_.mark_commit_point();
+      std::uint64_t high = 0;
+      for (const auto& e : batch) {
+        cache_.mark_drained(e.order);
+        high = std::max(high, e.order + 1);
+      }
+      txn_committed_through_ = std::max(txn_committed_through_, high);
+      txn_done_.notify_all();
+    }
+  }
+}
+
+// ---- analysis --------------------------------------------------------------
+
+std::unordered_map<Lba, Version> StorageDevice::durable_state() const {
+  if (profile_.plp) {
+    // The cache survives power loss: programmed pages overlaid with every
+    // still-cached entry, in transfer order.
+    auto state = log_.durable_programmed_set();
+    for (const auto& e : cache_.undrained_entries())
+      state[e.lba] = e.version;
+    return state;
+  }
+  switch (profile_.barrier_mode) {
+    case BarrierMode::kInOrderRecovery:
+      return log_.durable_in_order_recovery();
+    case BarrierMode::kTransactional:
+      return log_.durable_committed();
+    case BarrierMode::kInOrderWriteback:
+    case BarrierMode::kNone:
+      return log_.durable_programmed_set();
+  }
+  return {};
+}
+
+void StorageDevice::note_qd_change() {
+  const sim::SimTime now = sim_.now();
+  qd_area_ += static_cast<double>(qd_current_) *
+              static_cast<double>(now - qd_last_change_);
+  qd_last_change_ = now;
+  qd_current_ = static_cast<std::uint32_t>(window_.size());
+  if (qd_trace_enabled_)
+    qd_trace_.record(now, static_cast<double>(qd_current_));
+}
+
+void StorageDevice::reset_qd_accounting() {
+  qd_area_ = 0.0;
+  qd_last_change_ = sim_.now();
+  start_time_ = sim_.now();
+  qd_trace_.clear();
+}
+
+double StorageDevice::average_queue_depth() const {
+  const sim::SimTime now = sim_.now();
+  const double area = qd_area_ + static_cast<double>(qd_current_) *
+                                     static_cast<double>(now - qd_last_change_);
+  const sim::SimTime span = now - start_time_;
+  return span == 0 ? 0.0 : area / static_cast<double>(span);
+}
+
+}  // namespace bio::flash

@@ -1,0 +1,195 @@
+// The barrier-compliant storage device (§3.2).
+//
+// Commands enter a bounded NCQ; the controller starts every *eligible*
+// command concurrently. Eligibility implements the SCSI priority semantics
+// the order-preserving dispatch relies on (§3.4):
+//   * HEAD_OF_QUEUE commands start immediately.
+//   * An ORDERED command starts only after every earlier data command has
+//     finished its DMA transfer.
+//   * A SIMPLE command starts only after every earlier ORDERED data command
+//     has finished its DMA transfer.
+//   * FLUSH commands neither wait for nor fence data commands: they snapshot
+//     the cache at service time (durability is their only contract), which
+//     is what lets Dual-Mode Journaling keep the queue busy while a flush is
+//     in flight.
+//
+// Data lands in the writeback cache in transfer order; barrier writes bump
+// the device epoch. The drain policy selected by BarrierMode moves entries
+// to the SegmentLog; durable_state() answers "what survives a power cut
+// right now", which the crash-consistency tests check against the paper's
+// epoch ordering guarantees.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "flash/cache.h"
+#include "flash/nand.h"
+#include "flash/profile.h"
+#include "flash/segment_log.h"
+#include "flash/types.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+#include "sim/sync.h"
+
+namespace bio::flash {
+
+/// One storage command (the block layer builds these from requests).
+struct Command {
+  OpCode op = OpCode::kWrite;
+  Priority priority = Priority::kSimple;
+  /// Cache-barrier flag on a write (REQ_BARRIER made it to the device).
+  bool barrier = false;
+  /// Persist the payload before completing (REQ_FUA).
+  bool fua = false;
+  /// Flush the cache before servicing (REQ_FLUSH).
+  bool flush_before = false;
+  /// Write payload: (lba, version) per 4 KiB block. Reads use lba/blocks=1.
+  std::vector<std::pair<Lba, Version>> blocks;
+  Lba read_lba = 0;
+
+  /// Completion IRQ to the host. Must outlive the command.
+  sim::Event* done = nullptr;
+  /// Keeps the originating host object (e.g. blk::Request) alive while the
+  /// device still holds this command.
+  std::shared_ptr<void> keepalive;
+
+  // Filled by the device.
+  std::uint64_t seq = 0;
+};
+
+class StorageDevice {
+ public:
+  struct Stats {
+    std::uint64_t writes = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t barrier_writes = 0;
+    std::uint64_t blocks_written = 0;
+    std::uint64_t busy_rejections = 0;
+    std::uint64_t cache_read_hits = 0;
+  };
+
+  StorageDevice(sim::Simulator& sim, DeviceProfile profile);
+
+  /// Spawns the controller, drain and GC threads. Call once.
+  void start();
+
+  /// Queues a command; returns false (device busy) when the NCQ is full.
+  /// The dispatcher retries busy commands after a delay (Fig 6(b)).
+  bool try_submit(std::shared_ptr<Command> cmd);
+
+  std::uint32_t queue_depth() const noexcept {
+    return static_cast<std::uint32_t>(window_.size());
+  }
+  std::uint32_t queue_depth_limit() const noexcept {
+    return profile_.queue_depth;
+  }
+
+  const DeviceProfile& profile() const noexcept { return profile_; }
+  const Stats& stats() const noexcept { return stats_; }
+  SegmentLog& log() noexcept { return log_; }
+  WritebackCache& cache() noexcept { return cache_; }
+  NandArray& nand() noexcept { return nand_; }
+
+  /// Current device epoch (advanced by barrier writes).
+  std::uint64_t current_epoch() const noexcept { return epoch_; }
+
+  /// Notified on every queue transition (submission, transfer, completion).
+  /// A tag-aware host driver waits on this instead of polling when busy.
+  sim::Notify& queue_activity() noexcept { return queue_event_; }
+
+  /// Non-destructive crash analysis: the state recovery would reconstruct
+  /// if power failed at the current simulated instant.
+  std::unordered_map<Lba, Version> durable_state() const;
+
+  /// Arrival-ordered transfer history with epoch tags (invariant checks).
+  const std::vector<WritebackCache::Entry>& transfer_history() const {
+    return cache_.transfer_history();
+  }
+
+  // ---- queue-depth instrumentation (Figs 9, 10, 12) ----------------------
+
+  /// Enables recording of a (time, depth) series.
+  void enable_qd_trace() noexcept { qd_trace_enabled_ = true; }
+  const sim::TimeSeries& qd_trace() const noexcept { return qd_trace_; }
+  /// Time-weighted average queue depth since start() (or the last reset).
+  double average_queue_depth() const;
+
+  /// Restarts QD accounting (benchmarks call this after their setup phase).
+  void reset_qd_accounting();
+
+ private:
+  struct Slot {
+    std::shared_ptr<Command> cmd;
+    bool started = false;
+    bool dma_done = false;
+  };
+  using SlotIter = std::list<Slot>::iterator;
+
+  bool is_data(const Slot& s) const noexcept {
+    return s.cmd->op != OpCode::kFlush;
+  }
+  bool transfer_eligible(const std::list<Slot>::const_iterator& it) const;
+  sim::Task wait_transfer_turn(SlotIter it);
+  sim::Task controller_loop();
+  sim::Task handle(SlotIter it);
+  sim::Task handle_write(SlotIter it);
+  sim::Task handle_read(SlotIter it);
+  sim::Task handle_flush(SlotIter it);
+  void complete(SlotIter it);
+
+  /// Waits until every cache entry with order < `through` is persistent
+  /// (mode-aware: PLP short-circuits, transactional forces a batch).
+  sim::Task wait_persisted_through(std::uint64_t through);
+  sim::Task do_flush();
+  /// Stalls while GC erases (profile.gc_command_stall).
+  sim::Task gc_stall();
+
+  // Drain policies.
+  sim::Task drain_loop_fifo();      // kNone / kInOrderRecovery / PLP
+  sim::Task drain_loop_epoch();     // kInOrderWriteback
+  sim::Task drain_one(WritebackCache::Entry e, SegmentLog::Reservation r);
+  sim::Task transactional_loop();   // kTransactional
+
+  void note_qd_change();
+
+  sim::Simulator& sim_;
+  DeviceProfile profile_;
+  NandArray nand_;
+  SegmentLog log_;
+  WritebackCache cache_;
+
+  std::list<Slot> window_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t epoch_ = 0;
+  sim::Notify queue_event_;
+  sim::Semaphore host_bus_;
+  sim::Semaphore drain_slots_;
+
+  // kInOrderWriteback bookkeeping.
+  std::uint64_t epoch_inflight_programs_ = 0;
+  sim::Notify epoch_drained_;
+
+  // kTransactional bookkeeping.
+  sim::Notify txn_wake_;
+  sim::Notify txn_done_;
+  std::uint64_t txn_committed_through_ = 0;  // cache order watermark
+
+  Stats stats_;
+  bool started_ = false;
+
+  bool qd_trace_enabled_ = false;
+  sim::TimeSeries qd_trace_;
+  // Always-on time-weighted QD accumulator.
+  double qd_area_ = 0.0;
+  sim::SimTime qd_last_change_ = 0;
+  std::uint32_t qd_current_ = 0;
+  sim::SimTime start_time_ = 0;
+};
+
+}  // namespace bio::flash

@@ -1,0 +1,51 @@
+// Physical organisation and timing of the simulated NAND array.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/check.h"
+#include "sim/time.h"
+
+namespace bio::flash {
+
+/// NAND array organisation. Each chip (die) programs one page at a time;
+/// chips on one channel share the channel bus for data transfer. A flash
+/// page holds exactly one 4 KiB host block (entry), so aggregate program
+/// bandwidth = channels × ways × 4 KiB / t_prog.
+struct Geometry {
+  std::uint32_t channels = 8;
+  std::uint32_t ways_per_channel = 8;
+  std::uint32_t blocks_per_chip = 256;
+  std::uint32_t pages_per_block = 64;
+
+  std::uint32_t chips() const noexcept { return channels * ways_per_channel; }
+
+  /// Pages in one striped "superblock" (one erase block from every chip):
+  /// the FTL's segment.
+  std::uint64_t pages_per_segment() const noexcept {
+    return static_cast<std::uint64_t>(chips()) * pages_per_block;
+  }
+
+  std::uint64_t segments() const noexcept { return blocks_per_chip; }
+
+  std::uint64_t physical_pages() const noexcept {
+    return pages_per_segment() * segments();
+  }
+
+  void validate() const {
+    BIO_CHECK(channels > 0);
+    BIO_CHECK(ways_per_channel > 0);
+    BIO_CHECK(blocks_per_chip >= 4);
+    BIO_CHECK(pages_per_block > 0);
+  }
+};
+
+/// NAND and interconnect timing parameters.
+struct NandTiming {
+  sim::SimTime read_page = 60'000;        // tR
+  sim::SimTime program_page = 900'000;    // tPROG
+  sim::SimTime erase_block = 3'500'000;   // tBERS
+  sim::SimTime channel_xfer = 10'000;     // bus time to move a page to a die
+};
+
+}  // namespace bio::flash

@@ -1,0 +1,61 @@
+#include "flash/nand.h"
+
+#include <cmath>
+
+namespace bio::flash {
+
+NandArray::NandArray(sim::Simulator& sim, const Geometry& geom,
+                     const NandTiming& t, double program_penalty)
+    : sim_(sim), geom_(geom), timing_(t) {
+  geom_.validate();
+  BIO_CHECK(program_penalty >= 0.0);
+  program_time_ = static_cast<sim::SimTime>(
+      std::llround(static_cast<double>(t.program_page) *
+                   (1.0 + program_penalty)));
+  chips_.reserve(geom_.chips());
+  for (std::uint32_t i = 0; i < geom_.chips(); ++i)
+    chips_.push_back(std::make_unique<sim::Semaphore>(sim_, 1));
+  channels_.reserve(geom_.channels);
+  for (std::uint32_t i = 0; i < geom_.channels; ++i)
+    channels_.push_back(std::make_unique<sim::Semaphore>(sim_, 1));
+}
+
+sim::Task NandArray::program(std::uint32_t chip_idx) {
+  BIO_CHECK(chip_idx < geom_.chips());
+  ++programs_;
+  // Move the page over the channel bus, then program the die.
+  sim::Semaphore& bus = channel_of(chip_idx);
+  co_await bus.acquire();
+  co_await sim_.delay(timing_.channel_xfer);
+  bus.release();
+
+  sim::Semaphore& die = chip(chip_idx);
+  co_await die.acquire();
+  co_await sim_.delay(program_time_);
+  die.release();
+}
+
+sim::Task NandArray::read(std::uint32_t chip_idx) {
+  BIO_CHECK(chip_idx < geom_.chips());
+  ++reads_;
+  sim::Semaphore& die = chip(chip_idx);
+  co_await die.acquire();
+  co_await sim_.delay(timing_.read_page);
+  die.release();
+
+  sim::Semaphore& bus = channel_of(chip_idx);
+  co_await bus.acquire();
+  co_await sim_.delay(timing_.channel_xfer);
+  bus.release();
+}
+
+sim::Task NandArray::erase(std::uint32_t chip_idx) {
+  BIO_CHECK(chip_idx < geom_.chips());
+  ++erases_;
+  sim::Semaphore& die = chip(chip_idx);
+  co_await die.acquire();
+  co_await sim_.delay(timing_.erase_block);
+  die.release();
+}
+
+}  // namespace bio::flash

@@ -1,0 +1,58 @@
+// Timing model of the NAND array: chips busy on program/read/erase,
+// channel buses serialising page transfers to dies.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "flash/geometry.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace bio::flash {
+
+/// The NAND array. Operations occupy a chip for their duration; page data
+/// movement additionally occupies the chip's channel. All methods are
+/// awaitable tasks (they advance simulated time).
+class NandArray {
+ public:
+  NandArray(sim::Simulator& sim, const Geometry& geom, const NandTiming& t,
+            double program_penalty = 0.0);
+
+  /// Programs one page on `chip`. Occupies the channel for the transfer,
+  /// then the chip for tPROG (scaled by the program penalty).
+  sim::Task program(std::uint32_t chip);
+
+  /// Reads one page from `chip` (tR on the chip, then channel transfer out).
+  sim::Task read(std::uint32_t chip);
+
+  /// Erases one block on `chip` (tBERS).
+  sim::Task erase(std::uint32_t chip);
+
+  std::uint32_t chip_count() const noexcept { return geom_.chips(); }
+
+  std::uint64_t programs_issued() const noexcept { return programs_; }
+  std::uint64_t reads_issued() const noexcept { return reads_; }
+  std::uint64_t erases_issued() const noexcept { return erases_; }
+
+  const Geometry& geometry() const noexcept { return geom_; }
+
+ private:
+  sim::Semaphore& chip(std::uint32_t c) { return *chips_[c]; }
+  sim::Semaphore& channel_of(std::uint32_t c) {
+    return *channels_[c % geom_.channels];
+  }
+
+  sim::Simulator& sim_;
+  Geometry geom_;
+  NandTiming timing_;
+  sim::SimTime program_time_;  // tPROG after barrier penalty
+  std::vector<std::unique_ptr<sim::Semaphore>> chips_;
+  std::vector<std::unique_ptr<sim::Semaphore>> channels_;
+  std::uint64_t programs_ = 0;
+  std::uint64_t reads_ = 0;
+  std::uint64_t erases_ = 0;
+};
+
+}  // namespace bio::flash

@@ -1,0 +1,131 @@
+#include "fs/barrierfs.h"
+
+#include <algorithm>
+
+namespace bio::fs {
+
+void BarrierFsJournal::start() {
+  BIO_CHECK(!started_);
+  started_ = true;
+  sim_.spawn("bfs:commit", commit_loop());
+  sim_.spawn("bfs:flush", flush_loop());
+}
+
+sim::Task BarrierFsJournal::dirty_metadata(flash::Lba block,
+                                           std::uint64_t& txn_out) {
+  txn_out = running_->id;
+  if (running_->buffers.contains(block)) co_return;
+  if (conflict_blocks_.contains(block)) co_return;  // already queued
+  for (const Txn* t : committing_) {
+    if (t->buffers.contains(block)) {
+      // §4.3: the application does NOT block. The buffer waits on the
+      // conflict-page list; the running transaction cannot commit until
+      // the list drains, so the caller's txn id stays valid.
+      ++stats_.conflicts;
+      conflict_blocks_.insert(block);
+      co_return;
+    }
+  }
+  running_->buffers.insert(block);
+}
+
+sim::Task BarrierFsJournal::commit(std::uint64_t tid, WaitMode mode) {
+  Txn& txn = get_txn(tid);
+  if (txn.state == Txn::State::kRunning) {
+    if (mode == WaitMode::kDurable) txn.needs_flush = true;
+    if (std::find(commit_requests_.begin(), commit_requests_.end(), tid) ==
+        commit_requests_.end()) {
+      commit_requests_.push_back(tid);
+      commit_wake_.notify_all();
+    }
+  }
+  switch (mode) {
+    case WaitMode::kNone:
+      break;
+    case WaitMode::kDispatched:
+      co_await txn.dispatched->wait();
+      break;
+    case WaitMode::kDurable:
+      txn.needs_flush = true;
+      co_await txn.durable->wait();
+      if (!txn.flushed) {
+        // The flush thread retired this txn for ordering only (we joined
+        // after its flush decision); issue the durability flush ourselves.
+        co_await blk_.flush_and_wait();
+        txn.flushed = true;
+      }
+      break;
+  }
+}
+
+sim::Task BarrierFsJournal::commit_loop() {
+  for (;;) {
+    while (commit_requests_.empty()) co_await commit_wake_.wait();
+    const std::uint64_t tid = commit_requests_.front();
+    commit_requests_.pop_front();
+    {
+      Txn& txn = get_txn(tid);
+      if (txn.state != Txn::State::kRunning) continue;  // already committed
+    }
+    // §4.3: the running transaction may close only with an empty
+    // conflict-page list.
+    while (!conflict_blocks_.empty()) co_await conflict_resolved_.wait();
+
+    Txn* txn = close_running(/*allow_empty=*/true);
+    committing_.push_back(txn);
+
+    // Control plane (Eq. 3): dispatch JD and JC back-to-back, both
+    // ORDERED|BARRIER. D (dispatched earlier as order-preserving requests)
+    // and JD form one epoch; JC forms the next. No waits.
+    const std::size_t jd_size =
+        1 + txn->buffers.size() + txn->journaled_data_blocks;
+    auto jd = reserve_journal_blocks(jd_size);
+    txn->jd_blocks = jd;
+    blk::RequestPtr jd_req = blk::make_write_request(
+        sim_, std::move(jd), /*ordered=*/true, /*barrier=*/true);
+    blk_.submit(jd_req);
+
+    auto jc = reserve_journal_blocks(1);
+    txn->jc_block = jc[0];
+    txn->jc_req = blk::make_write_request(sim_, std::move(jc),
+                                          /*ordered=*/true, /*barrier=*/true);
+    blk_.submit(txn->jc_req);
+
+    txn->dispatched->trigger();
+    flush_queue_.push_back(txn);
+    flush_wake_.notify_all();
+  }
+}
+
+sim::Task BarrierFsJournal::flush_loop() {
+  for (;;) {
+    while (flush_queue_.empty()) co_await flush_wake_.wait();
+    Txn* txn = flush_queue_.front();
+    flush_queue_.pop_front();
+
+    // Data plane: wait for the JC transfer (not its persistence!).
+    co_await txn->jc_req->completion->wait();
+    if (txn->needs_flush) {
+      co_await blk_.flush_and_wait();
+      txn->flushed = true;
+    }
+    resolve_conflicts(*txn);
+    auto it = std::find(committing_.begin(), committing_.end(), txn);
+    BIO_CHECK(it != committing_.end());
+    committing_.erase(it);
+    retire(*txn);
+  }
+}
+
+void BarrierFsJournal::resolve_conflicts(Txn& txn) {
+  bool resolved_any = false;
+  for (flash::Lba block : txn.buffers) {
+    if (conflict_blocks_.erase(block) > 0) {
+      running_->buffers.insert(block);
+      resolved_any = true;
+    }
+  }
+  if (resolved_any) conflict_resolved_.notify_all();
+}
+
+}  // namespace bio::fs

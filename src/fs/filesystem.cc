@@ -1,0 +1,457 @@
+#include "fs/filesystem.h"
+
+#include <algorithm>
+
+#include "fs/barrierfs.h"
+#include "fs/jbd2.h"
+#include "fs/optfs.h"
+
+namespace bio::fs {
+
+Filesystem::Filesystem(sim::Simulator& sim, blk::BlockLayer& blk,
+                       FsConfig cfg)
+    : sim_(sim),
+      blk_(blk),
+      cfg_(cfg),
+      layout_{cfg.journal_blocks, cfg.max_inodes},
+      cache_(sim),
+      writeback_progress_(sim) {
+  switch (cfg_.journal) {
+    case JournalKind::kJbd2:
+      journal_ = std::make_unique<Jbd2Journal>(sim_, blk_, cfg_, layout_);
+      break;
+    case JournalKind::kBarrierFs:
+      journal_ = std::make_unique<BarrierFsJournal>(sim_, blk_, cfg_, layout_);
+      break;
+    case JournalKind::kOptFs:
+      journal_ = std::make_unique<OptFsJournal>(sim_, blk_, cfg_, layout_);
+      break;
+  }
+  root_.ino = 0;
+  root_.name = "/";
+  next_ino_ = std::max<std::uint32_t>(1, cfg_.dir_shards);
+  data_next_ = layout_.data_base();
+}
+
+flash::Lba Filesystem::dir_block_of(const std::string& name) const {
+  const std::uint32_t shard = static_cast<std::uint32_t>(
+      std::hash<std::string>{}(name) % std::max<std::uint32_t>(1, cfg_.dir_shards));
+  return layout_.inode_block(shard);
+}
+
+void Filesystem::start() {
+  BIO_CHECK(!started_);
+  started_ = true;
+  journal_->start();
+  sim_.spawn("pdflush", pdflush_loop());
+}
+
+// ---- namespace -------------------------------------------------------------
+
+sim::Task Filesystem::create(std::string name, Inode*& out,
+                             std::uint32_t extent_blocks) {
+  BIO_CHECK_MSG(!files_.contains(name), "create of existing file: " + name);
+  auto inode = std::make_unique<Inode>();
+  Inode& f = *inode;
+  if (!free_inos_.empty()) {
+    f.ino = free_inos_.front();
+    free_inos_.pop_front();
+  } else {
+    f.ino = next_ino_++;
+    BIO_CHECK_MSG(f.ino < cfg_.max_inodes, "out of inodes");
+  }
+  f.name = name;
+  const std::uint32_t want =
+      extent_blocks != 0 ? extent_blocks : cfg_.default_extent_blocks;
+  if (!free_extents_.empty() && free_extents_.front().second >= want) {
+    f.extent_base = free_extents_.front().first;
+    f.extent_blocks = free_extents_.front().second;
+    free_extents_.pop_front();
+  } else {
+    f.extent_base = data_next_;
+    f.extent_blocks = want;
+    data_next_ += want;
+  }
+  ++stats_.creates;
+  out = &f;
+  files_.emplace(std::move(name), std::move(inode));
+
+  // Creating dirties the directory shard and the new inode.
+  std::uint64_t tid = 0;
+  co_await journal_->dirty_metadata(dir_block_of(f.name), tid);
+  co_await journal_->dirty_metadata(layout_.inode_block(f.ino), tid);
+  f.txn_id = tid;
+  f.meta_dirty = true;
+  f.size_dirty = true;
+}
+
+Inode* Filesystem::lookup(const std::string& name) {
+  auto it = files_.find(name);
+  return it == files_.end() ? nullptr : it->second.get();
+}
+
+sim::Task Filesystem::unlink(const std::string& name) {
+  auto it = files_.find(name);
+  BIO_CHECK_MSG(it != files_.end(), "unlink of missing file: " + name);
+  Inode& f = *it->second;
+  cache_.drop_file(f.ino);
+  free_extents_.emplace_back(f.extent_base, f.extent_blocks);
+  free_inos_.push_back(f.ino);
+  const std::uint32_t dead_ino = f.ino;
+  unlinked_.push_back(std::move(it->second));  // keep alive: open handles
+  files_.erase(it);
+  ++stats_.unlinks;
+
+  std::uint64_t tid = 0;
+  co_await journal_->dirty_metadata(dir_block_of(name), tid);
+  co_await journal_->dirty_metadata(layout_.inode_block(dead_ino), tid);
+}
+
+// ---- data path --------------------------------------------------------------
+
+sim::Task Filesystem::throttle_writer() {
+  // balance_dirty_pages(): writers stall once the dirty set is far past the
+  // background watermark, so buffered-write throughput converges to the
+  // device drain rate.
+  while (cache_.dirty_count() > 4 * cfg_.writeback_high_watermark)
+    co_await writeback_progress_.wait();
+}
+
+sim::Task Filesystem::write(Inode& f, std::uint32_t page,
+                            std::uint32_t npages) {
+  BIO_CHECK(npages > 0);
+  BIO_CHECK_MSG(page + npages <= f.extent_blocks, "write beyond extent");
+  ++stats_.writes;
+  co_await sim_.delay(cfg_.write_syscall_cpu *
+                      static_cast<sim::SimTime>(npages));
+  co_await throttle_writer();
+
+  bool newly_dirty_meta = false;
+  const sim::SimTime tick = sim_.now() / cfg_.timer_tick;
+  if (tick != f.mtime_tick) {
+    f.mtime_tick = tick;
+    newly_dirty_meta = true;
+  }
+  const std::uint32_t old_size = f.size_blocks;
+  for (std::uint32_t i = 0; i < npages; ++i) {
+    const std::uint32_t p = page + i;
+    const bool overwrite = p < old_size;
+    cache_.write(f.ino, p, f.lba_of_page(p), blk_.next_version(), overwrite);
+  }
+  if (page + npages > f.size_blocks) {
+    f.size_blocks = page + npages;
+    f.size_dirty = true;
+    newly_dirty_meta = true;
+  }
+  if (newly_dirty_meta || f.size_dirty) {
+    std::uint64_t tid = 0;
+    co_await journal_->dirty_metadata(layout_.inode_block(f.ino), tid);
+    f.txn_id = tid;
+    f.meta_dirty = true;
+  }
+}
+
+sim::Task Filesystem::read(Inode& f, std::uint32_t page,
+                           std::uint32_t npages) {
+  ++stats_.reads;
+  for (std::uint32_t i = 0; i < npages; ++i) {
+    const std::uint32_t p = page + i;
+    if (cache_.find(f.ino, p) != nullptr) {
+      co_await sim_.delay(cfg_.write_syscall_cpu);  // page-cache hit
+    } else {
+      co_await blk_.read_and_wait(f.lba_of_page(p));
+    }
+  }
+}
+
+// ---- helpers ----------------------------------------------------------------
+
+std::vector<blk::RequestPtr> Filesystem::submit_data(Inode& f, bool ordered,
+                                                     bool barrier_last) {
+  std::vector<PageCache::PageKey> dirty = cache_.dirty_pages_of(f.ino);
+  if (dirty.empty()) return {};
+
+  // Group into contiguous runs (pages of one file map to a contiguous
+  // extent, so page adjacency == LBA adjacency).
+  std::vector<std::vector<std::pair<flash::Lba, flash::Version>>> runs;
+  std::vector<std::vector<PageCache::PageKey>> run_keys;
+  for (const PageCache::PageKey& key : dirty) {
+    const PageCache::PageState* st = cache_.find(key.ino, key.page);
+    const bool extend =
+        !runs.empty() && runs.back().back().first + 1 == st->lba &&
+        runs.back().size() < blk::kMaxMergedBlocks;
+    if (!extend) {
+      runs.emplace_back();
+      run_keys.emplace_back();
+    }
+    runs.back().emplace_back(st->lba, st->version);
+    run_keys.back().push_back(key);
+  }
+
+  std::vector<blk::RequestPtr> reqs;
+  reqs.reserve(runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const bool barrier = barrier_last && i + 1 == runs.size();
+    stats_.writeback_pages += runs[i].size();
+    blk::RequestPtr r =
+        blk::make_write_request(sim_, std::move(runs[i]), ordered, barrier);
+    for (const PageCache::PageKey& key : run_keys[i])
+      cache_.begin_writeback(key, r);
+    blk_.submit(r);
+    reqs.push_back(std::move(r));
+  }
+  return reqs;
+}
+
+std::uint32_t Filesystem::journal_overwrites(Inode& f) {
+  std::uint32_t count = 0;
+  for (const PageCache::PageKey& key : cache_.dirty_pages_of(f.ino)) {
+    const PageCache::PageState* st = cache_.find(key.ino, key.page);
+    if (st->overwrite) {
+      cache_.mark_clean(key);
+      ++count;
+    }
+  }
+  if (count > 0) journal_->add_journaled_data(count);
+  return count;
+}
+
+sim::Task Filesystem::wait_requests(std::vector<blk::RequestPtr> reqs) {
+  for (const blk::RequestPtr& r : reqs) co_await r->completion->wait();
+}
+
+sim::Task Filesystem::request_backpressure() {
+  // get_request(): a submitter stalls while the block-layer queue is
+  // congested; wakes when it drains to half (batched, so the per-op
+  // context-switch cost stays tiny).
+  co_await blk_.throttle();
+}
+
+sim::Task Filesystem::wait_file_writebacks(
+    Inode& f, const std::vector<blk::RequestPtr>& exclude) {
+  // Waits for pages of `f` already under writeback by someone else
+  // (pdflush), skipping the requests this syscall itself just submitted.
+  std::vector<blk::RequestPtr> wb = cache_.writebacks_of(f.ino);
+  for (const blk::RequestPtr& r : wb) {
+    if (std::find(exclude.begin(), exclude.end(), r) != exclude.end())
+      continue;
+    co_await r->completion->wait();
+  }
+}
+
+sim::Task Filesystem::commit_metadata(Inode& f, Journal::WaitMode mode) {
+  const std::uint64_t tid =
+      f.txn_id != 0 ? f.txn_id : journal_->running_txn_id();
+  f.meta_dirty = false;
+  f.size_dirty = false;
+  co_await journal_->commit(tid, mode);
+}
+
+// ---- synchronization ---------------------------------------------------------
+
+sim::Task Filesystem::fsync(Inode& f) {
+  ++stats_.fsyncs;
+  const sim::SimTime t0 = sim_.now();
+  switch (cfg_.journal) {
+    case JournalKind::kJbd2: {
+      // Fig 3 / Eq. 2: D -> wait -> trigger JBD -> wait txn durable.
+      std::vector<blk::RequestPtr> reqs =
+          submit_data(f, /*ordered=*/false, false);
+      co_await wait_file_writebacks(f, reqs);
+      co_await wait_requests(std::move(reqs));  // Wait-on-Transfer
+      if (f.meta_dirty || f.size_dirty) {
+        co_await commit_metadata(f, Journal::WaitMode::kDurable);
+      } else if (!cfg_.nobarrier) {
+        co_await blk_.flush_and_wait();  // fdatasync-degenerate path
+      }
+      break;
+    }
+    case JournalKind::kBarrierFs: {
+      // Eq. 3: dispatch D as order-preserving, commit without any waits on
+      // transfer; a single sleep until the flush thread reports durability.
+      std::vector<blk::RequestPtr> reqs =
+          submit_data(f, /*ordered=*/true, false);
+      co_await wait_file_writebacks(f, reqs);
+      if (f.meta_dirty || f.size_dirty) {
+        co_await commit_metadata(f, Journal::WaitMode::kDurable);
+      } else {
+        co_await wait_requests(std::move(reqs));
+        co_await blk_.flush_and_wait();
+      }
+      break;
+    }
+    case JournalKind::kOptFs: {
+      co_await osync(f, /*wait_transfer=*/true);
+      break;
+    }
+  }
+  fsync_latency_.add(sim_.now() - t0);
+}
+
+sim::Task Filesystem::fdatasync(Inode& f) {
+  ++stats_.fdatasyncs;
+  switch (cfg_.journal) {
+    case JournalKind::kJbd2: {
+      std::vector<blk::RequestPtr> reqs =
+          submit_data(f, /*ordered=*/false, false);
+      co_await wait_file_writebacks(f, reqs);
+      co_await wait_requests(std::move(reqs));
+      if (f.size_dirty) {
+        co_await commit_metadata(f, Journal::WaitMode::kDurable);
+      } else if (!cfg_.nobarrier) {
+        co_await blk_.flush_and_wait();
+      }
+      break;
+    }
+    case JournalKind::kBarrierFs: {
+      std::vector<blk::RequestPtr> reqs =
+          submit_data(f, /*ordered=*/true, false);
+      co_await wait_file_writebacks(f, reqs);
+      if (f.size_dirty) {
+        co_await commit_metadata(f, Journal::WaitMode::kDurable);
+      } else {
+        co_await wait_requests(std::move(reqs));
+        co_await blk_.flush_and_wait();
+      }
+      break;
+    }
+    case JournalKind::kOptFs: {
+      co_await osync(f, /*wait_transfer=*/true);
+      break;
+    }
+  }
+}
+
+sim::Task Filesystem::fbarrier(Inode& f) {
+  ++stats_.fbarriers;
+  switch (cfg_.journal) {
+    case JournalKind::kBarrierFs: {
+      const bool will_commit = f.meta_dirty || f.size_dirty;
+      std::vector<blk::RequestPtr> reqs =
+          submit_data(f, /*ordered=*/true, /*barrier_last=*/!will_commit);
+      co_await request_backpressure();
+      if (will_commit) {
+        // Wakes when the commit thread has dispatched JD and JC.
+        co_await commit_metadata(f, Journal::WaitMode::kDispatched);
+      } else if (reqs.empty()) {
+        // Nothing dirty at all: force an (empty) journal commit so the
+        // epoch is still delimited (§4.2).
+        co_await journal_->commit(journal_->running_txn_id(),
+                                  Journal::WaitMode::kNone);
+      }
+      break;
+    }
+    case JournalKind::kOptFs: {
+      co_await osync(f, /*wait_transfer=*/true);
+      break;
+    }
+    case JournalKind::kJbd2:
+      BIO_CHECK_MSG(false, "fbarrier() requires BarrierFS (or OptFS osync)");
+  }
+}
+
+sim::Task Filesystem::fdatabarrier(Inode& f) {
+  ++stats_.fdatabarriers;
+  BIO_CHECK_MSG(cfg_.journal == JournalKind::kBarrierFs,
+                "fdatabarrier() requires BarrierFS");
+  const bool commit_needed = f.size_dirty;
+  std::vector<blk::RequestPtr> reqs =
+      submit_data(f, /*ordered=*/true, /*barrier_last=*/!commit_needed);
+  co_await request_backpressure();
+  if (commit_needed) {
+    // The journal commit (ORDERED|BARRIER writes) delimits the epoch; the
+    // caller does not wait for anything.
+    f.meta_dirty = false;
+    f.size_dirty = false;
+    co_await journal_->commit(f.txn_id, Journal::WaitMode::kNone);
+  } else if (reqs.empty()) {
+    co_await journal_->commit(journal_->running_txn_id(),
+                              Journal::WaitMode::kNone);
+  }
+}
+
+sim::Task Filesystem::osync(Inode& f, bool wait_transfer) {
+  // OptFS: osync is filesystem-wide — it scans the *global* dirty list
+  // (selective data journaling keeps that list long on overwrite-heavy
+  // workloads), journals overwrites, writes allocating pages in place,
+  // commits with Wait-on-Transfer, and never flushes.
+  const std::size_t dirty_pages = cache_.dirty_count();
+  co_await sim_.delay(cfg_.osync_scan_cpu_per_page *
+                      static_cast<sim::SimTime>(dirty_pages + 1));
+  const std::uint32_t journaled = journal_overwrites(f);
+  std::vector<blk::RequestPtr> reqs = submit_data(f, false, false);
+  if (wait_transfer) co_await wait_requests(std::move(reqs));
+  if (journaled > 0) {
+    // The journaled pages live in the *running* transaction; commit that
+    // one (the inode's recorded txn may be long retired).
+    f.meta_dirty = false;
+    f.size_dirty = false;
+    co_await journal_->commit(journal_->running_txn_id(),
+                              Journal::WaitMode::kDurable);
+  } else if (f.meta_dirty || f.size_dirty) {
+    co_await commit_metadata(f, Journal::WaitMode::kDurable);
+  } else if (journal_->running_has_updates()) {
+    co_await journal_->commit(journal_->running_txn_id(),
+                              Journal::WaitMode::kDurable);
+  }
+}
+
+// ---- pdflush -----------------------------------------------------------------
+
+sim::Task Filesystem::pdflush_loop() {
+  for (;;) {
+    while (cache_.dirty_count() < cfg_.writeback_high_watermark)
+      co_await cache_.dirtied().wait();
+    while (cache_.dirty_count() > cfg_.writeback_low_watermark) {
+      std::vector<PageCache::PageKey> keys =
+          cache_.all_dirty(cfg_.writeback_batch * blk::kMaxMergedBlocks);
+      if (keys.empty()) break;
+
+      // Group into contiguous runs per file.
+      std::vector<blk::RequestPtr> reqs;
+      std::vector<std::pair<flash::Lba, flash::Version>> run;
+      std::vector<PageCache::PageKey> run_keys;
+      auto flush_run = [&]() {
+        if (run.empty()) return;
+        blk::RequestPtr r = blk::make_write_request(sim_, std::move(run));
+        for (const PageCache::PageKey& key : run_keys)
+          cache_.begin_writeback(key, r);
+        stats_.writeback_pages += run_keys.size();
+        blk_.submit(r);
+        reqs.push_back(std::move(r));
+        run.clear();
+        run_keys.clear();
+      };
+      std::uint32_t journaled = 0;
+      for (const PageCache::PageKey& key : keys) {
+        if (reqs.size() >= cfg_.writeback_batch) break;
+        const PageCache::PageState* st = cache_.find(key.ino, key.page);
+        if (cfg_.journal == JournalKind::kOptFs && st->overwrite) {
+          // OptFS: overwrite writeback goes through the journal (selective
+          // data journaling), not in place.
+          cache_.mark_clean(key);
+          ++journaled;
+          continue;
+        }
+        const bool extend = !run.empty() &&
+                            run_keys.back().ino == key.ino &&
+                            run.back().first + 1 == st->lba &&
+                            run.size() < blk::kMaxMergedBlocks;
+        if (!extend) flush_run();
+        run.emplace_back(st->lba, st->version);
+        run_keys.push_back(key);
+      }
+      flush_run();
+      if (journaled > 0) {
+        journal_->add_journaled_data(journaled);
+        co_await journal_->commit(journal_->running_txn_id(),
+                                  Journal::WaitMode::kDurable);
+      }
+
+      for (const blk::RequestPtr& r : reqs) co_await r->completion->wait();
+      writeback_progress_.notify_all();
+    }
+  }
+}
+
+}  // namespace bio::fs

@@ -1,0 +1,144 @@
+// The filesystem facade: the syscall surface the applications use.
+//
+// One Filesystem owns a page cache, an inode table, an extent allocator and
+// a journal (JBD2, BarrierFS or OptFS per FsConfig::journal). The syscalls
+// are simulated-thread Tasks; their blocking structure (who waits for which
+// DMA/flush) is exactly the paper's:
+//
+//            | data writes          | metadata commit        | data-only sync
+//   ---------+----------------------+------------------------+---------------
+//   EXT4     | submit + wait (WoT)  | commit + wait durable  | flush + wait
+//   EXT4-OD  | submit + wait (WoT)  | commit + wait transfer | (nothing)
+//   BarrierFS| submit ordered       | commit (1 wakeup)      | wait + flush
+//   fbarrier | submit ordered       | wait dispatch only     | barrier flag
+//   fdatabar.| submit ordered+barrier| epoch delimit, no wait| —
+//   OptFS    | submit + wait (WoT)  | commit + wait transfer | —
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "blk/block_layer.h"
+#include "fs/journal.h"
+#include "fs/page_cache.h"
+#include "fs/types.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+#include "sim/sync.h"
+
+namespace bio::fs {
+
+class Filesystem {
+ public:
+  struct Stats {
+    std::uint64_t writes = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t fsyncs = 0;
+    std::uint64_t fdatasyncs = 0;
+    std::uint64_t fbarriers = 0;
+    std::uint64_t fdatabarriers = 0;
+    std::uint64_t creates = 0;
+    std::uint64_t unlinks = 0;
+    std::uint64_t writeback_pages = 0;
+  };
+
+  Filesystem(sim::Simulator& sim, blk::BlockLayer& blk, FsConfig cfg);
+
+  /// Spawns journal threads and pdflush. Call once after blk.start().
+  void start();
+
+  // ---- namespace ---------------------------------------------------------
+
+  /// Creates a file with a contiguous extent (default size from config).
+  /// Dirties the directory and the new inode's metadata.
+  sim::Task create(std::string name, Inode*& out,
+                   std::uint32_t extent_blocks = 0);
+  Inode* lookup(const std::string& name);
+  /// Removes a file; recycles its extent and inode. Dirties the directory.
+  sim::Task unlink(const std::string& name);
+
+  // ---- data path ---------------------------------------------------------
+
+  /// Buffered write of `npages` pages at `page` offset. Allocating writes
+  /// (beyond current size) dirty the inode's size; every write may dirty
+  /// the timestamp once per timer tick.
+  sim::Task write(Inode& f, std::uint32_t page, std::uint32_t npages);
+
+  sim::Task read(Inode& f, std::uint32_t page, std::uint32_t npages);
+
+  // ---- synchronization (the paper's API) ----------------------------------
+
+  sim::Task fsync(Inode& f);
+  sim::Task fdatasync(Inode& f);
+  /// Ordering-guarantee-only fsync (BarrierFS; osync on OptFS).
+  sim::Task fbarrier(Inode& f);
+  /// Ordering-guarantee-only fdatasync: returns right after dispatch.
+  sim::Task fdatabarrier(Inode& f);
+
+  /// OptFS osync(): ordering commit with Wait-on-Transfer, no flush.
+  sim::Task osync(Inode& f, bool wait_transfer);
+
+  Journal& journal() noexcept { return *journal_; }
+  const Stats& stats() const noexcept { return stats_; }
+  const FsConfig& config() const noexcept { return cfg_; }
+  const Layout& layout() const noexcept { return layout_; }
+  PageCache& page_cache() noexcept { return cache_; }
+
+  /// Latency recorders keyed by syscall, filled automatically.
+  const sim::LatencyRecorder& fsync_latency() const noexcept {
+    return fsync_latency_;
+  }
+  sim::LatencyRecorder& fsync_latency() noexcept { return fsync_latency_; }
+
+ private:
+  bool barrier_capable() const noexcept {
+    return cfg_.journal == JournalKind::kBarrierFs;
+  }
+
+  /// Submits write requests for the file's dirty pages (grouped into
+  /// contiguous runs). `ordered`/`barrier_last` control the request flags.
+  std::vector<blk::RequestPtr> submit_data(Inode& f, bool ordered,
+                                           bool barrier_last);
+
+  /// OptFS: strips overwrite pages out of the dirty set into the journal
+  /// (selective data journaling); returns the count journaled.
+  std::uint32_t journal_overwrites(Inode& f);
+
+  sim::Task wait_requests(std::vector<blk::RequestPtr> reqs);
+  sim::Task request_backpressure();
+  sim::Task wait_file_writebacks(Inode& f,
+                                 const std::vector<blk::RequestPtr>& exclude);
+  sim::Task pdflush_loop();
+  sim::Task throttle_writer();
+  flash::Lba dir_block_of(const std::string& name) const;
+  sim::Task commit_metadata(Inode& f, Journal::WaitMode mode);
+
+  sim::Simulator& sim_;
+  blk::BlockLayer& blk_;
+  FsConfig cfg_;
+  Layout layout_;
+  PageCache cache_;
+  std::unique_ptr<Journal> journal_;
+
+  std::unordered_map<std::string, std::unique_ptr<Inode>> files_;
+  /// Unlinked inodes stay alive (open file descriptors may still reference
+  /// them, as with the kernel's inode refcount); their ino/extent are
+  /// recycled immediately.
+  std::vector<std::unique_ptr<Inode>> unlinked_;
+  std::uint32_t next_ino_ = 1;  // ino 0 is the root directory
+  std::deque<std::uint32_t> free_inos_;
+  flash::Lba data_next_ = 0;
+  std::deque<std::pair<flash::Lba, std::uint32_t>> free_extents_;
+  Inode root_;
+
+  sim::Notify writeback_progress_;
+  Stats stats_;
+  sim::LatencyRecorder fsync_latency_;
+  bool started_ = false;
+};
+
+}  // namespace bio::fs

@@ -1,0 +1,82 @@
+#include "fs/jbd2.h"
+
+namespace bio::fs {
+
+void Jbd2Journal::start() {
+  BIO_CHECK(!started_);
+  started_ = true;
+  sim_.spawn("jbd2", jbd_loop());
+}
+
+sim::Task Jbd2Journal::dirty_metadata(flash::Lba block,
+                                      std::uint64_t& txn_out) {
+  // EXT4 page-conflict rule: a buffer held by the committing transaction
+  // may not join the running one; the application blocks until the commit
+  // retires (§4.3).
+  while (committing_ != nullptr && committing_->buffers.contains(block)) {
+    ++stats_.conflicts;
+    co_await committing_->durable->wait();
+  }
+  running_->buffers.insert(block);
+  txn_out = running_->id;
+}
+
+sim::Task Jbd2Journal::commit(std::uint64_t tid, WaitMode mode) {
+  Txn& txn = get_txn(tid);
+  if (txn.state == Txn::State::kRunning) {
+    if (mode == WaitMode::kDurable) txn.needs_flush = true;
+    commit_pending_ = true;
+    commit_wake_.notify_all();
+  }
+  if (mode == WaitMode::kDurable)
+    co_await txn.durable->wait();
+  else if (mode == WaitMode::kDispatched)
+    co_await txn.dispatched->wait();
+}
+
+sim::Task Jbd2Journal::jbd_loop() {
+  for (;;) {
+    while (!commit_pending_) co_await commit_wake_.wait();
+    commit_pending_ = false;
+    Txn* txn = close_running(/*allow_empty=*/true);
+    committing_ = txn;
+
+    // Ordered mode: every data block attached to this transaction must be
+    // transferred before the journal describes it.
+    for (const blk::RequestPtr& r : txn->data_reqs)
+      co_await r->completion->wait();
+
+    // JD: descriptor + one log block per buffer (+ journaled data).
+    const std::size_t jd_size =
+        1 + txn->buffers.size() + txn->journaled_data_blocks;
+    auto jd = reserve_journal_blocks(jd_size);
+    txn->jd_blocks = jd;
+    if (cfg_.journal_checksum)
+      co_await sim_.delay(cfg_.checksum_cpu_per_block *
+                          static_cast<sim::SimTime>(jd_size));
+    co_await blk_.write_and_wait(std::move(jd));  // Wait-on-Transfer
+
+    // JC. Default: FLUSH|FUA. Checksum: FUA then one flush. nobarrier:
+    // plain write, nothing durable.
+    auto jc = reserve_journal_blocks(1);
+    txn->jc_block = jc[0];
+    if (cfg_.nobarrier) {
+      co_await blk_.write_and_wait(std::move(jc));
+      txn->flushed = false;
+    } else if (cfg_.journal_checksum) {
+      co_await blk_.write_and_wait(std::move(jc), false, false,
+                                   /*flush=*/false, /*fua=*/true);
+      co_await blk_.flush_and_wait();
+      txn->flushed = true;
+    } else {
+      co_await blk_.write_and_wait(std::move(jc), false, false,
+                                   /*flush=*/true, /*fua=*/true);
+      txn->flushed = true;
+    }
+    txn->dispatched->trigger();
+    committing_ = nullptr;
+    retire(*txn);
+  }
+}
+
+}  // namespace bio::fs

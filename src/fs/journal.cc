@@ -1,0 +1,95 @@
+#include "fs/journal.h"
+
+namespace bio::fs {
+
+const char* to_string(JournalKind k) noexcept {
+  switch (k) {
+    case JournalKind::kJbd2: return "ext4-jbd2";
+    case JournalKind::kBarrierFs: return "barrierfs";
+    case JournalKind::kOptFs: return "optfs";
+  }
+  return "?";
+}
+
+Journal::Journal(sim::Simulator& sim, blk::BlockLayer& blk,
+                 const FsConfig& cfg, const Layout& layout)
+    : sim_(sim), blk_(blk), cfg_(cfg), layout_(layout) {
+  running_ = std::make_unique<Txn>(sim_, next_txn_id_++);
+}
+
+void Journal::attach_data(blk::RequestPtr r) {
+  running_->data_reqs.push_back(std::move(r));
+}
+
+void Journal::add_journaled_data(std::uint32_t pages) {
+  running_->journaled_data_blocks += pages;
+}
+
+bool Journal::is_retired(std::uint64_t tid) const {
+  const Txn* t = find_txn(tid);
+  return t != nullptr && t->state == Txn::State::kRetired;
+}
+
+const Txn* Journal::find_txn(std::uint64_t tid) const {
+  if (running_ && running_->id == tid) return running_.get();
+  auto it = txns_.find(tid);
+  return it == txns_.end() ? nullptr : it->second.get();
+}
+
+Txn& Journal::get_txn(std::uint64_t tid) {
+  if (running_ && running_->id == tid) return *running_;
+  auto it = txns_.find(tid);
+  BIO_CHECK_MSG(it != txns_.end(),
+                "unknown transaction id " + std::to_string(tid) +
+                    " (running=" + std::to_string(running_->id) + ")");
+  return *it->second;
+}
+
+Txn* Journal::close_running(bool allow_empty) {
+  if (running_->empty() && !allow_empty) return nullptr;
+  if (running_->empty()) ++stats_.empty_commits;
+  Txn* txn = running_.get();
+  txn->state = Txn::State::kCommitting;
+  txns_.emplace(txn->id, std::move(running_));
+  running_ = std::make_unique<Txn>(sim_, next_txn_id_++);
+  ++stats_.commits;
+  return txn;
+}
+
+std::vector<std::pair<flash::Lba, flash::Version>>
+Journal::reserve_journal_blocks(std::size_t n) {
+  BIO_CHECK_MSG(n <= cfg_.journal_blocks,
+                "transaction larger than the journal");
+  if (journal_head_ + n > cfg_.journal_blocks) {
+    journal_head_ = 0;  // JBD2-style wrap: records never straddle the end
+    ++stats_.journal_wraps;
+  }
+  std::vector<std::pair<flash::Lba, flash::Version>> blocks;
+  blocks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    blocks.emplace_back(layout_.journal_base() + journal_head_ + i,
+                        blk_.next_version());
+  journal_head_ += n;
+  stats_.journal_blocks_written += n;
+  return blocks;
+}
+
+void Journal::checkpoint(Txn& txn) {
+  // In-place metadata writes, orderless and asynchronous: checkpointing is
+  // not on anyone's critical path once the journal copy is safe.
+  for (flash::Lba block : txn.buffers) {
+    std::vector<std::pair<flash::Lba, flash::Version>> payload;
+    payload.emplace_back(block, blk_.next_version());
+    blk_.submit(blk::make_write_request(sim_, std::move(payload)));
+    ++stats_.checkpoint_writes;
+  }
+}
+
+void Journal::retire(Txn& txn) {
+  txn.state = Txn::State::kRetired;
+  commit_order_.push_back(&txn);
+  checkpoint(txn);
+  txn.durable->trigger();
+}
+
+}  // namespace bio::fs

@@ -1,0 +1,155 @@
+// Journaling core shared by the three journal implementations (JBD2,
+// BarrierFS dual-mode, OptFS).
+//
+// A transaction collects dirty metadata blocks (and, in ordered mode, the
+// data requests that must reach the device before the journal description
+// of them). Committing writes two records into the circular journal area:
+//   JD — one descriptor block + one log block per buffer (one request),
+//   JC — the commit record (one block).
+// How JD/JC are written — with which waits, flags and flushes — is exactly
+// what distinguishes EXT4 from BarrierFS (paper Eq. 2 vs Eq. 3), so that
+// logic lives in the subclasses.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "blk/block_layer.h"
+#include "fs/types.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+#include "sim/sync.h"
+
+namespace bio::fs {
+
+struct Txn {
+  enum class State : std::uint8_t { kRunning, kCommitting, kRetired };
+
+  std::uint64_t id = 0;
+  State state = State::kRunning;
+  /// Dirty metadata blocks (inode table LBAs).
+  std::set<flash::Lba> buffers;
+  /// Data-journaled pages (OptFS selective data journaling): extra log
+  /// blocks in JD.
+  std::uint32_t journaled_data_blocks = 0;
+  /// Ordered-mode data requests that must transfer before JD.
+  std::vector<blk::RequestPtr> data_reqs;
+
+  /// Journal records as written (for crash analysis).
+  std::vector<std::pair<flash::Lba, flash::Version>> jd_blocks;
+  std::pair<flash::Lba, flash::Version> jc_block{0, 0};
+  /// The in-flight JC request (BarrierFS flush thread waits on it).
+  blk::RequestPtr jc_req;
+
+  /// JD and JC have been dispatched (fbarrier()'s wake-up point).
+  std::unique_ptr<sim::Event> dispatched;
+  /// Transaction retired; for durability-mode commits this means durable.
+  std::unique_ptr<sim::Event> durable;
+  /// Somebody requires a flush before retirement (fsync waiter).
+  bool needs_flush = false;
+  /// A flush was actually issued before retirement.
+  bool flushed = false;
+
+  explicit Txn(sim::Simulator& sim, std::uint64_t txn_id)
+      : id(txn_id),
+        dispatched(std::make_unique<sim::Event>(sim)),
+        durable(std::make_unique<sim::Event>(sim)) {}
+
+  bool empty() const noexcept {
+    return buffers.empty() && journaled_data_blocks == 0;
+  }
+};
+
+class Journal {
+ public:
+  struct Stats {
+    std::uint64_t commits = 0;
+    std::uint64_t empty_commits = 0;
+    std::uint64_t conflicts = 0;
+    std::uint64_t journal_blocks_written = 0;
+    std::uint64_t checkpoint_writes = 0;
+    std::uint64_t journal_wraps = 0;
+  };
+
+  enum class WaitMode : std::uint8_t {
+    kNone,        // fire-and-forget (epoch delimiting)
+    kDispatched,  // return once JD/JC are dispatched (fbarrier)
+    kDurable,     // return once the transaction is durable (fsync)
+  };
+
+  Journal(sim::Simulator& sim, blk::BlockLayer& blk, const FsConfig& cfg,
+          const Layout& layout);
+  virtual ~Journal() = default;
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Spawns the journaling thread(s).
+  virtual void start() = 0;
+
+  /// Records `block` as dirtied in the running transaction. May block the
+  /// caller (EXT4's page-conflict rule). Returns the owning txn id.
+  virtual sim::Task dirty_metadata(flash::Lba block,
+                                   std::uint64_t& txn_out) = 0;
+
+  /// Requests a commit covering txn `tid` and waits per `mode`.
+  virtual sim::Task commit(std::uint64_t tid, WaitMode mode) = 0;
+
+  /// Attaches an in-flight data request to the running transaction
+  /// (ordered-mode data writeout dependency).
+  void attach_data(blk::RequestPtr r);
+
+  /// Adds `pages` selectively-journaled data blocks to the running txn.
+  void add_journaled_data(std::uint32_t pages);
+
+  bool running_has_updates() const noexcept { return !running_->empty(); }
+  std::uint64_t running_txn_id() const noexcept { return running_->id; }
+
+  bool is_retired(std::uint64_t tid) const;
+
+  const Stats& stats() const noexcept { return stats_; }
+
+  /// Retired transactions in commit order with their journal records —
+  /// input for the crash-consistency checkers.
+  const std::vector<const Txn*>& commit_order() const noexcept {
+    return commit_order_;
+  }
+
+  const Txn* find_txn(std::uint64_t tid) const;
+
+ protected:
+  /// Closes the running transaction and opens a new one. Returns nullptr if
+  /// the running txn is empty and `allow_empty` is false.
+  Txn* close_running(bool allow_empty);
+
+  /// Reserves `n` contiguous journal blocks (wrapping like JBD2 does).
+  std::vector<std::pair<flash::Lba, flash::Version>> reserve_journal_blocks(
+      std::size_t n);
+
+  /// Issues asynchronous in-place metadata writes for a retired txn.
+  void checkpoint(Txn& txn);
+
+  /// Marks the txn retired, fires its events and records commit order.
+  void retire(Txn& txn);
+
+  Txn& get_txn(std::uint64_t tid);
+
+  sim::Simulator& sim_;
+  blk::BlockLayer& blk_;
+  FsConfig cfg_;
+  Layout layout_;
+
+  std::unique_ptr<Txn> running_;
+  std::map<std::uint64_t, std::unique_ptr<Txn>> txns_;  // committed + retired
+  std::vector<const Txn*> commit_order_;
+  std::uint64_t next_txn_id_ = 1;
+  flash::Lba journal_head_ = 0;
+  Stats stats_;
+  bool started_ = false;
+};
+
+}  // namespace bio::fs

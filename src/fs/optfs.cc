@@ -1,0 +1,68 @@
+#include "fs/optfs.h"
+
+namespace bio::fs {
+
+void OptFsJournal::start() {
+  BIO_CHECK(!started_);
+  started_ = true;
+  sim_.spawn("optfs", commit_loop());
+}
+
+sim::Task OptFsJournal::dirty_metadata(flash::Lba block,
+                                       std::uint64_t& txn_out) {
+  // OptFS keeps JBD's single committing transaction and its blocking
+  // conflict rule.
+  while (committing_ != nullptr && committing_->buffers.contains(block)) {
+    ++stats_.conflicts;
+    co_await committing_->durable->wait();
+  }
+  running_->buffers.insert(block);
+  txn_out = running_->id;
+}
+
+sim::Task OptFsJournal::commit(std::uint64_t tid, WaitMode mode) {
+  Txn& txn = get_txn(tid);
+  if (txn.state == Txn::State::kRunning) {
+    commit_pending_ = true;
+    commit_wake_.notify_all();
+  }
+  // osync() semantics: both wait modes return at transaction *transfer*
+  // (durability is always deferred in OptFS).
+  if (mode != WaitMode::kNone) co_await txn.durable->wait();
+}
+
+sim::Task OptFsJournal::commit_loop() {
+  for (;;) {
+    while (!commit_pending_) co_await commit_wake_.wait();
+    commit_pending_ = false;
+    Txn* txn = close_running(/*allow_empty=*/true);
+    committing_ = txn;
+
+    for (const blk::RequestPtr& r : txn->data_reqs)
+      co_await r->completion->wait();
+
+    // Checksummed JD + JC dispatched together, one combined wait: the
+    // flush between them is gone, the transfer wait is not.
+    const std::size_t jd_size =
+        1 + txn->buffers.size() + txn->journaled_data_blocks;
+    auto jd = reserve_journal_blocks(jd_size);
+    txn->jd_blocks = jd;
+    co_await sim_.delay(cfg_.checksum_cpu_per_block *
+                        static_cast<sim::SimTime>(jd_size + 1));
+    blk::RequestPtr jd_req = blk::make_write_request(sim_, std::move(jd));
+    blk_.submit(jd_req);
+    auto jc = reserve_journal_blocks(1);
+    txn->jc_block = jc[0];
+    txn->jc_req = blk::make_write_request(sim_, std::move(jc));
+    blk_.submit(txn->jc_req);
+    co_await jd_req->completion->wait();
+    co_await txn->jc_req->completion->wait();
+
+    txn->dispatched->trigger();
+    txn->flushed = false;  // never durable at osync return
+    committing_ = nullptr;
+    retire(*txn);
+  }
+}
+
+}  // namespace bio::fs

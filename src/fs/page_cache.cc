@@ -1,0 +1,96 @@
+#include "fs/page_cache.h"
+
+namespace bio::fs {
+
+void PageCache::write(std::uint32_t ino, std::uint32_t page, flash::Lba lba,
+                      flash::Version version, bool overwrite) {
+  PageKey key{ino, page};
+  PageState& st = pages_[key];
+  st.lba = lba;
+  st.version = version;
+  st.overwrite = overwrite;
+  if (!st.dirty) {
+    st.dirty = true;
+    ++dirty_count_;
+  }
+  // A newer version supersedes any in-flight writeback: the page is dirty
+  // again and the old request no longer "carries" it.
+  st.writeback = nullptr;
+  dirtied_.notify_all();
+}
+
+std::vector<PageCache::PageKey> PageCache::dirty_pages_of(
+    std::uint32_t ino) const {
+  std::vector<PageKey> out;
+  for (auto it = pages_.lower_bound(PageKey{ino, 0});
+       it != pages_.end() && it->first.ino == ino; ++it)
+    if (it->second.dirty) out.push_back(it->first);
+  return out;
+}
+
+std::vector<blk::RequestPtr> PageCache::writebacks_of(
+    std::uint32_t ino) const {
+  std::vector<blk::RequestPtr> out;
+  for (auto it = pages_.lower_bound(PageKey{ino, 0});
+       it != pages_.end() && it->first.ino == ino; ++it)
+    if (!it->second.dirty && it->second.writeback != nullptr)
+      out.push_back(it->second.writeback);
+  return out;
+}
+
+void PageCache::begin_writeback(const PageKey& key, blk::RequestPtr req) {
+  auto it = pages_.find(key);
+  BIO_CHECK_MSG(it != pages_.end(), "writeback of unknown page");
+  if (it->second.dirty) {
+    it->second.dirty = false;
+    BIO_CHECK(dirty_count_ > 0);
+    --dirty_count_;
+  }
+  it->second.writeback = std::move(req);
+}
+
+void PageCache::end_writeback(const PageKey& key,
+                              const blk::RequestPtr& req) {
+  auto it = pages_.find(key);
+  if (it == pages_.end()) return;
+  if (it->second.writeback == req) it->second.writeback = nullptr;
+}
+
+void PageCache::mark_clean(const PageKey& key) {
+  auto it = pages_.find(key);
+  BIO_CHECK_MSG(it != pages_.end(), "mark_clean of unknown page");
+  if (it->second.dirty) {
+    it->second.dirty = false;
+    BIO_CHECK(dirty_count_ > 0);
+    --dirty_count_;
+  }
+}
+
+void PageCache::drop_file(std::uint32_t ino) {
+  auto it = pages_.lower_bound(PageKey{ino, 0});
+  while (it != pages_.end() && it->first.ino == ino) {
+    if (it->second.dirty) {
+      BIO_CHECK(dirty_count_ > 0);
+      --dirty_count_;
+    }
+    it = pages_.erase(it);
+  }
+}
+
+const PageCache::PageState* PageCache::find(std::uint32_t ino,
+                                            std::uint32_t page) const {
+  auto it = pages_.find(PageKey{ino, page});
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+std::vector<PageCache::PageKey> PageCache::all_dirty(
+    std::size_t limit) const {
+  std::vector<PageKey> out;
+  for (const auto& [key, st] : pages_) {
+    if (out.size() >= limit) break;
+    if (st.dirty) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace bio::fs

@@ -1,0 +1,84 @@
+// Host page cache with per-page writeback state.
+//
+// Pages move dirty -> writeback (a request is in flight) -> clean. fsync
+// collects its file's dirty pages into contiguous write requests and also
+// waits for pages already under writeback (submitted by pdflush). The
+// background flusher keeps the global dirty count between the configured
+// watermarks, which is what the buffered-write scenarios (Fig 1 "buffered",
+// Fig 9 "P") exercise.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "blk/request.h"
+#include "flash/types.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+
+namespace bio::fs {
+
+class PageCache {
+ public:
+  struct PageKey {
+    std::uint32_t ino;
+    std::uint32_t page;
+    auto operator<=>(const PageKey&) const = default;
+  };
+
+  struct PageState {
+    flash::Lba lba = 0;
+    flash::Version version = 0;  // version of the newest buffered write
+    bool dirty = false;
+    /// True if the newest buffered write overwrote already-allocated data
+    /// (OptFS journals these selectively).
+    bool overwrite = false;
+    /// In-flight write carrying this page's newest version (if !dirty).
+    blk::RequestPtr writeback;
+  };
+
+  explicit PageCache(sim::Simulator& sim) : sim_(&sim), dirtied_(sim) {}
+
+  /// Buffers a write. Marks the page dirty with the new version.
+  void write(std::uint32_t ino, std::uint32_t page, flash::Lba lba,
+             flash::Version version, bool overwrite);
+
+  /// Dirty pages of one file, ascending page order.
+  std::vector<PageKey> dirty_pages_of(std::uint32_t ino) const;
+
+  /// Requests currently writing back pages of `ino` (to wait on).
+  std::vector<blk::RequestPtr> writebacks_of(std::uint32_t ino) const;
+
+  /// Marks `key` as under writeback by `req` (clears dirty).
+  void begin_writeback(const PageKey& key, blk::RequestPtr req);
+
+  /// Completes writeback for `key` if `req` is still its current carrier.
+  void end_writeback(const PageKey& key, const blk::RequestPtr& req);
+
+  /// Clears the dirty bit without a request (OptFS data journaling: the
+  /// page's content travels inside the journal descriptor).
+  void mark_clean(const PageKey& key);
+
+  /// Drops every page of a deleted file.
+  void drop_file(std::uint32_t ino);
+
+  const PageState* find(std::uint32_t ino, std::uint32_t page) const;
+
+  std::size_t dirty_count() const noexcept { return dirty_count_; }
+  std::size_t total_pages() const noexcept { return pages_.size(); }
+
+  /// All dirty pages (global), in (ino, page) order — pdflush's view.
+  std::vector<PageKey> all_dirty(std::size_t limit) const;
+
+  /// Notified whenever a write dirties a page (pdflush wake-up).
+  sim::Notify& dirtied() noexcept { return dirtied_; }
+
+ private:
+  sim::Simulator* sim_;
+  std::map<PageKey, PageState> pages_;
+  std::size_t dirty_count_ = 0;
+  sim::Notify dirtied_;
+};
+
+}  // namespace bio::fs

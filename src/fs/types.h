@@ -1,0 +1,115 @@
+// Filesystem configuration and on-"disk" layout.
+//
+// The simulated filesystem keeps the paper-relevant structure of EXT4 and
+// strips the rest: a file is an inode plus one contiguous data extent, an
+// inode owns one metadata block, and the journal is a circular LBA region.
+// What is modelled faithfully is everything the paper measures: the dirty
+// state machine (page cache, metadata buffers), the journal commit
+// protocols (Eq. 2 vs Eq. 3), timestamp granularity, and ordered-mode data
+// writeout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "flash/types.h"
+#include "sim/time.h"
+
+namespace bio::fs {
+
+enum class JournalKind : std::uint8_t {
+  /// EXT4 / JBD2 Ordered-mode journaling (the paper's baseline).
+  kJbd2,
+  /// BarrierFS Dual-Mode journaling (the paper's contribution, §4).
+  kBarrierFs,
+  /// OptFS-style optimistic crash consistency (osync; §7 comparison).
+  kOptFs,
+};
+
+const char* to_string(JournalKind k) noexcept;
+
+struct FsConfig {
+  JournalKind journal = JournalKind::kJbd2;
+
+  /// EXT4 "nobarrier" mount option: fsync/fdatasync never issue flushes and
+  /// the journal commit record is written without FLUSH|FUA.
+  bool nobarrier = false;
+
+  /// JBD2 transactional checksums: the commit record does not need the
+  /// pre-flush (the checksum validates the transaction at recovery), at a
+  /// small CPU cost per journal block. The paper's smartphone EXT4 uses
+  /// this (§6.3).
+  bool journal_checksum = false;
+
+  /// Inode c/mtime granularity (one kernel timer tick). Writes within one
+  /// tick leave timestamps unchanged, turning fsync() into fdatasync() —
+  /// the effect behind the Fig 11 context-switch counts.
+  sim::SimTime timer_tick = 4'000'000;  // 4 ms (HZ=250)
+
+  /// CPU cost of one buffered write() (page-cache copy + bookkeeping).
+  sim::SimTime write_syscall_cpu = 2'000;  // 2 us
+  /// CPU cost of computing a journal checksum per 4 KiB block.
+  sim::SimTime checksum_cpu_per_block = 500;  // 0.5 us
+
+  /// Journal region size in 4 KiB blocks.
+  std::uint32_t journal_blocks = 4096;
+  /// Maximum number of files (one metadata block each).
+  std::uint32_t max_inodes = 4096;
+  /// Directory shards: namespace operations dirty hash(name) % dir_shards,
+  /// modelling a spread fileset instead of one hot root directory.
+  std::uint32_t dir_shards = 16;
+  /// Default extent size per file, in 4 KiB blocks.
+  std::uint32_t default_extent_blocks = 4096;
+
+  /// pdflush: background writeback starts above this many dirty pages...
+  std::size_t writeback_high_watermark = 256;
+  /// ...and stops below this.
+  std::size_t writeback_low_watermark = 64;
+  /// Background writeback batch size (requests in flight per round).
+  std::size_t writeback_batch = 32;
+
+  /// OptFS: CPU cost per page scanned during osync (selective data
+  /// journaling makes this list long on overwrite-heavy workloads).
+  sim::SimTime osync_scan_cpu_per_page = 1'000;  // 1 us
+};
+
+/// Disk layout derived from the config: [journal | inode table | data].
+struct Layout {
+  std::uint32_t journal_blocks;
+  std::uint32_t max_inodes;
+
+  flash::Lba journal_base() const noexcept { return 0; }
+  flash::Lba inode_base() const noexcept { return journal_blocks; }
+  flash::Lba data_base() const noexcept {
+    return static_cast<flash::Lba>(journal_blocks) + max_inodes;
+  }
+  flash::Lba inode_block(std::uint32_t ino) const noexcept {
+    return inode_base() + ino;
+  }
+};
+
+/// In-memory inode.
+struct Inode {
+  std::uint32_t ino = 0;
+  std::string name;
+  flash::Lba extent_base = 0;       // first data LBA
+  std::uint32_t extent_blocks = 0;  // reserved extent length
+  std::uint32_t size_blocks = 0;    // allocated (written) length
+
+  /// Timestamp quantized to the timer tick.
+  sim::SimTime mtime_tick = 0;
+  /// True when the inode block differs from its on-disk state.
+  bool meta_dirty = false;
+  /// True when i_size changed (fdatasync must journal this; pure timestamp
+  /// changes it may skip).
+  bool size_dirty = false;
+  /// Id of the journal transaction holding this inode's metadata block
+  /// (0 = none).
+  std::uint64_t txn_id = 0;
+
+  flash::Lba lba_of_page(std::uint32_t page) const noexcept {
+    return extent_base + page;
+  }
+};
+
+}  // namespace bio::fs

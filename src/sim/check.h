@@ -1,0 +1,43 @@
+// Lightweight invariant checking for the simulator and the IO stack models.
+//
+// The Core Guidelines (I.6/E.12) favour stating preconditions explicitly.
+// BIO_CHECK is active in all build types: a violated invariant in a
+// simulation silently produces wrong "measurements", which is worse than a
+// crash, so the checks stay on in release builds too.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bio {
+
+/// Thrown when a simulation invariant is violated.
+class CheckFailure : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "BIO_CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace detail
+
+}  // namespace bio
+
+#define BIO_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::bio::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (false)
+
+#define BIO_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::bio::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,133 @@
+#include "sim/simulator.h"
+
+#include <string_view>
+
+namespace bio::sim {
+
+std::coroutine_handle<> Task::FinalAwaiter::await_suspend(
+    Task::Handle h) noexcept {
+  auto& p = h.promise();
+  if (p.continuation) return p.continuation;
+  // Top-level (detached) task: self-destroy and notify the simulator.
+  Simulator* sim = p.sim;
+  ThreadCtx* thr = p.thread;
+  std::exception_ptr error = p.error;
+  h.destroy();
+  if (sim != nullptr) sim->on_top_level_done(thr, error);
+  return std::noop_coroutine();
+}
+
+std::coroutine_handle<> Task::Awaiter::await_suspend(
+    std::coroutine_handle<> parent) {
+  BIO_CHECK_MSG(!child.promise().detached,
+                "cannot co_await a task that was spawned");
+  child.promise().continuation = parent;
+  return child;  // symmetric transfer: start the child immediately
+}
+
+Simulator::~Simulator() {
+  // Drop pending events first so nothing resumes into destroyed frames,
+  // then destroy the frames of still-suspended top-level tasks (this
+  // cascades into any nested child tasks they own).
+  while (!queue_.empty()) queue_.pop();
+  for (auto& [thr, handle] : live_) handle.destroy();
+}
+
+ThreadCtx& Simulator::spawn(std::string name, Task task) {
+  BIO_CHECK_MSG(task.valid(), "spawn of an empty task");
+  auto ctx = std::make_unique<ThreadCtx>();
+  ctx->name = std::move(name);
+  ThreadCtx& ref = *ctx;
+  threads_.push_back(std::move(ctx));
+
+  Task::Handle h = task.release();
+  h.promise().sim = this;
+  h.promise().detached = true;
+  h.promise().thread = &ref;
+  live_.emplace(&ref, h);
+  schedule_resume(now_, h, &ref, false);
+  return ref;
+}
+
+void Simulator::schedule_resume(SimTime at, std::coroutine_handle<> h,
+                                ThreadCtx* thr, bool is_wakeup) {
+  BIO_CHECK_MSG(at >= now_, "scheduling into the past");
+  queue_.push(Scheduled{at, next_seq_++, h, thr, is_wakeup, nullptr});
+}
+
+void Simulator::schedule_call(SimTime at, std::function<void()> fn) {
+  BIO_CHECK_MSG(at >= now_, "scheduling into the past");
+  queue_.push(Scheduled{at, next_seq_++, nullptr, nullptr, false,
+                        std::move(fn)});
+}
+
+void Simulator::dispatch(Scheduled&& ev) {
+  now_ = ev.at;
+  if (ev.callback) {
+    current_ = nullptr;
+    ev.callback();
+    return;
+  }
+  if (ev.is_wakeup && ev.thread != nullptr) ++ev.thread->context_switches;
+  current_ = ev.thread;
+  ev.handle.resume();
+  current_ = nullptr;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    Scheduled ev = queue_.top();
+    queue_.pop();
+    dispatch(std::move(ev));
+  }
+  if (failure_) {
+    std::exception_ptr e = std::exchange(failure_, nullptr);
+    std::rethrow_exception(e);
+  }
+}
+
+void Simulator::run_until(SimTime t) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.top().at <= t) {
+    Scheduled ev = queue_.top();
+    queue_.pop();
+    dispatch(std::move(ev));
+  }
+  if (now_ < t) now_ = t;
+  if (failure_) {
+    std::exception_ptr e = std::exchange(failure_, nullptr);
+    std::rethrow_exception(e);
+  }
+}
+
+void Simulator::on_top_level_done(ThreadCtx* thr, std::exception_ptr error) {
+  if (error) {
+    if (!failure_) failure_ = error;
+    stopped_ = true;
+  }
+  if (thr == nullptr) return;
+  live_.erase(thr);
+  thr->finished = true;
+  for (const auto& w : thr->join_waiters)
+    schedule_wakeup(w.handle, w.waiter_thread);
+  thr->join_waiters.clear();
+}
+
+std::uint64_t Simulator::total_context_switches(
+    std::string_view prefix) const {
+  std::uint64_t total = 0;
+  for (const auto& t : threads_)
+    if (std::string_view(t->name).starts_with(prefix))
+      total += t->context_switches;
+  return total;
+}
+
+std::uint64_t Simulator::thread_count(std::string_view prefix) const {
+  std::uint64_t n = 0;
+  for (const auto& t : threads_)
+    if (std::string_view(t->name).starts_with(prefix)) ++n;
+  return n;
+}
+
+}  // namespace bio::sim

@@ -1,0 +1,180 @@
+// Single-threaded discrete-event simulator driving sim::Task coroutines.
+//
+// Simulated threads are spawned with Simulator::spawn(); they advance
+// simulated time by awaiting Simulator::delay() (modelling computation or
+// device busy time) and block on synchronization primitives (sim/sync.h)
+// which model sleeping. A thread that blocks and is later woken incurs a
+// *context switch*: the wake is delayed by Params::wake_latency and the
+// thread's ThreadCtx::context_switches counter is incremented. This mirrors
+// how the paper counts "application level context switches" (Fig 11).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/check.h"
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace bio::sim {
+
+/// Bookkeeping for one simulated thread (one top-level Task).
+struct ThreadCtx {
+  std::string name;
+  /// Number of times this thread blocked on a primitive and was woken.
+  std::uint64_t context_switches = 0;
+  /// Number of times this thread entered a blocked state.
+  std::uint64_t blocks = 0;
+  bool finished = false;
+  /// Overrides Params::wake_latency for this thread. Hardware actors
+  /// (storage controller state machines) set this to 0: they are not
+  /// scheduled by the host OS.
+  std::optional<SimTime> wake_latency;
+
+  struct JoinWaiter {
+    std::coroutine_handle<> handle;
+    ThreadCtx* waiter_thread;
+  };
+  std::vector<JoinWaiter> join_waiters;
+};
+
+class Simulator {
+ public:
+  struct Params {
+    /// Scheduler latency charged whenever a blocked thread is woken.
+    SimTime wake_latency = 0;
+  };
+
+  Simulator() : Simulator(Params{}) {}
+  explicit Simulator(Params params) : params_(params) {}
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const noexcept { return now_; }
+  const Params& params() const noexcept { return params_; }
+
+  /// Starts `task` as a new simulated thread named `name`. The thread's
+  /// first instruction runs at the current simulated time (after already
+  /// pending events at that time).
+  ThreadCtx& spawn(std::string name, Task task);
+
+  /// Runs until the event queue drains or stop() is called. Rethrows the
+  /// first exception that escaped any simulated thread.
+  void run();
+
+  /// Processes all events with timestamp <= `t`, then sets now() = t.
+  void run_until(SimTime t);
+
+  /// Makes run()/run_until() return after the current event completes.
+  void stop() noexcept { stopped_ = true; }
+
+  bool has_pending_events() const noexcept { return !queue_.empty(); }
+
+  // ---- awaitables -------------------------------------------------------
+
+  struct DelayAwaiter {
+    Simulator& sim;
+    SimTime duration;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      sim.schedule_resume(sim.now_ + duration, h, sim.current_, false);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// Advances this simulated thread's clock by `d` (models CPU work or a
+  /// synchronous device wait that does NOT count as a context switch).
+  DelayAwaiter delay(SimTime d) noexcept { return DelayAwaiter{*this, d}; }
+
+  /// Lets other runnable activities at the same timestamp proceed.
+  DelayAwaiter yield() noexcept { return DelayAwaiter{*this, 0}; }
+
+  struct JoinAwaiter {
+    Simulator& sim;
+    ThreadCtx& target;
+    bool await_ready() const noexcept { return target.finished; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      ThreadCtx* cur = sim.current_;
+      if (cur != nullptr) ++cur->blocks;
+      target.join_waiters.push_back({h, cur});
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// Blocks the calling simulated thread until `target` finishes.
+  JoinAwaiter join(ThreadCtx& target) noexcept {
+    return JoinAwaiter{*this, target};
+  }
+
+  // ---- scheduling internals (used by sim/sync.h primitives) -------------
+
+  /// Schedules `h` to resume at absolute time `at` on thread `thr`.
+  /// `is_wakeup` marks the resume as the end of a blocking wait.
+  void schedule_resume(SimTime at, std::coroutine_handle<> h, ThreadCtx* thr,
+                       bool is_wakeup);
+
+  /// Schedules `h` to resume after the woken thread's wake latency and
+  /// counts a context switch for it.
+  void schedule_wakeup(std::coroutine_handle<> h, ThreadCtx* thr) {
+    const SimTime latency = thr != nullptr && thr->wake_latency.has_value()
+                                ? *thr->wake_latency
+                                : params_.wake_latency;
+    schedule_resume(now_ + latency, h, thr, true);
+  }
+
+  /// Schedules a plain callback (no coroutine) at absolute time `at`.
+  void schedule_call(SimTime at, std::function<void()> fn);
+
+  /// The simulated thread currently executing, or nullptr outside run().
+  ThreadCtx* current_thread() const noexcept { return current_; }
+
+  /// Called from Task::FinalAwaiter when a top-level task finishes.
+  void on_top_level_done(ThreadCtx* thr, std::exception_ptr error);
+
+  /// Total context switches across all threads whose name starts with
+  /// `prefix` (empty prefix = all threads).
+  std::uint64_t total_context_switches(std::string_view prefix = {}) const;
+
+  /// Number of live + finished threads whose name starts with `prefix`.
+  std::uint64_t thread_count(std::string_view prefix = {}) const;
+
+ private:
+  struct Scheduled {
+    SimTime at;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+    ThreadCtx* thread = nullptr;
+    bool is_wakeup = false;
+    std::function<void()> callback;
+  };
+  struct Later {
+    bool operator()(const Scheduled& a, const Scheduled& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void dispatch(Scheduled&& ev);
+
+  Params params_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Scheduled, std::vector<Scheduled>, Later> queue_;
+  ThreadCtx* current_ = nullptr;
+  std::vector<std::unique_ptr<ThreadCtx>> threads_;
+  /// Frames of still-live top-level tasks, destroyed on simulator teardown.
+  std::unordered_map<ThreadCtx*, std::coroutine_handle<>> live_;
+  std::exception_ptr failure_;
+};
+
+}  // namespace bio::sim

@@ -1,0 +1,102 @@
+// Coroutine task type for the BarrierIO discrete-event simulator.
+//
+// A simulated activity (an "application thread", the JBD commit thread, the
+// storage controller, ...) is written as a C++20 coroutine returning
+// sim::Task. Tasks are lazy: they do not run until either
+//   * spawned onto a Simulator as a top-level simulated thread, or
+//   * awaited from another task (`co_await child()`), in which case the
+//     child runs synchronously in simulated time within the caller's
+//     simulated thread and resumes the caller on completion.
+//
+// Exceptions thrown inside an awaited task propagate to the awaiter.
+// Exceptions escaping a top-level task are captured by the Simulator and
+// rethrown from Simulator::run().
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "sim/check.h"
+
+namespace bio::sim {
+
+class Simulator;
+struct ThreadCtx;
+
+/// Lazily-started coroutine used for all simulated activities.
+class [[nodiscard]] Task {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(Handle h) noexcept;
+    void await_resume() const noexcept {}
+  };
+
+  struct promise_type {
+    /// Parent coroutine to resume when this task completes (awaited tasks).
+    std::coroutine_handle<> continuation;
+    /// Simulator driving this task; set on spawn, inherited when awaited.
+    Simulator* sim = nullptr;
+    /// Set for top-level (spawned) tasks: frame self-destroys at completion.
+    bool detached = false;
+    /// ThreadCtx of the simulated thread this top-level task embodies.
+    ThreadCtx* thread = nullptr;
+    std::exception_ptr error;
+
+    Task get_return_object() { return Task{Handle::from_promise(*this)}; }
+    std::suspend_always initial_suspend() const noexcept { return {}; }
+    FinalAwaiter final_suspend() const noexcept { return {}; }
+    void return_void() const noexcept {}
+    void unhandled_exception() { error = std::current_exception(); }
+  };
+
+  Task() = default;
+  explicit Task(Handle h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const noexcept { return static_cast<bool>(handle_); }
+
+  /// Releases ownership of the coroutine frame (used by Simulator::spawn;
+  /// the frame then self-destroys at final suspend).
+  Handle release() noexcept { return std::exchange(handle_, {}); }
+
+  /// Awaiter: starts the child task immediately (symmetric transfer) and
+  /// resumes the awaiting coroutine when the child completes.
+  struct Awaiter {
+    Handle child;
+    bool await_ready() const noexcept { return !child || child.done(); }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent);
+    void await_resume() const {
+      if (child && child.promise().error)
+        std::rethrow_exception(child.promise().error);
+    }
+  };
+
+  Awaiter operator co_await() const& noexcept { return Awaiter{handle_}; }
+
+ private:
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_;
+};
+
+}  // namespace bio::sim

@@ -1,0 +1,44 @@
+// Simulated-time definitions for the BarrierIO discrete-event simulator.
+//
+// All simulation timestamps and durations are integral nanoseconds. The
+// literals in bio::sim::literals make device/latency tables readable:
+//
+//   using namespace bio::sim::literals;
+//   constexpr SimTime kPageProgram = 900_us;
+#pragma once
+
+#include <cstdint>
+
+namespace bio::sim {
+
+/// A point in simulated time, or a duration, in nanoseconds.
+using SimTime = std::uint64_t;
+
+/// Largest representable simulated time; used as "never".
+inline constexpr SimTime kSimTimeMax = ~SimTime{0};
+
+namespace literals {
+
+constexpr SimTime operator""_ns(unsigned long long v) { return SimTime{v}; }
+constexpr SimTime operator""_us(unsigned long long v) {
+  return SimTime{v} * 1000u;
+}
+constexpr SimTime operator""_ms(unsigned long long v) {
+  return SimTime{v} * 1000u * 1000u;
+}
+constexpr SimTime operator""_s(unsigned long long v) {
+  return SimTime{v} * 1000u * 1000u * 1000u;
+}
+
+}  // namespace literals
+
+/// Converts a simulated duration to (floating-point) seconds.
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) / 1e9; }
+
+/// Converts a simulated duration to (floating-point) milliseconds.
+constexpr double to_millis(SimTime t) { return static_cast<double>(t) / 1e6; }
+
+/// Converts a simulated duration to (floating-point) microseconds.
+constexpr double to_micros(SimTime t) { return static_cast<double>(t) / 1e3; }
+
+}  // namespace bio::sim

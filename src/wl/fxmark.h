@@ -1,0 +1,28 @@
+// fxmark DWSL model (§6.3, Fig 13): journaling scalability. Each "core"
+// runs a thread that appends 4 KiB to its own private file and fsync()s,
+// so throughput is bounded by how many journal commits per second the
+// filesystem sustains under concurrency.
+#pragma once
+
+#include <cstdint>
+
+#include "core/stack.h"
+#include "sim/rng.h"
+
+namespace bio::wl {
+
+struct FxmarkParams {
+  std::uint32_t cores = 4;
+  std::uint32_t writes_per_thread = 200;
+};
+
+struct FxmarkResult {
+  double ops_per_sec = 0.0;
+  std::uint64_t ops_done = 0;
+  sim::SimTime elapsed = 0;
+};
+
+FxmarkResult run_fxmark_dwsl(core::Stack& stack, const FxmarkParams& params,
+                             sim::Rng rng);
+
+}  // namespace bio::wl

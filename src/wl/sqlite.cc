@@ -1,0 +1,95 @@
+#include "wl/sqlite.h"
+
+namespace bio::wl {
+
+namespace {
+
+sim::Task persist_txn(core::Stack& stack, const SqliteParams& p,
+                      fs::Inode& db, fs::Inode& journal, sim::Rng& rng,
+                      std::uint32_t& journal_cursor) {
+  fs::Filesystem& filesystem = stack.fs();
+  // Rollback journal is truncated/reset per txn; model as a cursor that
+  // wraps within the journal file's extent.
+  if (journal_cursor + p.journal_pages_per_tx + 2 >= journal.extent_blocks)
+    journal_cursor = 1;
+
+  // 1. Undo-log records.
+  co_await filesystem.write(journal, journal_cursor, p.journal_pages_per_tx);
+  journal_cursor += p.journal_pages_per_tx;
+  co_await stack.order_point(journal);
+  // 2. Journal header update.
+  co_await filesystem.write(journal, 0, 1);
+  co_await stack.order_point(journal);
+  // 3. Updated database pages.
+  for (std::uint32_t i = 0; i < p.db_pages_per_tx; ++i) {
+    const std::uint32_t page =
+        static_cast<std::uint32_t>(rng.uniform(0, p.db_pages - 1));
+    co_await filesystem.write(db, page, 1);
+  }
+  co_await stack.order_point(db);
+  // 4. Commit: finalize the journal header (durability point).
+  co_await filesystem.write(journal, 0, 1);
+  co_await stack.durability_point(journal);
+}
+
+sim::Task wal_txn(core::Stack& stack, const SqliteParams& p, fs::Inode& wal,
+                  std::uint32_t& wal_cursor) {
+  fs::Filesystem& filesystem = stack.fs();
+  if (wal_cursor + p.journal_pages_per_tx + 1 >= wal.extent_blocks)
+    wal_cursor = 0;
+  co_await filesystem.write(wal, wal_cursor,
+                            p.journal_pages_per_tx + 1);  // frames + commit
+  wal_cursor += p.journal_pages_per_tx + 1;
+  co_await stack.durability_point(wal);
+}
+
+sim::Task workload_body(core::Stack& stack, const SqliteParams& p,
+                        sim::Rng rng, SqliteResult& out) {
+  sim::Simulator& sim = stack.sim();
+  fs::Filesystem& filesystem = stack.fs();
+
+  fs::Inode* db = nullptr;
+  co_await filesystem.create("app.db", db, p.db_pages);
+  // Populate the database so txn updates are overwrites.
+  for (std::uint32_t off = 0; off < p.db_pages; off += blk::kMaxMergedBlocks) {
+    const std::uint32_t n =
+        std::min<std::uint32_t>(blk::kMaxMergedBlocks, p.db_pages - off);
+    co_await filesystem.write(*db, off, n);
+    co_await filesystem.fsync(*db);
+  }
+  fs::Inode* journal = nullptr;
+  co_await filesystem.create(
+      p.mode == SqliteParams::Mode::kWal ? "app.db-wal" : "app.db-journal",
+      journal, 2048);
+  co_await filesystem.write(*journal, 0, 1);
+  co_await filesystem.fsync(*journal);
+
+  stack.device().reset_qd_accounting();
+  const sim::SimTime t0 = sim.now();
+  std::uint32_t cursor = 1;
+  for (std::uint64_t i = 0; i < p.transactions; ++i) {
+    if (p.mode == SqliteParams::Mode::kPersist)
+      co_await persist_txn(stack, p, *db, *journal, rng, cursor);
+    else
+      co_await wal_txn(stack, p, *journal, cursor);
+    ++out.tx_done;
+  }
+  out.elapsed = sim.now() - t0;
+  if (out.elapsed > 0)
+    out.tx_per_sec =
+        static_cast<double>(out.tx_done) / sim::to_seconds(out.elapsed);
+}
+
+}  // namespace
+
+SqliteResult run_sqlite(core::Stack& stack, const SqliteParams& params,
+                        sim::Rng rng) {
+  SqliteResult result;
+  stack.start();
+  stack.sim().spawn("sqlite",
+                    workload_body(stack, params, std::move(rng), result));
+  stack.sim().run();
+  return result;
+}
+
+}  // namespace bio::wl

@@ -1,0 +1,41 @@
+// SQLite transaction model (§5, Fig 14).
+//
+// PERSIST journal mode, one INSERT transaction:
+//   1. append undo-log records to the rollback journal   -> sync  (order)
+//   2. update the journal header                          -> sync  (order)
+//   3. write the updated B-tree pages into the database   -> sync  (order)
+//   4. finalize (commit) the journal header               -> sync  (durable)
+// The paper replaces the three ordering syncs with fdatabarrier() and, in
+// the full-relaxation configuration, the durability sync too. WAL mode
+// appends frames to the write-ahead log and syncs once per commit.
+#pragma once
+
+#include <cstdint>
+
+#include "core/stack.h"
+#include "sim/rng.h"
+
+namespace bio::wl {
+
+struct SqliteParams {
+  enum class Mode : std::uint8_t { kPersist, kWal };
+  Mode mode = Mode::kPersist;
+  std::uint64_t transactions = 1000;
+  /// B-tree pages updated per insert.
+  std::uint32_t db_pages_per_tx = 2;
+  /// Undo-log pages per insert (PERSIST) / frames (WAL).
+  std::uint32_t journal_pages_per_tx = 2;
+  /// Database size (pages); updates are random overwrites within it.
+  std::uint32_t db_pages = 4096;
+};
+
+struct SqliteResult {
+  double tx_per_sec = 0.0;
+  std::uint64_t tx_done = 0;
+  sim::SimTime elapsed = 0;
+};
+
+SqliteResult run_sqlite(core::Stack& stack, const SqliteParams& params,
+                        sim::Rng rng);
+
+}  // namespace bio::wl

@@ -1,0 +1,34 @@
+// filebench varmail model (§6.5, Fig 15): a mail-server file set churned by
+// N threads. Per iteration each thread performs the classic varmail flow:
+//   delete a mail file | create + append + sync | append to existing + sync
+//   | read a mail file
+// The sync after each append is the fsync-heavy traffic the paper measures;
+// order/durability substitution follows the stack kind.
+#pragma once
+
+#include <cstdint>
+
+#include "core/stack.h"
+#include "sim/rng.h"
+
+namespace bio::wl {
+
+struct VarmailParams {
+  std::uint32_t threads = 16;
+  std::uint32_t files = 400;
+  /// Mail size in 4 KiB pages (filebench default 16 KiB).
+  std::uint32_t file_pages = 4;
+  /// Iterations of the 4-op flow per thread.
+  std::uint32_t iterations = 60;
+};
+
+struct VarmailResult {
+  double ops_per_sec = 0.0;  // filebench-style flowops per second
+  std::uint64_t ops_done = 0;
+  sim::SimTime elapsed = 0;
+};
+
+VarmailResult run_varmail(core::Stack& stack, const VarmailParams& params,
+                          sim::Rng rng);
+
+}  // namespace bio::wl

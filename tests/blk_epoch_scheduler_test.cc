@@ -1,0 +1,171 @@
+// Tests for epoch-based IO scheduling and barrier reassignment (Fig 5).
+#include <gtest/gtest.h>
+
+#include "blk/epoch_scheduler.h"
+#include "sim/simulator.h"
+
+namespace bio::blk {
+namespace {
+
+using flash::Lba;
+using flash::Version;
+using sim::Simulator;
+
+RequestPtr wr(Simulator& sim, Lba lba, bool ordered = false,
+              bool barrier = false) {
+  return make_write_request(sim, {{lba, 1}}, ordered, barrier);
+}
+
+TEST(EpochSchedulerTest, PassesThroughWithoutBarriers) {
+  Simulator sim;
+  EpochScheduler s(std::make_unique<NoopScheduler>());
+  s.enqueue(wr(sim, 10));
+  s.enqueue(wr(sim, 30, true));
+  EXPECT_EQ(s.dequeue()->first_lba(), 10u);
+  EXPECT_EQ(s.dequeue()->first_lba(), 30u);
+  EXPECT_FALSE(s.blocked());
+  EXPECT_EQ(s.barrier_reassignments(), 0u);
+}
+
+TEST(EpochSchedulerTest, BarrierBlocksQueueAndStagesLaterRequests) {
+  Simulator sim;
+  EpochScheduler s(std::make_unique<NoopScheduler>());
+  s.enqueue(wr(sim, 10, true));
+  s.enqueue(wr(sim, 30, true, /*barrier=*/true));
+  EXPECT_TRUE(s.blocked());
+  s.enqueue(wr(sim, 50));  // arrives while blocked: staged
+  EXPECT_EQ(s.staged_count(), 1u);
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(EpochSchedulerTest, BarrierFlagMovesToLastOrderPreservingRequest) {
+  Simulator sim;
+  EpochScheduler s(std::make_unique<NoopScheduler>());
+  s.enqueue(wr(sim, 10, true));
+  s.enqueue(wr(sim, 30, true, /*barrier=*/true));
+  RequestPtr first = s.dequeue();
+  EXPECT_EQ(first->first_lba(), 10u);
+  EXPECT_FALSE(first->barrier) << "not the last ordered request yet";
+  RequestPtr second = s.dequeue();
+  EXPECT_EQ(second->first_lba(), 30u);
+  EXPECT_TRUE(second->barrier) << "epoch's last ordered request is barrier";
+  EXPECT_FALSE(s.blocked());
+  EXPECT_EQ(s.barrier_reassignments(), 1u);
+}
+
+TEST(EpochSchedulerTest, Fig5ScenarioReassignsBarrierAcrossReordering) {
+  // Paper Fig 5: fsync() issues ordered w1, w2 and barrier w4; pdflush
+  // issues orderless w3, w5, w6. Arrival: w1 w2 w3 w5 w4^b w6. The elevator
+  // reorders; whichever ordered request leaves last carries the barrier.
+  Simulator sim;
+  EpochScheduler s(std::make_unique<ElevatorScheduler>());
+  // LBAs chosen so the elevator dispatches w1 last (highest address).
+  RequestPtr w1 = wr(sim, 50, true);
+  RequestPtr w2 = wr(sim, 10, true);
+  RequestPtr w3 = wr(sim, 20);
+  RequestPtr w5 = wr(sim, 40);
+  RequestPtr w4 = wr(sim, 30, true, /*barrier=*/true);
+  RequestPtr w6 = wr(sim, 5);
+  s.enqueue(w1);
+  s.enqueue(w2);
+  s.enqueue(w3);
+  s.enqueue(w5);
+  s.enqueue(w4);
+  EXPECT_TRUE(s.blocked());
+  s.enqueue(w6);  // queue is blocked; staged for the next epoch
+  EXPECT_EQ(s.staged_count(), 1u);
+
+  std::vector<Lba> dispatch_order;
+  std::vector<bool> barrier_flags;
+  for (RequestPtr r = s.dequeue(); r != nullptr; r = s.dequeue()) {
+    dispatch_order.push_back(r->first_lba());
+    barrier_flags.push_back(r->barrier);
+  }
+  // Elevator order within the epoch: 10,20,30,40,50 then staged w6 (lba 5).
+  EXPECT_EQ(dispatch_order,
+            (std::vector<Lba>{10, 20, 30, 40, 50, 5}));
+  // w4 (lba 30) lost its barrier; w1 (lba 50) carries it now.
+  EXPECT_EQ(barrier_flags,
+            (std::vector<bool>{false, false, false, false, true, false}));
+  EXPECT_EQ(s.barrier_reassignments(), 1u);
+}
+
+TEST(EpochSchedulerTest, OrderlessRequestsJoinFollowingEpoch) {
+  Simulator sim;
+  EpochScheduler s(std::make_unique<NoopScheduler>());
+  s.enqueue(wr(sim, 10, true, true));  // barrier epoch 0
+  s.enqueue(wr(sim, 30));              // staged orderless
+  s.enqueue(wr(sim, 50, true));        // staged ordered (next epoch)
+  RequestPtr b = s.dequeue();
+  EXPECT_TRUE(b->barrier);
+  // Unblocked: staged requests entered the base queue.
+  EXPECT_EQ(s.staged_count(), 0u);
+  EXPECT_EQ(s.dequeue()->first_lba(), 30u);
+  EXPECT_EQ(s.dequeue()->first_lba(), 50u);
+}
+
+TEST(EpochSchedulerTest, StagedBarrierReblocksQueue) {
+  Simulator sim;
+  EpochScheduler s(std::make_unique<NoopScheduler>());
+  // Non-contiguous LBAs so nothing merges.
+  s.enqueue(wr(sim, 1, true, true));   // epoch 0 barrier
+  s.enqueue(wr(sim, 20, true));        // staged: epoch 1
+  s.enqueue(wr(sim, 40, true, true));  // staged: epoch 1 barrier
+  s.enqueue(wr(sim, 60, true));        // staged: epoch 2
+  RequestPtr b0 = s.dequeue();
+  EXPECT_TRUE(b0->barrier);
+  EXPECT_TRUE(s.blocked()) << "staged barrier re-blocked the queue";
+  EXPECT_EQ(s.staged_count(), 1u) << "lba 60 remains staged behind epoch 1";
+  RequestPtr w2 = s.dequeue();
+  EXPECT_FALSE(w2->barrier) << "epoch 1 still has an ordered request queued";
+  RequestPtr b1 = s.dequeue();
+  EXPECT_TRUE(b1->barrier);
+  EXPECT_EQ(s.dequeue()->first_lba(), 60u);
+  EXPECT_EQ(s.barrier_reassignments(), 2u);
+}
+
+TEST(EpochSchedulerTest, StagedBarrierMayMergeIntoItsOwnEpoch) {
+  // Contiguous LBAs: the epoch-1 barrier write merges with the epoch-1
+  // request ahead of it. That is legal — both belong to one epoch — and the
+  // merged request carries the barrier out.
+  Simulator sim;
+  EpochScheduler s(std::make_unique<NoopScheduler>());
+  s.enqueue(wr(sim, 1, true, true));  // epoch 0 barrier
+  s.enqueue(wr(sim, 2, true));        // staged: epoch 1
+  s.enqueue(wr(sim, 3, true, true));  // staged: epoch 1 barrier (contiguous)
+  RequestPtr b0 = s.dequeue();
+  EXPECT_TRUE(b0->barrier);
+  RequestPtr merged = s.dequeue();
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->blocks.size(), 2u);
+  EXPECT_TRUE(merged->barrier) << "merged epoch-1 request is the barrier";
+  EXPECT_EQ(s.dequeue(), nullptr);
+}
+
+TEST(EpochSchedulerTest, BackToBackBarriers) {
+  Simulator sim;
+  EpochScheduler s(std::make_unique<NoopScheduler>());
+  for (int i = 0; i < 4; ++i) s.enqueue(wr(sim, 10 + i, true, true));
+  for (int i = 0; i < 4; ++i) {
+    RequestPtr r = s.dequeue();
+    ASSERT_NE(r, nullptr);
+    EXPECT_TRUE(r->barrier) << "singleton epochs keep their barrier";
+  }
+  EXPECT_EQ(s.dequeue(), nullptr);
+}
+
+TEST(EpochSchedulerTest, MergingWithinEpochKeepsSingleBarrier) {
+  Simulator sim;
+  EpochScheduler s(std::make_unique<NoopScheduler>());
+  s.enqueue(wr(sim, 10, true));
+  s.enqueue(wr(sim, 11, true));       // merges with 10
+  s.enqueue(wr(sim, 20, true, true)); // barrier
+  RequestPtr merged = s.dequeue();
+  EXPECT_EQ(merged->blocks.size(), 2u);
+  EXPECT_FALSE(merged->barrier);
+  RequestPtr b = s.dequeue();
+  EXPECT_TRUE(b->barrier);
+}
+
+}  // namespace
+}  // namespace bio::blk

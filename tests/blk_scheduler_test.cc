@@ -1,0 +1,162 @@
+// Tests for the base IO schedulers (NOOP, elevator) and request merging.
+#include <gtest/gtest.h>
+
+#include "blk/io_scheduler.h"
+#include "sim/simulator.h"
+
+namespace bio::blk {
+namespace {
+
+using flash::Lba;
+using flash::Version;
+using sim::Simulator;
+
+RequestPtr wr(Simulator& sim, Lba lba, std::size_t n = 1, bool ordered = false,
+              bool barrier = false, bool flush = false, bool fua = false) {
+  std::vector<std::pair<Lba, Version>> blocks;
+  for (std::size_t i = 0; i < n; ++i) blocks.emplace_back(lba + i, 1);
+  return make_write_request(sim, std::move(blocks), ordered, barrier, flush,
+                            fua);
+}
+
+TEST(NoopSchedulerTest, FifoOrder) {
+  Simulator sim;
+  NoopScheduler s;
+  s.enqueue(wr(sim, 100));
+  s.enqueue(wr(sim, 50));
+  s.enqueue(wr(sim, 75));
+  EXPECT_EQ(s.dequeue()->first_lba(), 100u);
+  EXPECT_EQ(s.dequeue()->first_lba(), 50u);
+  EXPECT_EQ(s.dequeue()->first_lba(), 75u);
+  EXPECT_EQ(s.dequeue(), nullptr);
+}
+
+TEST(NoopSchedulerTest, BackMergesContiguousWrites) {
+  Simulator sim;
+  NoopScheduler s;
+  s.enqueue(wr(sim, 10, 2));  // 10,11
+  s.enqueue(wr(sim, 12, 3));  // 12,13,14 -> merges
+  EXPECT_EQ(s.size(), 1u);
+  RequestPtr r = s.dequeue();
+  EXPECT_EQ(r->blocks.size(), 5u);
+  EXPECT_EQ(r->last_lba(), 14u);
+  EXPECT_EQ(r->absorbed.size(), 1u);
+  EXPECT_EQ(s.stats().merges, 1u);
+}
+
+TEST(NoopSchedulerTest, NonContiguousDoesNotMerge) {
+  Simulator sim;
+  NoopScheduler s;
+  s.enqueue(wr(sim, 10));
+  s.enqueue(wr(sim, 12));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(NoopSchedulerTest, NoMergeAcrossFlushOrFua) {
+  Simulator sim;
+  NoopScheduler s;
+  s.enqueue(wr(sim, 10, 1, false, false, /*flush=*/true));
+  s.enqueue(wr(sim, 11));
+  EXPECT_EQ(s.size(), 2u);
+  s.enqueue(wr(sim, 12, 1, false, false, false, /*fua=*/true));
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(NoopSchedulerTest, MergeInheritsOrderPreservation) {
+  Simulator sim;
+  NoopScheduler s;
+  s.enqueue(wr(sim, 10, 1, /*ordered=*/false));
+  s.enqueue(wr(sim, 11, 1, /*ordered=*/true));
+  RequestPtr r = s.dequeue();
+  EXPECT_TRUE(r->ordered) << "§3.3: merged request is order-preserving if "
+                             "any constituent is";
+}
+
+TEST(NoopSchedulerTest, MergeRespectsSizeCap) {
+  Simulator sim;
+  NoopScheduler s;
+  s.enqueue(wr(sim, 0, kMaxMergedBlocks - 1));
+  s.enqueue(wr(sim, kMaxMergedBlocks - 1, 1));  // fits exactly
+  EXPECT_EQ(s.size(), 1u);
+  s.enqueue(wr(sim, kMaxMergedBlocks, 1));  // would exceed the cap
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(NoopSchedulerTest, HasOrderedTracksQueueContents) {
+  Simulator sim;
+  NoopScheduler s;
+  EXPECT_FALSE(s.has_ordered());
+  s.enqueue(wr(sim, 10, 1, /*ordered=*/true));
+  s.enqueue(wr(sim, 20));
+  EXPECT_TRUE(s.has_ordered());
+  (void)s.dequeue();  // removes the ordered one (FIFO)
+  EXPECT_FALSE(s.has_ordered());
+}
+
+TEST(ElevatorSchedulerTest, DispatchesInAscendingLbaOrder) {
+  Simulator sim;
+  ElevatorScheduler s;
+  s.enqueue(wr(sim, 100));
+  s.enqueue(wr(sim, 20));
+  s.enqueue(wr(sim, 60));
+  EXPECT_EQ(s.dequeue()->first_lba(), 20u);
+  EXPECT_EQ(s.dequeue()->first_lba(), 60u);
+  EXPECT_EQ(s.dequeue()->first_lba(), 100u);
+}
+
+TEST(ElevatorSchedulerTest, CscanWrapsAround) {
+  Simulator sim;
+  ElevatorScheduler s;
+  s.enqueue(wr(sim, 100));
+  EXPECT_EQ(s.dequeue()->first_lba(), 100u);  // head now at 101
+  s.enqueue(wr(sim, 50));
+  s.enqueue(wr(sim, 200));
+  EXPECT_EQ(s.dequeue()->first_lba(), 200u) << "continues upward first";
+  EXPECT_EQ(s.dequeue()->first_lba(), 50u) << "then wraps";
+}
+
+TEST(ElevatorSchedulerTest, FrontAndBackMerge) {
+  Simulator sim;
+  ElevatorScheduler s;
+  s.enqueue(wr(sim, 10, 2));  // 10,11
+  s.enqueue(wr(sim, 14, 2));  // 14,15
+  s.enqueue(wr(sim, 12, 2));  // 12,13 -> back-merges into [10..13]
+  EXPECT_EQ(s.size(), 2u);
+  s.enqueue(wr(sim, 8, 2));  // 8,9 -> front-merges into [8..13]? No:
+  // front merge means the new request absorbs the existing [10..13].
+  EXPECT_EQ(s.size(), 2u);
+  RequestPtr r = s.dequeue();
+  EXPECT_EQ(r->first_lba(), 8u);
+  EXPECT_EQ(r->blocks.size(), 6u);
+}
+
+TEST(ElevatorSchedulerTest, ReadsDispatchBeforeWrites) {
+  Simulator sim;
+  ElevatorScheduler s;
+  s.enqueue(wr(sim, 10));
+  s.enqueue(make_read_request(sim, 500));
+  RequestPtr r = s.dequeue();
+  EXPECT_EQ(r->op, ReqOp::kRead);
+}
+
+TEST(MakeSchedulerTest, FactoryKnowsKinds) {
+  EXPECT_STREQ(make_scheduler("noop")->name(), "noop");
+  EXPECT_STREQ(make_scheduler("elevator")->name(), "elevator");
+  EXPECT_THROW((void)make_scheduler("cfq?"), bio::CheckFailure);
+}
+
+TEST(RequestTest, BarrierImpliesOrdered) {
+  Simulator sim;
+  RequestPtr r = wr(sim, 1, 1, /*ordered=*/false, /*barrier=*/true);
+  EXPECT_TRUE(r->ordered);
+}
+
+TEST(RequestTest, NonContiguousBlocksRejected) {
+  Simulator sim;
+  std::vector<std::pair<Lba, Version>> blocks{{1, 1}, {3, 2}};
+  EXPECT_THROW((void)make_write_request(sim, std::move(blocks)),
+               bio::CheckFailure);
+}
+
+}  // namespace
+}  // namespace bio::blk

@@ -1,0 +1,206 @@
+// Tests for the public Stack API: configuration wiring, the syscall
+// substitution table, and cross-stack latency orderings that the paper's
+// results depend on.
+#include <gtest/gtest.h>
+
+#include "fs_test_util.h"
+
+namespace bio::core {
+namespace {
+
+using namespace bio::sim::literals;
+using fs::testutil::StackFixture;
+using fs::testutil::test_stack_config;
+using sim::Task;
+
+TEST(StackConfigTest, Ext4WiresLegacyLayers) {
+  StackConfig c = StackConfig::make(StackKind::kExt4DR,
+                                    flash::DeviceProfile::plain_ssd());
+  EXPECT_EQ(c.device.barrier_mode, flash::BarrierMode::kNone);
+  EXPECT_FALSE(c.blk.epoch_scheduling);
+  EXPECT_FALSE(c.blk.order_preserving_dispatch);
+  EXPECT_EQ(c.fs.journal, fs::JournalKind::kJbd2);
+  EXPECT_FALSE(c.fs.nobarrier);
+}
+
+TEST(StackConfigTest, Ext4OdSetsNobarrier) {
+  StackConfig c = StackConfig::make(StackKind::kExt4OD,
+                                    flash::DeviceProfile::plain_ssd());
+  EXPECT_TRUE(c.fs.nobarrier);
+}
+
+TEST(StackConfigTest, BfsWiresBarrierLayers) {
+  StackConfig c =
+      StackConfig::make(StackKind::kBfsDR, flash::DeviceProfile::plain_ssd());
+  EXPECT_EQ(c.device.barrier_mode, flash::BarrierMode::kInOrderRecovery);
+  EXPECT_TRUE(c.blk.epoch_scheduling);
+  EXPECT_TRUE(c.blk.order_preserving_dispatch);
+  EXPECT_EQ(c.fs.journal, fs::JournalKind::kBarrierFs);
+}
+
+TEST(StackConfigTest, MobileDevicesGetJournalChecksums) {
+  StackConfig ufs =
+      StackConfig::make(StackKind::kExt4DR, flash::DeviceProfile::ufs());
+  StackConfig ssd = StackConfig::make(StackKind::kExt4DR,
+                                      flash::DeviceProfile::plain_ssd());
+  EXPECT_TRUE(ufs.fs.journal_checksum) << "§6.3: smartphone EXT4 setup";
+  EXPECT_FALSE(ssd.fs.journal_checksum);
+}
+
+TEST(StackConfigTest, BarrierPenaltyOnlyWithBarrierSupport) {
+  // §6.1: plain-SSD pays 5% tPROG when barrier support is simulated.
+  StackConfig bfs =
+      StackConfig::make(StackKind::kBfsDR, flash::DeviceProfile::plain_ssd());
+  StackConfig ext4 = StackConfig::make(StackKind::kExt4DR,
+                                       flash::DeviceProfile::plain_ssd());
+  EXPECT_GT(bfs.device.barrier_program_penalty, 0.0);
+  EXPECT_EQ(bfs.device.barrier_mode, flash::BarrierMode::kInOrderRecovery);
+  EXPECT_EQ(ext4.device.barrier_mode, flash::BarrierMode::kNone);
+}
+
+TEST(StackConfigTest, ToStringCoversAllKinds) {
+  EXPECT_STREQ(to_string(StackKind::kExt4DR), "EXT4-DR");
+  EXPECT_STREQ(to_string(StackKind::kExt4OD), "EXT4-OD");
+  EXPECT_STREQ(to_string(StackKind::kBfsDR), "BFS-DR");
+  EXPECT_STREQ(to_string(StackKind::kBfsOD), "BFS-OD");
+  EXPECT_STREQ(to_string(StackKind::kOptFs), "OptFS");
+}
+
+TEST(StackTest, OrderPointMapsToFdatabarrierOnBfs) {
+  StackFixture x(StackKind::kBfsDR);
+  auto body = [&]() -> Task {
+    fs::Inode* f = nullptr;
+    co_await x.fs().create("a", f);
+    co_await x.fs().write(*f, 0, 1);
+    co_await x.stack->order_point(*f);
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+  EXPECT_EQ(x.fs().stats().fdatabarriers, 1u);
+  EXPECT_EQ(x.fs().stats().fdatasyncs, 0u);
+}
+
+TEST(StackTest, OrderPointMapsToFdatasyncOnExt4) {
+  StackFixture x(StackKind::kExt4DR);
+  auto body = [&]() -> Task {
+    fs::Inode* f = nullptr;
+    co_await x.fs().create("a", f);
+    co_await x.fs().write(*f, 0, 1);
+    co_await x.stack->order_point(*f);
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+  EXPECT_EQ(x.fs().stats().fdatasyncs, 1u);
+}
+
+TEST(StackTest, DurabilityPointRelaxedOnlyOnBfsOd) {
+  for (StackKind kind : {StackKind::kExt4DR, StackKind::kBfsDR}) {
+    StackFixture x(kind);
+    auto body = [&]() -> Task {
+      fs::Inode* f = nullptr;
+      co_await x.fs().create("a", f);
+      co_await x.fs().write(*f, 0, 1);
+      co_await x.stack->durability_point(*f);
+      // Data must be durable at return for DR stacks.
+      EXPECT_TRUE(x.dev().durable_state().contains(f->lba_of_page(0)))
+          << to_string(kind);
+    };
+    x.sim().spawn("t", body());
+    x.sim().run();
+  }
+}
+
+TEST(StackTest, SyncFileUsesFbarrierOnBfsOd) {
+  StackFixture x(StackKind::kBfsOD);
+  auto body = [&]() -> Task {
+    fs::Inode* f = nullptr;
+    co_await x.fs().create("a", f);
+    co_await x.fs().write(*f, 0, 1);
+    co_await x.stack->sync_file(*f);
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+  EXPECT_EQ(x.fs().stats().fbarriers, 1u);
+  EXPECT_EQ(x.fs().stats().fsyncs, 0u);
+}
+
+TEST(StackTest, FsyncLatencyOrderingAcrossStacks) {
+  // The core latency claim: BFS-DR fsync < EXT4-DR fsync on the same
+  // device, and the ordering-only commit is cheapest of all.
+  auto measure = [](StackKind kind) {
+    StackFixture x(kind);
+    sim::SimTime result = 0;
+    auto body = [&x, &result]() -> Task {
+      fs::Inode* f = nullptr;
+      co_await x.fs().create("a", f);
+      for (int i = 0; i < 20; ++i) {
+        co_await x.sim().delay(5_ms);  // fresh tick: metadata commit per op
+        co_await x.fs().write(*f, static_cast<std::uint32_t>(i), 1);
+        const sim::SimTime t0 = x.sim().now();
+        co_await x.stack->sync_file(*f);
+        result += x.sim().now() - t0;
+      }
+    };
+    x.sim().spawn("t", body());
+    x.sim().run();
+    return result / 20;
+  };
+  const sim::SimTime ext4_dr = measure(StackKind::kExt4DR);
+  const sim::SimTime bfs_dr = measure(StackKind::kBfsDR);
+  const sim::SimTime bfs_od = measure(StackKind::kBfsOD);
+  EXPECT_LT(bfs_dr, ext4_dr);
+  EXPECT_LT(bfs_od, bfs_dr / 2);
+}
+
+TEST(StackTest, BarrierStacksWorkOnAllBarrierModes) {
+  // The block/fs layers must run correctly over every device barrier
+  // implementation of §3.2, not just in-order recovery.
+  for (flash::BarrierMode mode :
+       {flash::BarrierMode::kInOrderRecovery,
+        flash::BarrierMode::kInOrderWriteback,
+        flash::BarrierMode::kTransactional}) {
+    core::StackConfig cfg = test_stack_config(StackKind::kBfsDR);
+    cfg.device.barrier_mode = mode;
+    StackFixture x(StackKind::kBfsDR, &cfg);
+    auto body = [&]() -> Task {
+      fs::Inode* f = nullptr;
+      co_await x.fs().create("a", f);
+      for (int i = 0; i < 6; ++i) {
+        co_await x.fs().write(*f, static_cast<std::uint32_t>(i), 1);
+        co_await x.fs().fsync(*f);
+      }
+      EXPECT_TRUE(x.dev().durable_state().contains(f->lba_of_page(5)))
+          << flash::to_string(mode);
+    };
+    x.sim().spawn("t", body());
+    x.sim().run();
+  }
+}
+
+TEST(StackTest, SupercapMakesDurabilityCheap) {
+  core::StackConfig cfg = test_stack_config(StackKind::kExt4DR);
+  cfg.device.plp = true;
+  StackFixture plp(StackKind::kExt4DR, &cfg);
+  StackFixture noplp(StackKind::kExt4DR);
+  auto measure = [](StackFixture& x) {
+    sim::SimTime latency = 0;
+    auto body = [&x, &latency]() -> Task {
+      fs::Inode* f = nullptr;
+      co_await x.fs().create("a", f);
+      co_await x.fs().write(*f, 0, 1);
+      co_await x.fs().fsync(*f);
+      co_await x.fs().write(*f, 0, 1);
+      const sim::SimTime t0 = x.sim().now();
+      co_await x.fs().fdatasync(*f);
+      latency = x.sim().now() - t0;
+    };
+    x.sim().spawn("t", body());
+    x.sim().run();
+    return latency;
+  };
+  EXPECT_LT(measure(plp), measure(noplp) / 2)
+      << "PLP flush must be far cheaper than a full drain";
+}
+
+}  // namespace
+}  // namespace bio::core

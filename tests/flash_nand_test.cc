@@ -1,0 +1,114 @@
+// Tests for the NAND array timing model.
+#include <gtest/gtest.h>
+
+#include "flash/nand.h"
+#include "sim/simulator.h"
+
+namespace bio::flash {
+namespace {
+
+using namespace bio::sim::literals;
+using sim::Simulator;
+using sim::Task;
+
+Geometry small_geom() {
+  return Geometry{.channels = 2,
+                  .ways_per_channel = 2,
+                  .blocks_per_chip = 8,
+                  .pages_per_block = 4};
+}
+
+NandTiming fast_timing() {
+  return NandTiming{.read_page = 50_us,
+                    .program_page = 200_us,
+                    .erase_block = 1'000_us,
+                    .channel_xfer = 10_us};
+}
+
+TEST(NandArrayTest, GeometryDerivedQuantities) {
+  Geometry g = small_geom();
+  EXPECT_EQ(g.chips(), 4u);
+  EXPECT_EQ(g.pages_per_segment(), 16u);
+  EXPECT_EQ(g.segments(), 8u);
+  EXPECT_EQ(g.physical_pages(), 128u);
+}
+
+TEST(NandArrayTest, SingleProgramTakesXferPlusProg) {
+  Simulator sim;
+  NandArray nand(sim, small_geom(), fast_timing());
+  auto body = [&]() -> Task { co_await nand.program(0); };
+  sim.spawn("t", body());
+  sim.run();
+  EXPECT_EQ(sim.now(), 210_us);
+  EXPECT_EQ(nand.programs_issued(), 1u);
+}
+
+TEST(NandArrayTest, ProgramsOnDifferentChannelsOverlap) {
+  Simulator sim;
+  NandArray nand(sim, small_geom(), fast_timing());
+  // Chips 0 and 1 are on different channels (chip % channels).
+  auto body = [&](std::uint32_t chip) -> Task { co_await nand.program(chip); };
+  sim.spawn("a", body(0));
+  sim.spawn("b", body(1));
+  sim.run();
+  EXPECT_EQ(sim.now(), 210_us) << "full overlap across channels";
+}
+
+TEST(NandArrayTest, ProgramsOnSameChipSerialize) {
+  Simulator sim;
+  NandArray nand(sim, small_geom(), fast_timing());
+  auto body = [&]() -> Task { co_await nand.program(0); };
+  sim.spawn("a", body());
+  sim.spawn("b", body());
+  sim.run();
+  // Second program waits for the first: its 10us transfer overlaps the
+  // first program, then 200 + 200 on the die: 10 + 200 + 200 = 410.
+  EXPECT_EQ(sim.now(), 410_us);
+}
+
+TEST(NandArrayTest, SameChannelDifferentWaysShareOnlyBus) {
+  Simulator sim;
+  NandArray nand(sim, small_geom(), fast_timing());
+  // Chips 0 and 2 share channel 0 in a 2-channel array.
+  auto body = [&](std::uint32_t chip) -> Task { co_await nand.program(chip); };
+  sim.spawn("a", body(0));
+  sim.spawn("b", body(2));
+  sim.run();
+  // Transfers serialize (10 + 10), programs overlap: 20 + 200 = 220.
+  EXPECT_EQ(sim.now(), 220_us);
+}
+
+TEST(NandArrayTest, BarrierPenaltyScalesProgramTime) {
+  Simulator sim;
+  NandArray nand(sim, small_geom(), fast_timing(), /*penalty=*/0.05);
+  auto body = [&]() -> Task { co_await nand.program(0); };
+  sim.spawn("t", body());
+  sim.run();
+  EXPECT_EQ(sim.now(), 220_us);  // 10 + 200 * 1.05
+}
+
+TEST(NandArrayTest, ReadOccupiesChipThenChannel) {
+  Simulator sim;
+  NandArray nand(sim, small_geom(), fast_timing());
+  auto body = [&]() -> Task { co_await nand.read(1); };
+  sim.spawn("t", body());
+  sim.run();
+  EXPECT_EQ(sim.now(), 60_us);  // 50 tR + 10 xfer
+  EXPECT_EQ(nand.reads_issued(), 1u);
+}
+
+TEST(NandArrayTest, EraseOccupiesChip) {
+  Simulator sim;
+  NandArray nand(sim, small_geom(), fast_timing());
+  auto eraser = [&]() -> Task { co_await nand.erase(0); };
+  auto writer = [&]() -> Task { co_await nand.program(0); };
+  sim.spawn("e", eraser());
+  sim.spawn("w", writer());
+  sim.run();
+  // Program's channel transfer overlaps the erase, then waits for the die.
+  EXPECT_EQ(sim.now(), 1'200_us);
+  EXPECT_EQ(nand.erases_issued(), 1u);
+}
+
+}  // namespace
+}  // namespace bio::flash

@@ -1,0 +1,100 @@
+// Shared helpers for device-level tests.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "flash/device.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+
+namespace bio::flash::testutil {
+
+/// A tiny, fast device for unit tests.
+inline DeviceProfile test_profile(BarrierMode mode, bool plp = false) {
+  using namespace bio::sim::literals;
+  DeviceProfile p;
+  p.name = "test";
+  p.geometry = Geometry{.channels = 2,
+                        .ways_per_channel = 2,
+                        .blocks_per_chip = 8,
+                        .pages_per_block = 4};
+  p.nand = NandTiming{.read_page = 50_us,
+                      .program_page = 200_us,
+                      .erase_block = 1'000_us,
+                      .channel_xfer = 10_us};
+  p.queue_depth = 4;
+  p.cache_entries = 8;
+  p.plp = plp;
+  p.barrier_mode = mode;
+  p.cmd_overhead = 5_us;
+  p.dma_4k = 10_us;
+  p.flush_overhead = 20_us;
+  p.plp_flush_latency = 15_us;
+  p.read_hit_latency = 5_us;
+  return p;
+}
+
+/// Owns the completion event a Command points at.
+struct Submission {
+  std::shared_ptr<Command> cmd;
+  std::unique_ptr<sim::Event> done;
+};
+
+inline Submission make_write(sim::Simulator& sim,
+                             std::vector<std::pair<Lba, Version>> blocks,
+                             Priority priority = Priority::kSimple,
+                             bool barrier = false, bool fua = false,
+                             bool flush_before = false) {
+  Submission s;
+  s.cmd = std::make_shared<Command>();
+  s.done = std::make_unique<sim::Event>(sim);
+  s.cmd->op = OpCode::kWrite;
+  s.cmd->priority = priority;
+  s.cmd->barrier = barrier;
+  s.cmd->fua = fua;
+  s.cmd->flush_before = flush_before;
+  s.cmd->blocks = std::move(blocks);
+  s.cmd->done = s.done.get();
+  return s;
+}
+
+inline Submission make_read(sim::Simulator& sim, Lba lba) {
+  Submission s;
+  s.cmd = std::make_shared<Command>();
+  s.done = std::make_unique<sim::Event>(sim);
+  s.cmd->op = OpCode::kRead;
+  s.cmd->read_lba = lba;
+  s.cmd->done = s.done.get();
+  return s;
+}
+
+inline Submission make_flush(sim::Simulator& sim,
+                             Priority priority = Priority::kSimple) {
+  Submission s;
+  s.cmd = std::make_shared<Command>();
+  s.done = std::make_unique<sim::Event>(sim);
+  s.cmd->op = OpCode::kFlush;
+  s.cmd->priority = priority;
+  s.cmd->done = s.done.get();
+  return s;
+}
+
+/// Builds a one-block payload without an initializer_list (GCC 12 cannot
+/// place initializer_list backing arrays in coroutine frames, so tests must
+/// avoid braced lists inside co_await expressions).
+inline std::vector<std::pair<Lba, Version>> one_block(Lba lba, Version v) {
+  std::vector<std::pair<Lba, Version>> b;
+  b.emplace_back(lba, v);
+  return b;
+}
+
+/// Submits with busy-retry (the dispatcher normally does this).
+inline sim::Task submit_retry(sim::Simulator& sim, StorageDevice& dev,
+                              std::shared_ptr<Command> cmd) {
+  using namespace bio::sim::literals;
+  while (!dev.try_submit(cmd)) co_await sim.delay(100_us);
+}
+
+}  // namespace bio::flash::testutil

@@ -1,0 +1,258 @@
+// Filesystem facade tests: namespace, buffered writes, timestamps,
+// allocation, reads, writeback.
+#include <gtest/gtest.h>
+
+#include "fs_test_util.h"
+
+namespace bio::fs {
+namespace {
+
+using namespace bio::sim::literals;
+using core::StackKind;
+using sim::Task;
+using testutil::StackFixture;
+using testutil::test_stack_config;
+
+TEST(FilesystemTest, CreateAndLookup) {
+  StackFixture x(StackKind::kExt4DR);
+  Inode* f = nullptr;
+  auto body = [&]() -> Task { co_await x.fs().create("a.db", f); };
+  x.sim().spawn("t", body());
+  x.sim().run();
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(x.fs().lookup("a.db"), f);
+  EXPECT_EQ(x.fs().lookup("missing"), nullptr);
+  EXPECT_TRUE(f->meta_dirty) << "create dirties the new inode";
+  EXPECT_GT(f->extent_blocks, 0u);
+}
+
+TEST(FilesystemTest, CreateDuplicateRejected) {
+  StackFixture x(StackKind::kExt4DR);
+  auto body = [&]() -> Task {
+    Inode* f = nullptr;
+    co_await x.fs().create("a", f);
+    Inode* g = nullptr;
+    EXPECT_THROW(co_await x.fs().create("a", g), bio::CheckFailure);
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+}
+
+TEST(FilesystemTest, WriteDirtiesPagesAndSize) {
+  StackFixture x(StackKind::kExt4DR);
+  auto body = [&]() -> Task {
+    Inode* f = nullptr;
+    co_await x.fs().create("a", f);
+    co_await x.fs().write(*f, 0, 3);
+    EXPECT_EQ(f->size_blocks, 3u);
+    EXPECT_TRUE(f->size_dirty);
+    EXPECT_EQ(x.fs().page_cache().dirty_count(), 3u);
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+}
+
+TEST(FilesystemTest, OverwriteDoesNotGrowSize) {
+  StackFixture x(StackKind::kExt4DR);
+  auto body = [&]() -> Task {
+    Inode* f = nullptr;
+    co_await x.fs().create("a", f);
+    co_await x.fs().write(*f, 0, 4);
+    co_await x.fs().fsync(*f);
+    EXPECT_FALSE(f->size_dirty);
+    co_await x.fs().write(*f, 1, 2);  // pure overwrite
+    EXPECT_EQ(f->size_blocks, 4u);
+    EXPECT_FALSE(f->size_dirty);
+    const PageCache::PageState* st = x.fs().page_cache().find(f->ino, 1);
+    EXPECT_TRUE(st->overwrite);
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+}
+
+TEST(FilesystemTest, TimestampQuantizedToTimerTick) {
+  StackFixture x(StackKind::kExt4DR);
+  auto body = [&]() -> Task {
+    Inode* f = nullptr;
+    co_await x.fs().create("a", f);
+    co_await x.fs().write(*f, 0, 1);
+    co_await x.fs().fsync(*f);
+    EXPECT_FALSE(f->meta_dirty);
+    // Overwrite within the same 4ms tick: no metadata change.
+    co_await x.fs().write(*f, 0, 1);
+    EXPECT_FALSE(f->meta_dirty)
+        << "write within one timer tick must not dirty the inode";
+    // Cross a tick boundary: mtime changes.
+    co_await x.sim().delay(5_ms);
+    co_await x.fs().write(*f, 0, 1);
+    EXPECT_TRUE(f->meta_dirty);
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+}
+
+TEST(FilesystemTest, WriteBeyondExtentRejected) {
+  StackFixture x(StackKind::kExt4DR);
+  auto body = [&]() -> Task {
+    Inode* f = nullptr;
+    co_await x.fs().create("a", f);
+    EXPECT_THROW(co_await x.fs().write(*f, f->extent_blocks, 1),
+                 bio::CheckFailure);
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+}
+
+TEST(FilesystemTest, UnlinkRecyclesInodeAndExtent) {
+  StackFixture x(StackKind::kExt4DR);
+  auto body = [&]() -> Task {
+    Inode* f = nullptr;
+    co_await x.fs().create("a", f);
+    co_await x.fs().write(*f, 0, 2);
+    const std::uint32_t ino = f->ino;
+    const flash::Lba base = f->extent_base;
+    co_await x.fs().unlink("a");
+    EXPECT_EQ(x.fs().lookup("a"), nullptr);
+    Inode* g = nullptr;
+    co_await x.fs().create("b", g);
+    EXPECT_EQ(g->ino, ino) << "inode number recycled";
+    EXPECT_EQ(g->extent_base, base) << "extent recycled";
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+  EXPECT_EQ(x.fs().page_cache().dirty_count(), 0u)
+      << "unlink dropped the dirty pages";
+}
+
+TEST(FilesystemTest, ReadFromPageCacheIsFast) {
+  StackFixture x(StackKind::kExt4DR);
+  sim::SimTime read_time = 0;
+  auto body = [&]() -> Task {
+    Inode* f = nullptr;
+    co_await x.fs().create("a", f);
+    co_await x.fs().write(*f, 0, 1);
+    const sim::SimTime t0 = x.sim().now();
+    co_await x.fs().read(*f, 0, 1);
+    read_time = x.sim().now() - t0;
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+  EXPECT_LT(read_time, 20_us);
+  EXPECT_EQ(x.dev().stats().reads, 0u) << "no device read for a cache hit";
+}
+
+TEST(FilesystemTest, ReadMissGoesToDevice) {
+  StackFixture x(StackKind::kExt4DR);
+  auto body = [&]() -> Task {
+    Inode* f = nullptr;
+    co_await x.fs().create("a", f);
+    co_await x.fs().read(*f, 5, 1);  // never written: page-cache miss
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+  EXPECT_EQ(x.dev().stats().reads, 1u);
+}
+
+TEST(FilesystemTest, FsyncCleansDirtyPages) {
+  StackFixture x(StackKind::kExt4DR);
+  auto body = [&]() -> Task {
+    Inode* f = nullptr;
+    co_await x.fs().create("a", f);
+    co_await x.fs().write(*f, 0, 4);
+    co_await x.fs().fsync(*f);
+    EXPECT_EQ(x.fs().page_cache().dirty_count(), 0u);
+    EXPECT_FALSE(f->meta_dirty);
+    EXPECT_FALSE(f->size_dirty);
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+  EXPECT_GE(x.dev().stats().writes, 1u);
+}
+
+TEST(FilesystemTest, FsyncMakesDataDurable) {
+  StackFixture x(StackKind::kExt4DR);
+  flash::Lba lba0 = 0;
+  auto body = [&]() -> Task {
+    Inode* f = nullptr;
+    co_await x.fs().create("a", f);
+    co_await x.fs().write(*f, 0, 2);
+    lba0 = f->lba_of_page(0);
+    co_await x.fs().fsync(*f);
+    auto durable = x.dev().durable_state();
+    EXPECT_TRUE(durable.contains(lba0)) << "EXT4-DR fsync persisted data";
+    EXPECT_TRUE(durable.contains(lba0 + 1));
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+}
+
+TEST(FilesystemTest, Ext4OdFsyncSkipsFlush) {
+  StackFixture x(StackKind::kExt4OD);
+  auto body = [&]() -> Task {
+    Inode* f = nullptr;
+    co_await x.fs().create("a", f);
+    co_await x.fs().write(*f, 0, 1);
+    co_await x.fs().fsync(*f);
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+  EXPECT_EQ(x.dev().stats().flushes, 0u) << "nobarrier: no flush commands";
+}
+
+TEST(FilesystemTest, PdflushWritesBackDirtyPages) {
+  core::StackConfig cfg = test_stack_config(core::StackKind::kExt4DR);
+  cfg.fs.writeback_high_watermark = 8;
+  cfg.fs.writeback_low_watermark = 2;
+  StackFixture x(core::StackKind::kExt4DR, &cfg);
+  auto body = [&]() -> Task {
+    Inode* f = nullptr;
+    co_await x.fs().create("a", f, 64);
+    for (std::uint32_t i = 0; i < 32; ++i) co_await x.fs().write(*f, i, 1);
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+  EXPECT_LE(x.fs().page_cache().dirty_count(), 2u)
+      << "pdflush drained to the low watermark";
+  EXPECT_GT(x.fs().stats().writeback_pages, 0u);
+}
+
+TEST(FilesystemTest, WriterThrottledAtDirtyLimit) {
+  core::StackConfig cfg = test_stack_config(core::StackKind::kExt4DR);
+  cfg.fs.writeback_high_watermark = 4;
+  cfg.fs.writeback_low_watermark = 1;
+  StackFixture x(core::StackKind::kExt4DR, &cfg);
+  auto body = [&]() -> Task {
+    Inode* f = nullptr;
+    co_await x.fs().create("a", f, 64);
+    for (std::uint32_t i = 0; i < 60; ++i) co_await x.fs().write(*f, i, 1);
+  };
+  auto& app = x.sim().spawn("t", body());
+  x.sim().run();
+  EXPECT_GT(app.blocks, 0u) << "balance_dirty_pages throttled the writer";
+}
+
+TEST(FilesystemTest, StatsCountSyscalls) {
+  StackFixture x(StackKind::kBfsDR);
+  auto body = [&]() -> Task {
+    Inode* f = nullptr;
+    co_await x.fs().create("a", f);
+    co_await x.fs().write(*f, 0, 1);
+    co_await x.fs().fsync(*f);
+    co_await x.fs().write(*f, 0, 1);
+    co_await x.fs().fdatasync(*f);
+    co_await x.fs().write(*f, 0, 1);
+    co_await x.fs().fbarrier(*f);
+    co_await x.fs().write(*f, 0, 1);
+    co_await x.fs().fdatabarrier(*f);
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+  EXPECT_EQ(x.fs().stats().fsyncs, 1u);
+  EXPECT_EQ(x.fs().stats().fdatasyncs, 1u);
+  EXPECT_EQ(x.fs().stats().fbarriers, 1u);
+  EXPECT_EQ(x.fs().stats().fdatabarriers, 1u);
+  EXPECT_EQ(x.fs().stats().writes, 4u);
+}
+
+}  // namespace
+}  // namespace bio::fs

@@ -1,0 +1,379 @@
+// Journaling-protocol tests: JBD2 (EXT4) baseline, BarrierFS dual-mode, and
+// OptFS, incl. commit batching, page conflicts and dual-mode pipelining.
+#include <gtest/gtest.h>
+
+#include "fs/barrierfs.h"
+#include "fs_test_util.h"
+
+namespace bio::fs {
+namespace {
+
+using namespace bio::sim::literals;
+using core::StackKind;
+using sim::Task;
+using testutil::StackFixture;
+using testutil::test_stack_config;
+
+TEST(Jbd2Test, CommitWritesJdAndJc) {
+  StackFixture x(StackKind::kExt4DR);
+  auto body = [&]() -> Task {
+    Inode* f = nullptr;
+    co_await x.fs().create("a", f);
+    co_await x.fs().write(*f, 0, 1);
+    co_await x.fs().fsync(*f);
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+  const Journal& j = x.fs().journal();
+  EXPECT_EQ(j.stats().commits, 1u);
+  ASSERT_EQ(j.commit_order().size(), 1u);
+  const Txn* txn = j.commit_order()[0];
+  // Buffers: root dir block + inode block.
+  EXPECT_EQ(txn->buffers.size(), 2u);
+  EXPECT_EQ(txn->jd_blocks.size(), 3u) << "descriptor + 2 log blocks";
+  EXPECT_NE(txn->jc_block.second, 0u);
+  EXPECT_TRUE(txn->flushed);
+}
+
+TEST(Jbd2Test, JournalRecordsLandInJournalRegion) {
+  StackFixture x(StackKind::kExt4DR);
+  auto body = [&]() -> Task {
+    Inode* f = nullptr;
+    co_await x.fs().create("a", f);
+    co_await x.fs().write(*f, 0, 1);
+    co_await x.fs().fsync(*f);
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+  const Txn* txn = x.fs().journal().commit_order()[0];
+  const Layout& lo = x.fs().layout();
+  for (const auto& [lba, ver] : txn->jd_blocks) {
+    EXPECT_GE(lba, lo.journal_base());
+    EXPECT_LT(lba, lo.inode_base());
+  }
+  EXPECT_LT(txn->jc_block.first, lo.inode_base());
+}
+
+TEST(Jbd2Test, GroupCommitBatchesConcurrentFsyncs) {
+  StackFixture x(StackKind::kExt4DR);
+  int done = 0;
+  auto worker = [&](const char* name) -> Task {
+    Inode* f = nullptr;
+    co_await x.fs().create(name, f);
+    co_await x.fs().write(*f, 0, 1);
+    co_await x.fs().fsync(*f);
+    ++done;
+  };
+  x.sim().spawn("a", worker("a"));
+  x.sim().spawn("b", worker("b"));
+  x.sim().spawn("c", worker("c"));
+  x.sim().run();
+  EXPECT_EQ(done, 3);
+  // All three files' metadata usually lands in 1-2 transactions, not 3.
+  EXPECT_LE(x.fs().journal().stats().commits, 2u);
+}
+
+TEST(Jbd2Test, NobarrierCommitIsNotDurable) {
+  StackFixture x(StackKind::kExt4OD);
+  auto body = [&]() -> Task {
+    Inode* f = nullptr;
+    co_await x.fs().create("a", f);
+    co_await x.fs().write(*f, 0, 1);
+    co_await x.fs().fsync(*f);
+    // Commit retired at transfer; JC may still be in the writeback cache.
+    const Txn* txn = x.fs().journal().commit_order()[0];
+    EXPECT_FALSE(txn->flushed);
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+}
+
+TEST(Jbd2Test, SecondFsyncWithoutChangesJustFlushes) {
+  StackFixture x(StackKind::kExt4DR);
+  auto body = [&]() -> Task {
+    Inode* f = nullptr;
+    co_await x.fs().create("a", f);
+    co_await x.fs().write(*f, 0, 1);
+    co_await x.fs().fsync(*f);
+    const std::uint64_t commits = x.fs().journal().stats().commits;
+    co_await x.fs().fsync(*f);  // nothing dirty
+    EXPECT_EQ(x.fs().journal().stats().commits, commits)
+        << "no new transaction for a clean file";
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+}
+
+TEST(Jbd2Test, PageConflictBlocksApplication) {
+  StackFixture x(StackKind::kExt4DR);
+  // Thread A fsyncs a file; thread B dirties the same file's inode while
+  // the transaction is committing: B must block (EXT4 rule).
+  Inode* f = nullptr;
+  auto setup = [&]() -> Task {
+    co_await x.fs().create("a", f);
+    co_await x.fs().write(*f, 0, 1);
+  };
+  x.sim().spawn("setup", setup());
+  x.sim().run();
+
+  auto syncer = [&]() -> Task { co_await x.fs().fsync(*f); };
+  auto writer = [&]() -> Task {
+    co_await x.sim().delay(50_us);  // land mid-commit
+    co_await x.sim().delay(5_ms);   // cross a timer tick -> metadata dirty
+    co_await x.fs().write(*f, 0, 1);
+  };
+  x.sim().spawn("syncer", syncer());
+  x.sim().spawn("writer", writer());
+  x.sim().run();
+  // The writer may or may not have hit the window; run a tight second
+  // round where the conflict is certain.
+  auto writer2 = [&]() -> Task {
+    co_await x.sim().delay(10_ms);
+    co_await x.fs().write(*f, 0, 1);  // dirty inode (new tick)
+    auto t1 = x.fs().fsync(*f);       // commit in background thread
+    co_await std::move(t1);
+  };
+  x.sim().spawn("w2", writer2());
+  x.sim().run();
+  SUCCEED();  // structural: no deadlock across conflicting commits
+}
+
+TEST(BarrierFsTest, FsyncCommitsWithSingleApplicationWakeup) {
+  StackFixture x(StackKind::kBfsDR);
+  sim::ThreadCtx* app = nullptr;
+  auto body = [&]() -> Task {
+    Inode* f = nullptr;
+    co_await x.fs().create("a", f);
+    co_await x.fs().write(*f, 0, 1);
+    const std::uint64_t cs0 = app->context_switches;
+    co_await x.fs().fsync(*f);
+    EXPECT_EQ(app->context_switches - cs0, 1u)
+        << "BarrierFS fsync: one sleep (until the flush thread reports "
+           "durability), no Wait-on-Transfer";
+  };
+  app = &x.sim().spawn("app", body());
+  x.sim().run();
+}
+
+TEST(BarrierFsTest, FdatasyncWithoutMetadataWakesTwice) {
+  StackFixture x(StackKind::kBfsDR);
+  sim::ThreadCtx* app = nullptr;
+  auto body = [&]() -> Task {
+    Inode* f = nullptr;
+    co_await x.fs().create("a", f);
+    co_await x.fs().write(*f, 0, 1);
+    co_await x.fs().fsync(*f);
+    co_await x.fs().write(*f, 0, 1);  // same tick: data only
+    const std::uint64_t cs0 = app->context_switches;
+    co_await x.fs().fdatasync(*f);
+    EXPECT_EQ(app->context_switches - cs0, 2u)
+        << "§6.3: D transfer wait + flush wait";
+  };
+  app = &x.sim().spawn("app", body());
+  x.sim().run();
+}
+
+TEST(BarrierFsTest, FdatabarrierDoesNotBlock) {
+  StackFixture x(StackKind::kBfsDR);
+  sim::ThreadCtx* app = nullptr;
+  auto body = [&]() -> Task {
+    Inode* f = nullptr;
+    co_await x.fs().create("a", f);
+    co_await x.fs().write(*f, 0, 1);
+    co_await x.fs().fsync(*f);
+    co_await x.fs().write(*f, 0, 1);  // data only
+    const std::uint64_t cs0 = app->context_switches;
+    const std::uint64_t blocks0 = app->blocks;
+    co_await x.fs().fdatabarrier(*f);
+    EXPECT_EQ(app->context_switches - cs0, 0u);
+    EXPECT_EQ(app->blocks - blocks0, 0u)
+        << "fdatabarrier returns after dispatch, no sleep at all";
+  };
+  app = &x.sim().spawn("app", body());
+  x.sim().run();
+}
+
+TEST(BarrierFsTest, FdatabarrierEnforcesEpochOrdering) {
+  StackFixture x(StackKind::kBfsDR);
+  flash::Lba hello_lba = 0, world_lba = 0;
+  auto body = [&]() -> Task {
+    Inode* f = nullptr;
+    co_await x.fs().create("a", f);
+    co_await x.fs().write(*f, 0, 1);  // "Hello"
+    hello_lba = f->lba_of_page(0);
+    co_await x.fs().fsync(*f);        // settle metadata
+    co_await x.fs().write(*f, 0, 1);
+    co_await x.fs().fdatabarrier(*f);
+    co_await x.fs().write(*f, 1, 1);  // "World" — next epoch
+    world_lba = f->lba_of_page(1);
+    co_await x.fs().fdatasync(*f);
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+  // Transfer history: world's epoch strictly greater than hello's.
+  std::uint64_t hello_epoch = 0, world_epoch = 0;
+  for (const auto& e : x.dev().transfer_history()) {
+    if (e.lba == hello_lba) hello_epoch = std::max(hello_epoch, e.epoch);
+    if (e.lba == world_lba) world_epoch = e.epoch;
+  }
+  EXPECT_GT(world_epoch, hello_epoch);
+}
+
+TEST(BarrierFsTest, FbarrierReturnsAfterDispatchNotDurability) {
+  StackFixture x(StackKind::kBfsDR);
+  sim::SimTime fbarrier_latency = 0;
+  sim::SimTime fsync_latency = 0;
+  auto body = [&]() -> Task {
+    Inode* f = nullptr;
+    co_await x.fs().create("a", f);
+    co_await x.fs().write(*f, 0, 1);
+    sim::SimTime t0 = x.sim().now();
+    co_await x.fs().fbarrier(*f);
+    fbarrier_latency = x.sim().now() - t0;
+
+    co_await x.sim().delay(5_ms);
+    co_await x.fs().write(*f, 1, 1);
+    t0 = x.sim().now();
+    co_await x.fs().fsync(*f);
+    fsync_latency = x.sim().now() - t0;
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+  EXPECT_LT(fbarrier_latency, fsync_latency / 2)
+      << "ordering-only commit must be far cheaper than durability";
+}
+
+TEST(BarrierFsTest, PipelinedCommitsOverlap) {
+  StackFixture x(StackKind::kBfsDR);
+  // Issue many fbarrier commits from different files back-to-back; the
+  // dual-mode journal should keep several committing transactions alive.
+  std::size_t max_committing = 0;
+  auto body = [&]() -> Task {
+    std::vector<Inode*> files(6);
+    for (int i = 0; i < 6; ++i) {
+      Inode* f = nullptr;
+      co_await x.fs().create("f" + std::to_string(i), f);
+      files[static_cast<std::size_t>(i)] = f;
+    }
+    auto* bfs = dynamic_cast<BarrierFsJournal*>(&x.fs().journal());
+    for (Inode* f : files) {
+      co_await x.fs().write(*f, 0, 1);
+      co_await x.fs().fbarrier(*f);
+      max_committing = std::max(max_committing, bfs->committing_count());
+    }
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+  EXPECT_GE(max_committing, 2u)
+      << "dual-mode journaling: >1 committing transaction in flight";
+}
+
+TEST(BarrierFsTest, MultiTxnPageConflictDoesNotBlockApplication) {
+  StackFixture x(StackKind::kBfsDR);
+  sim::ThreadCtx* app = nullptr;
+  auto body = [&]() -> Task {
+    Inode* f = nullptr;
+    co_await x.fs().create("a", f);
+    co_await x.fs().write(*f, 0, 1);
+    co_await x.fs().fbarrier(*f);  // inode buffer now in a committing txn
+    co_await x.sim().delay(5_ms);  // new tick so the write dirties metadata
+    const std::uint64_t blocks0 = app->blocks;
+    co_await x.fs().write(*f, 0, 1);  // conflicts with committing txn
+    EXPECT_EQ(app->blocks - blocks0, 0u)
+        << "BarrierFS: conflict goes to the conflict-page list, the "
+           "application does not block (§4.3)";
+    co_await x.fs().fsync(*f);  // must still commit correctly
+  };
+  app = &x.sim().spawn("app", body());
+  x.sim().run();
+  EXPECT_GE(x.fs().journal().stats().conflicts, 0u);
+}
+
+TEST(BarrierFsTest, ConflictGatesNextCommitUntilResolved) {
+  StackFixture x(StackKind::kBfsDR);
+  auto body = [&]() -> Task {
+    Inode* f = nullptr;
+    co_await x.fs().create("a", f);
+    co_await x.fs().write(*f, 0, 1);
+    co_await x.fs().fbarrier(*f);
+    co_await x.sim().delay(5_ms);
+    co_await x.fs().write(*f, 0, 1);  // conflict queued
+    co_await x.fs().fsync(*f);        // commit must wait for resolution
+    // If we get here without deadlock the gating worked.
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+  const auto& order = x.fs().journal().commit_order();
+  ASSERT_GE(order.size(), 2u);
+  // The conflicted buffer must appear in the later transaction too.
+  EXPECT_FALSE(order.back()->buffers.empty());
+}
+
+TEST(OptFsTest, OsyncCommitsWithoutFlush) {
+  StackFixture x(StackKind::kOptFs);
+  auto body = [&]() -> Task {
+    Inode* f = nullptr;
+    co_await x.fs().create("a", f);
+    co_await x.fs().write(*f, 0, 1);
+    co_await x.fs().osync(*f, true);
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+  EXPECT_EQ(x.dev().stats().flushes, 0u) << "OptFS never flushes";
+  EXPECT_GE(x.fs().journal().stats().commits, 1u);
+}
+
+TEST(OptFsTest, SelectiveDataJournalingJournalsOverwrites) {
+  StackFixture x(StackKind::kOptFs);
+  auto body = [&]() -> Task {
+    Inode* f = nullptr;
+    co_await x.fs().create("a", f);
+    co_await x.fs().write(*f, 0, 4);
+    co_await x.fs().osync(*f, true);  // allocating: written in place
+    co_await x.fs().write(*f, 0, 4);  // overwrite
+    co_await x.fs().osync(*f, true);  // journaled, not written in place
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+  const auto& order = x.fs().journal().commit_order();
+  ASSERT_GE(order.size(), 2u);
+  EXPECT_EQ(order[0]->journaled_data_blocks, 0u);
+  EXPECT_EQ(order.back()->journaled_data_blocks, 4u)
+      << "4 overwritten pages journaled selectively";
+}
+
+TEST(JournalTest, EmptyCommitDelimitsEpoch) {
+  StackFixture x(StackKind::kBfsDR);
+  auto body = [&]() -> Task {
+    Inode* f = nullptr;
+    co_await x.fs().create("a", f);
+    co_await x.fs().write(*f, 0, 1);
+    co_await x.fs().fsync(*f);
+    // No dirty data, no dirty metadata: fdatabarrier still delimits.
+    co_await x.fs().fdatabarrier(*f);
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+  EXPECT_GE(x.fs().journal().stats().empty_commits, 1u);
+}
+
+TEST(JournalTest, JournalWrapsAroundCircularly) {
+  core::StackConfig cfg = test_stack_config(core::StackKind::kExt4DR);
+  cfg.fs.journal_blocks = 16;  // tiny journal: wraps quickly
+  StackFixture x(core::StackKind::kExt4DR, &cfg);
+  auto body = [&]() -> Task {
+    Inode* f = nullptr;
+    co_await x.fs().create("a", f);
+    for (int i = 0; i < 12; ++i) {
+      co_await x.sim().delay(5_ms);  // new tick each round: metadata dirty
+      co_await x.fs().write(*f, 0, 1);
+      co_await x.fs().fsync(*f);
+    }
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+  EXPECT_GT(x.fs().journal().stats().journal_wraps, 0u);
+}
+
+}  // namespace
+}  // namespace bio::fs

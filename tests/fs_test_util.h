@@ -1,0 +1,42 @@
+// Helpers for filesystem/stack tests: a small fast stack fixture.
+#pragma once
+
+#include <memory>
+
+#include "core/stack.h"
+#include "flash_test_util.h"
+
+namespace bio::fs::testutil {
+
+/// StackConfig for `kind` on the tiny test device (larger than the device
+/// tests' profile so filesystem workloads fit comfortably).
+inline core::StackConfig test_stack_config(core::StackKind kind) {
+  flash::DeviceProfile dev =
+      flash::testutil::test_profile(flash::BarrierMode::kNone);
+  dev.geometry.blocks_per_chip = 64;   // 4 chips * 64 * 4 = 1024 pages
+  dev.queue_depth = 16;
+  dev.cache_entries = 64;
+  core::StackConfig cfg = core::StackConfig::make(kind, dev);
+  cfg.fs.journal_blocks = 256;
+  cfg.fs.max_inodes = 64;
+  cfg.fs.default_extent_blocks = 64;
+  cfg.fs.writeback_high_watermark = 1u << 20;  // pdflush off unless wanted
+  return cfg;
+}
+
+struct StackFixture {
+  std::unique_ptr<core::Stack> stack;
+
+  explicit StackFixture(core::StackKind kind,
+                        core::StackConfig* custom = nullptr) {
+    core::StackConfig cfg = custom ? *custom : test_stack_config(kind);
+    stack = std::make_unique<core::Stack>(cfg);
+    stack->start();
+  }
+
+  sim::Simulator& sim() { return stack->sim(); }
+  fs::Filesystem& fs() { return stack->fs(); }
+  flash::StorageDevice& dev() { return stack->device(); }
+};
+
+}  // namespace bio::fs::testutil

@@ -1,0 +1,312 @@
+// Tests for the coroutine task machinery and the event loop.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace bio::sim {
+namespace {
+
+using namespace bio::sim::literals;
+
+TEST(SimulatorTest, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0u);
+  EXPECT_FALSE(sim.has_pending_events());
+}
+
+TEST(SimulatorTest, DelayAdvancesTime) {
+  Simulator sim;
+  SimTime observed = kSimTimeMax;
+  auto body = [&]() -> Task {
+    co_await sim.delay(15_us);
+    observed = sim.now();
+  };
+  sim.spawn("t", body());
+  sim.run();
+  EXPECT_EQ(observed, 15_us);
+  EXPECT_EQ(sim.now(), 15_us);
+}
+
+TEST(SimulatorTest, SequentialDelaysAccumulate) {
+  Simulator sim;
+  std::vector<SimTime> stamps;
+  auto body = [&]() -> Task {
+    for (int i = 0; i < 3; ++i) {
+      co_await sim.delay(10_us);
+      stamps.push_back(sim.now());
+    }
+  };
+  sim.spawn("t", body());
+  sim.run();
+  ASSERT_EQ(stamps.size(), 3u);
+  EXPECT_EQ(stamps[0], 10_us);
+  EXPECT_EQ(stamps[1], 20_us);
+  EXPECT_EQ(stamps[2], 30_us);
+}
+
+TEST(SimulatorTest, TwoThreadsInterleaveByTimestamp) {
+  Simulator sim;
+  std::vector<int> order;
+  auto mk = [&](int id, SimTime step) -> Task {
+    for (int i = 0; i < 2; ++i) {
+      co_await sim.delay(step);
+      order.push_back(id);
+    }
+  };
+  sim.spawn("a", mk(1, 10_us));
+  sim.spawn("b", mk(2, 15_us));
+  sim.run();
+  // a@10, b@15, a@20, b@30.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2}));
+}
+
+TEST(SimulatorTest, SameTimestampRunsInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  auto mk = [&](int id) -> Task {
+    co_await sim.delay(5_us);
+    order.push_back(id);
+  };
+  sim.spawn("a", mk(1));
+  sim.spawn("b", mk(2));
+  sim.spawn("c", mk(3));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, AwaitedChildRunsInline) {
+  Simulator sim;
+  std::vector<std::string> log;
+  auto child = [&]() -> Task {
+    log.push_back("child-start");
+    co_await sim.delay(5_us);
+    log.push_back("child-end");
+  };
+  auto parent = [&]() -> Task {
+    log.push_back("parent-start");
+    co_await child();
+    log.push_back("parent-end");
+  };
+  sim.spawn("p", parent());
+  sim.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"parent-start", "child-start",
+                                           "child-end", "parent-end"}));
+  EXPECT_EQ(sim.now(), 5_us);
+}
+
+TEST(SimulatorTest, NestedChildrenPropagateTime) {
+  Simulator sim;
+  auto leaf = [&]() -> Task { co_await sim.delay(7_us); };
+  auto mid = [&]() -> Task {
+    co_await leaf();
+    co_await leaf();
+  };
+  auto root = [&]() -> Task {
+    co_await mid();
+    co_await sim.delay(1_us);
+  };
+  sim.spawn("r", root());
+  sim.run();
+  EXPECT_EQ(sim.now(), 15_us);
+}
+
+TEST(SimulatorTest, ExceptionInChildPropagatesToParent) {
+  Simulator sim;
+  bool caught = false;
+  auto child = [&]() -> Task {
+    co_await sim.delay(1_us);
+    throw std::runtime_error("boom");
+  };
+  auto parent = [&]() -> Task {
+    try {
+      co_await child();
+    } catch (const std::runtime_error&) {
+      caught = true;
+    }
+  };
+  sim.spawn("p", parent());
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(SimulatorTest, ExceptionInTopLevelRethrownFromRun) {
+  Simulator sim;
+  auto body = [&]() -> Task {
+    co_await sim.delay(1_us);
+    throw std::runtime_error("unhandled");
+  };
+  sim.spawn("t", body());
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtRequestedTime) {
+  Simulator sim;
+  int ticks = 0;
+  auto body = [&]() -> Task {
+    for (int i = 0; i < 100; ++i) {
+      co_await sim.delay(10_us);
+      ++ticks;
+    }
+  };
+  sim.spawn("t", body());
+  sim.run_until(35_us);
+  EXPECT_EQ(ticks, 3);
+  EXPECT_EQ(sim.now(), 35_us);
+  EXPECT_TRUE(sim.has_pending_events());
+  sim.run();
+  EXPECT_EQ(ticks, 100);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesTimeEvenWithNoEvents) {
+  Simulator sim;
+  sim.run_until(1_ms);
+  EXPECT_EQ(sim.now(), 1_ms);
+}
+
+TEST(SimulatorTest, StopBreaksRunLoop) {
+  Simulator sim;
+  int count = 0;
+  auto body = [&]() -> Task {
+    for (;;) {
+      co_await sim.delay(1_us);
+      if (++count == 5) sim.stop();
+    }
+  };
+  sim.spawn("t", body());
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_TRUE(sim.has_pending_events());
+}
+
+TEST(SimulatorTest, JoinWaitsForThreadCompletion) {
+  Simulator sim;
+  SimTime joined_at = 0;
+  auto worker = [&]() -> Task { co_await sim.delay(50_us); };
+  auto& w = sim.spawn("worker", worker());
+  auto waiter = [&]() -> Task {
+    co_await sim.join(w);
+    joined_at = sim.now();
+  };
+  sim.spawn("waiter", waiter());
+  sim.run();
+  EXPECT_GE(joined_at, 50_us);
+  EXPECT_TRUE(w.finished);
+}
+
+TEST(SimulatorTest, JoinOnFinishedThreadIsImmediate) {
+  Simulator sim;
+  auto worker = [&]() -> Task { co_await sim.delay(1_us); };
+  auto& w = sim.spawn("worker", worker());
+  sim.run();
+  bool joined = false;
+  auto waiter = [&]() -> Task {
+    co_await sim.join(w);
+    joined = true;
+  };
+  sim.spawn("waiter", waiter());
+  sim.run();
+  EXPECT_TRUE(joined);
+}
+
+TEST(SimulatorTest, JoinCountsAsContextSwitch) {
+  Simulator sim;
+  auto worker = [&]() -> Task { co_await sim.delay(50_us); };
+  auto& w = sim.spawn("worker", worker());
+  auto waiter = [&]() -> Task { co_await sim.join(w); };
+  auto& wt = sim.spawn("waiter", waiter());
+  sim.run();
+  EXPECT_EQ(wt.context_switches, 1u);
+  EXPECT_EQ(wt.blocks, 1u);
+  // Pure delays never count as context switches.
+  EXPECT_EQ(w.context_switches, 0u);
+}
+
+TEST(SimulatorTest, WakeLatencyChargedOnWakeup) {
+  Simulator sim({.wake_latency = 5_us});
+  SimTime joined_at = 0;
+  auto worker = [&]() -> Task { co_await sim.delay(50_us); };
+  auto& w = sim.spawn("worker", worker());
+  auto waiter = [&]() -> Task {
+    co_await sim.join(w);
+    joined_at = sim.now();
+  };
+  sim.spawn("waiter", waiter());
+  sim.run();
+  EXPECT_EQ(joined_at, 55_us);
+}
+
+TEST(SimulatorTest, ScheduleCallRunsAtRequestedTime) {
+  Simulator sim;
+  SimTime fired = 0;
+  sim.schedule_call(30_us, [&] { fired = sim.now(); });
+  sim.run();
+  EXPECT_EQ(fired, 30_us);
+}
+
+TEST(SimulatorTest, ThreadStatsByPrefix) {
+  Simulator sim;
+  auto worker = [&]() -> Task { co_await sim.delay(1_us); };
+  sim.spawn("app:0", worker());
+  sim.spawn("app:1", worker());
+  sim.spawn("jbd", worker());
+  sim.run();
+  EXPECT_EQ(sim.thread_count("app:"), 2u);
+  EXPECT_EQ(sim.thread_count(""), 3u);
+}
+
+TEST(SimulatorTest, TeardownWithSuspendedThreadsDoesNotLeakOrCrash) {
+  auto sim = std::make_unique<Simulator>();
+  auto body = [&s = *sim]() -> Task {
+    for (;;) co_await s.delay(1_ms);
+  };
+  sim->spawn("immortal", body());
+  sim->run_until(10_ms);
+  // Destroying the simulator with the thread still suspended must be safe.
+  sim.reset();
+  SUCCEED();
+}
+
+TEST(SimulatorTest, YieldInterleavesCoroutinesAtSameTime) {
+  Simulator sim;
+  std::vector<int> order;
+  auto mk = [&](int id) -> Task {
+    order.push_back(id);
+    co_await sim.yield();
+    order.push_back(id + 10);
+  };
+  sim.spawn("a", mk(1));
+  sim.spawn("b", mk(2));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 11, 12}));
+  EXPECT_EQ(sim.now(), 0u);
+}
+
+TEST(TaskTest, UnstartedTaskIsSafelyDestroyed) {
+  Simulator sim;
+  bool ran = false;
+  {
+    auto body = [&]() -> Task {
+      ran = true;
+      co_return;
+    };
+    Task t = body();
+    EXPECT_TRUE(t.valid());
+  }
+  EXPECT_FALSE(ran);
+}
+
+TEST(TaskTest, MoveTransfersOwnership) {
+  Simulator sim;
+  auto body = [&]() -> Task { co_return; };
+  Task a = body();
+  Task b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): testing move
+  EXPECT_TRUE(b.valid());
+}
+
+}  // namespace
+}  // namespace bio::sim

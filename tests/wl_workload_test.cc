@@ -1,0 +1,233 @@
+// Workload-generator tests: each workload runs end-to-end on a small stack
+// and reports sane, internally-consistent results; cross-stack comparisons
+// reproduce the paper's directional claims in miniature.
+#include <gtest/gtest.h>
+
+#include "fs_test_util.h"
+#include "wl/fxmark.h"
+#include "wl/oltp.h"
+#include "wl/random_write.h"
+#include "wl/sqlite.h"
+#include "wl/varmail.h"
+
+namespace bio::wl {
+namespace {
+
+using core::Stack;
+using core::StackConfig;
+using core::StackKind;
+
+StackConfig small_config(StackKind kind) {
+  StackConfig cfg = fs::testutil::test_stack_config(kind);
+  cfg.fs.max_inodes = 1024;
+  cfg.fs.journal_blocks = 1024;
+  return cfg;
+}
+
+TEST(RandomWriteTest, FdatasyncModeCompletesAllOps) {
+  Stack stack(small_config(StackKind::kExt4DR));
+  RandomWriteParams p;
+  p.mode = RandomWriteParams::Mode::kFdatasync;
+  p.ops = 50;
+  p.working_set_pages = 32;
+  auto r = run_random_write(stack, p, sim::Rng(1));
+  EXPECT_EQ(r.ops_done, 50u);
+  EXPECT_GT(r.iops, 0.0);
+  EXPECT_GT(r.elapsed, 0u);
+}
+
+TEST(RandomWriteTest, BufferedModeFasterThanSync) {
+  Stack sync_stack(small_config(StackKind::kExt4DR));
+  Stack buf_stack(small_config(StackKind::kExt4DR));
+  RandomWriteParams p;
+  p.ops = 60;
+  p.working_set_pages = 32;
+  p.mode = RandomWriteParams::Mode::kFdatasync;
+  auto synced = run_random_write(sync_stack, p, sim::Rng(2));
+  p.mode = RandomWriteParams::Mode::kBuffered;
+  auto buffered = run_random_write(buf_stack, p, sim::Rng(2));
+  EXPECT_GT(buffered.iops, 2.0 * synced.iops);
+}
+
+TEST(RandomWriteTest, BarrierModeBeatsWaitOnTransfer) {
+  Stack x_stack(small_config(StackKind::kExt4OD));
+  Stack b_stack(small_config(StackKind::kBfsOD));
+  RandomWriteParams p;
+  p.ops = 200;
+  p.working_set_pages = 64;
+  p.mode = RandomWriteParams::Mode::kFdatasync;
+  auto x = run_random_write(x_stack, p, sim::Rng(3));
+  p.mode = RandomWriteParams::Mode::kFdatabarrier;
+  auto b = run_random_write(b_stack, p, sim::Rng(3));
+  EXPECT_GT(b.iops, 1.5 * x.iops) << "fdatabarrier must beat Wait-on-Transfer";
+  EXPECT_GT(b.avg_queue_depth, x.avg_queue_depth);
+}
+
+TEST(RandomWriteTest, MultiFileRotationUsesAllFiles) {
+  Stack stack(small_config(StackKind::kBfsOD));
+  RandomWriteParams p;
+  p.mode = RandomWriteParams::Mode::kAllocFdatabarrier;
+  p.ops = 40;
+  p.files = 4;
+  auto r = run_random_write(stack, p, sim::Rng(4));
+  EXPECT_EQ(r.ops_done, 40u);
+  for (int i = 0; i < 4; ++i) {
+    fs::Inode* f = stack.fs().lookup("bench" + std::to_string(i));
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->size_blocks, 10u);
+  }
+}
+
+TEST(RandomWriteTest, ContextSwitchAccountingMatchesStack) {
+  Stack ext4(small_config(StackKind::kExt4DR));
+  RandomWriteParams p;
+  p.mode = RandomWriteParams::Mode::kSyncFile;
+  p.ops = 100;
+  p.working_set_pages = 64;
+  auto r = run_random_write(ext4, p, sim::Rng(5));
+  EXPECT_NEAR(r.context_switches_per_op, 2.0, 0.15)
+      << "EXT4-DR: two blocking points per fsync";
+}
+
+TEST(SqliteTest, PersistModeRunsTransactions) {
+  Stack stack(small_config(StackKind::kExt4DR));
+  SqliteParams p;
+  p.transactions = 20;
+  p.db_pages = 128;
+  auto r = run_sqlite(stack, p, sim::Rng(6));
+  EXPECT_EQ(r.tx_done, 20u);
+  EXPECT_GT(r.tx_per_sec, 0.0);
+  // PERSIST: 4 sync points per txn drive >= 4 journal-or-flush operations.
+  EXPECT_GE(stack.fs().stats().fdatasyncs, 4 * 20u);
+}
+
+TEST(SqliteTest, BarrierStackUsesFdatabarrierForOrderingPoints) {
+  Stack stack(small_config(StackKind::kBfsDR));
+  SqliteParams p;
+  p.transactions = 10;
+  p.db_pages = 128;
+  auto r = run_sqlite(stack, p, sim::Rng(7));
+  EXPECT_EQ(r.tx_done, 10u);
+  // 3 ordering points per txn -> fdatabarrier; 1 durability -> fdatasync.
+  EXPECT_GE(stack.fs().stats().fdatabarriers, 3 * 10u);
+  EXPECT_GE(stack.fs().stats().fdatasyncs, 10u);
+}
+
+TEST(SqliteTest, WalModeSyncsOncePerCommit) {
+  Stack stack(small_config(StackKind::kExt4DR));
+  SqliteParams p;
+  p.mode = SqliteParams::Mode::kWal;
+  p.transactions = 15;
+  p.db_pages = 128;
+  auto r = run_sqlite(stack, p, sim::Rng(8));
+  EXPECT_EQ(r.tx_done, 15u);
+  // Setup adds a couple of fsyncs; WAL adds exactly one sync per commit.
+  EXPECT_LE(stack.fs().stats().fdatasyncs, 15u + 2u);
+}
+
+TEST(SqliteTest, RelaxedDurabilityIsFaster) {
+  Stack dr(small_config(StackKind::kBfsDR));
+  Stack od(small_config(StackKind::kBfsOD));
+  SqliteParams p;
+  p.transactions = 30;
+  p.db_pages = 128;
+  auto r_dr = run_sqlite(dr, p, sim::Rng(9));
+  auto r_od = run_sqlite(od, p, sim::Rng(9));
+  EXPECT_GT(r_od.tx_per_sec, r_dr.tx_per_sec);
+}
+
+TEST(VarmailTest, RunsAndCountsFlowops) {
+  Stack stack(small_config(StackKind::kExt4DR));
+  VarmailParams p;
+  p.threads = 4;
+  p.files = 24;
+  p.iterations = 5;
+  p.file_pages = 2;
+  auto r = run_varmail(stack, p, sim::Rng(10));
+  EXPECT_GT(r.ops_done, 4u * 5u);
+  EXPECT_GT(r.ops_per_sec, 0.0);
+  EXPECT_GT(stack.fs().stats().unlinks, 0u);
+  EXPECT_GT(stack.fs().stats().creates, 24u);
+}
+
+TEST(VarmailTest, BarrierStackOutperformsLegacy) {
+  auto cfg_dr = small_config(StackKind::kExt4DR);
+  auto cfg_bfs = small_config(StackKind::kBfsDR);
+  Stack ext4(cfg_dr);
+  Stack bfs(cfg_bfs);
+  VarmailParams p;
+  p.threads = 4;
+  p.files = 24;
+  p.iterations = 8;
+  p.file_pages = 2;
+  auto r_ext4 = run_varmail(ext4, p, sim::Rng(11));
+  auto r_bfs = run_varmail(bfs, p, sim::Rng(11));
+  EXPECT_GT(r_bfs.ops_per_sec, r_ext4.ops_per_sec)
+      << "BFS-DR should beat EXT4-DR on fsync-heavy varmail";
+}
+
+TEST(OltpTest, RunsTransactionsAcrossThreads) {
+  Stack stack(small_config(StackKind::kExt4DR));
+  OltpParams p;
+  p.threads = 3;
+  p.transactions_per_thread = 8;
+  p.table_pages = 256;
+  auto r = run_oltp_insert(stack, p, sim::Rng(12));
+  EXPECT_EQ(r.tx_done, 24u);
+  EXPECT_GT(r.tx_per_sec, 0.0);
+}
+
+TEST(OltpTest, OptFsSuffersFromDataJournaling) {
+  auto cfg_od = small_config(StackKind::kExt4OD);
+  auto cfg_opt = small_config(StackKind::kOptFs);
+  Stack ext4od(cfg_od);
+  Stack optfs(cfg_opt);
+  OltpParams p;
+  p.threads = 2;
+  p.transactions_per_thread = 40;
+  p.table_pages = 256;
+  p.rows_pages_per_tx = 6;   // heavy overwrite traffic
+  p.checkpoint_every = 2;    // frequent checkpoints -> data journaling
+  auto r_od = run_oltp_insert(ext4od, p, sim::Rng(13));
+  auto r_opt = run_oltp_insert(optfs, p, sim::Rng(13));
+  EXPECT_LT(r_opt.tx_per_sec, r_od.tx_per_sec)
+      << "selective data journaling should hurt OptFS on overwrites";
+  // And the journal really carried data blocks:
+  std::uint64_t journaled = 0;
+  for (const fs::Txn* t : optfs.fs().journal().commit_order())
+    journaled += t->journaled_data_blocks;
+  EXPECT_GT(journaled, 0u);
+}
+
+TEST(FxmarkTest, ScalesWithCores) {
+  auto one = small_config(StackKind::kBfsDR);
+  auto four = small_config(StackKind::kBfsDR);
+  Stack s1(one);
+  Stack s4(four);
+  FxmarkParams p;
+  p.writes_per_thread = 30;
+  p.cores = 1;
+  auto r1 = run_fxmark_dwsl(s1, p, sim::Rng(14));
+  p.cores = 4;
+  auto r4 = run_fxmark_dwsl(s4, p, sim::Rng(14));
+  EXPECT_EQ(r1.ops_done, 30u);
+  EXPECT_EQ(r4.ops_done, 120u);
+  EXPECT_GT(r4.ops_per_sec, r1.ops_per_sec)
+      << "group commit must give some concurrency scaling";
+}
+
+TEST(FxmarkTest, BfsPipelinesBetterThanExt4) {
+  auto cfg_e = small_config(StackKind::kExt4DR);
+  auto cfg_b = small_config(StackKind::kBfsDR);
+  Stack ext4(cfg_e);
+  Stack bfs(cfg_b);
+  FxmarkParams p;
+  p.cores = 6;
+  p.writes_per_thread = 40;
+  auto r_e = run_fxmark_dwsl(ext4, p, sim::Rng(15));
+  auto r_b = run_fxmark_dwsl(bfs, p, sim::Rng(15));
+  EXPECT_GT(r_b.ops_per_sec, r_e.ops_per_sec);
+}
+
+}  // namespace
+}  // namespace bio::wl
