@@ -1,5 +1,6 @@
-// Quickstart: assemble a Barrier-Enabled IO stack, write a file, and
-// compare the cost of the four synchronization primitives.
+// Quickstart: assemble a Barrier-Enabled IO stack, open a file through the
+// handle-based VFS, and compare the cost of the four synchronization
+// primitives.
 //
 //   fsync()         durability + ordering, waits for the flush
 //   fdatasync()     like fsync, data (+ size) only
@@ -8,9 +9,14 @@
 //   fdatabarrier()  ordering only, data only: returns immediately after
 //                   dispatching barrier-tagged writes
 //
+// Applications normally do not pick the primitive by hand: they declare the
+// *intent* (order_point / durability_point) and the Vfs's SyncPolicy maps
+// it to the right syscall for the stack it runs on (paper §5).
+//
 // Build: cmake --build build && ./build/examples/quickstart
 #include <cstdio>
 
+#include "api/vfs.h"
 #include "core/stack.h"
 #include "flash/profile.h"
 
@@ -18,16 +24,16 @@ using namespace bio;
 
 namespace {
 
-sim::Task demo(core::Stack& stack) {
-  fs::Filesystem& filesystem = stack.fs();
+sim::Task demo(core::Stack& stack, api::Vfs& vfs) {
   sim::Simulator& sim = stack.sim();
 
-  fs::Inode* file = nullptr;
-  co_await filesystem.create("demo.db", file, 1024);
+  api::File file = api::must(
+      co_await vfs.open("demo.db", {.create = true, .extent_blocks = 1024}));
 
-  auto timed = [&](const char* label, sim::Task op) -> sim::Task {
+  auto timed = [&](const char* label, sim::TaskOf<api::Status> op)
+      -> sim::Task {
     const sim::SimTime t0 = sim.now();
-    co_await std::move(op);
+    api::must(co_await op);
     std::printf("  %-16s %8.1f us\n", label,
                 sim::to_micros(sim.now() - t0));
   };
@@ -35,26 +41,34 @@ sim::Task demo(core::Stack& stack) {
   std::printf("4 KiB write + sync primitive latencies on %s (BarrierFS):\n",
               stack.device().profile().name.c_str());
 
-  co_await filesystem.write(*file, 0, 1);
-  co_await timed("fsync", filesystem.fsync(*file));
+  api::must(co_await file.pwrite(0, 1));
+  co_await timed("fsync", file.fsync());
 
-  co_await filesystem.write(*file, 1, 1);
-  co_await timed("fdatasync", filesystem.fdatasync(*file));
+  api::must(co_await file.pwrite(1, 1));
+  co_await timed("fdatasync", file.fdatasync());
 
-  co_await filesystem.write(*file, 2, 1);
-  co_await timed("fbarrier", filesystem.fbarrier(*file));
+  api::must(co_await file.pwrite(2, 1));
+  co_await timed("fbarrier", file.fbarrier());
 
-  co_await filesystem.write(*file, 3, 1);
-  co_await timed("fdatabarrier", filesystem.fdatabarrier(*file));
+  api::must(co_await file.pwrite(3, 1));
+  co_await timed("fdatabarrier", file.fdatabarrier());
+
+  // The same calls, written as intents: the SyncPolicy resolves them.
+  api::must(co_await file.pwrite(4, 1));
+  co_await timed("order_point", file.order_point());
+  api::must(co_await file.pwrite(5, 1));
+  co_await timed("durability_point", file.durability_point());
 
   // The paper's §4.1 codelet: ordering without durability.
-  co_await filesystem.write(*file, 10, 1);  // "Hello"
-  co_await filesystem.fdatabarrier(*file);
-  co_await filesystem.write(*file, 11, 1);  // "World"
+  api::must(co_await file.pwrite(10, 1));  // "Hello"
+  api::must(co_await file.fdatabarrier());
+  api::must(co_await file.pwrite(11, 1));  // "World"
   std::printf(
       "\nwrite(Hello); fdatabarrier(); write(World); -> on this stack,\n"
       "World can never persist without Hello, and the caller never "
       "blocked.\n");
+
+  api::must(file.close());
 }
 
 }  // namespace
@@ -64,7 +78,8 @@ int main() {
       core::StackKind::kBfsDR, flash::DeviceProfile::ufs());
   core::Stack stack(cfg);
   stack.start();
-  stack.sim().spawn("app", demo(stack));
+  api::Vfs vfs(stack);
+  stack.sim().spawn("app", demo(stack, vfs));
   stack.sim().run();
 
   std::printf("\ndevice: %llu writes, %llu barrier writes, %llu flushes\n",

@@ -1,0 +1,101 @@
+// Errno-style syscall outcomes for the handle-based VFS layer.
+//
+// Every api::Vfs syscall returns Status (void syscalls) or Result<T>
+// (value-producing syscalls) instead of crashing on misuse, so workloads
+// have real error paths to exercise: a closed descriptor yields kBadF, a
+// missing name kNoEnt, an exhausted inode table or extent kNoSpc.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "sim/check.h"
+
+namespace bio::api {
+
+enum class Errno : std::uint8_t {
+  kOk = 0,
+  kNoEnt,   // ENOENT: no such file
+  kBadF,    // EBADF: bad file descriptor
+  kNoSpc,   // ENOSPC: out of inodes / write beyond the reserved extent
+  kExist,   // EEXIST: exclusive create of an existing file
+  kInval,   // EINVAL: zero-length IO and similar misuse
+};
+
+const char* to_string(Errno e) noexcept;
+
+/// Outcome of a void syscall (close, fsync, unlink, ...).
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // success
+  /*implicit*/ Status(Errno e) : err_(e) {}
+
+  bool ok() const noexcept { return err_ == Errno::kOk; }
+  Errno error() const noexcept { return err_; }
+  explicit operator bool() const noexcept { return ok(); }
+
+ private:
+  Errno err_ = Errno::kOk;
+};
+
+/// Outcome of a value-producing syscall (open, pread, pwrite, ...).
+/// On error the value is default-constructed and must not be used.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /*implicit*/ Result(T value) : value_(std::move(value)) {}
+  /*implicit*/ Result(Errno e) : err_(e) {
+    BIO_CHECK_MSG(e != Errno::kOk, "error Result built with kOk");
+  }
+
+  bool ok() const noexcept { return err_ == Errno::kOk; }
+  Errno error() const noexcept { return err_; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// The payload; checked access, only valid when ok().
+  T& value() & {
+    BIO_CHECK_MSG(ok(), "Result::value() on error");
+    return value_;
+  }
+  const T& value() const& {
+    BIO_CHECK_MSG(ok(), "Result::value() on error");
+    return value_;
+  }
+  T&& value() && {
+    BIO_CHECK_MSG(ok(), "Result::value() on error");
+    return std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+  Status status() const noexcept { return Status(err_); }
+
+ private:
+  Errno err_ = Errno::kOk;
+  T value_{};
+};
+
+/// Unwraps a syscall outcome, aborting the simulation on error — for call
+/// sites where failure indicates a harness bug rather than a modelled
+/// outcome (workloads use it the way applications use assert-on-syscall).
+template <typename T>
+T must(Result<T> r) {
+  BIO_CHECK_MSG(r.ok(), to_string(r.error()));
+  return std::move(r).value();
+}
+inline void must(Status s) { BIO_CHECK_MSG(s.ok(), to_string(s.error())); }
+
+inline const char* to_string(Errno e) noexcept {
+  switch (e) {
+    case Errno::kOk: return "OK";
+    case Errno::kNoEnt: return "ENOENT";
+    case Errno::kBadF: return "EBADF";
+    case Errno::kNoSpc: return "ENOSPC";
+    case Errno::kExist: return "EEXIST";
+    case Errno::kInval: return "EINVAL";
+  }
+  return "?";
+}
+
+}  // namespace bio::api

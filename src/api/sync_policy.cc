@@ -1,0 +1,73 @@
+#include "api/sync_policy.h"
+
+namespace bio::api {
+
+const char* to_string(Syscall s) noexcept {
+  switch (s) {
+    case Syscall::kNone: return "none";
+    case Syscall::kFsync: return "fsync";
+    case Syscall::kFdatasync: return "fdatasync";
+    case Syscall::kFbarrier: return "fbarrier";
+    case Syscall::kFdatabarrier: return "fdatabarrier";
+    case Syscall::kOsync: return "osync";
+  }
+  return "?";
+}
+
+const char* to_string(SyncIntent i) noexcept {
+  switch (i) {
+    case SyncIntent::kOrder: return "order";
+    case SyncIntent::kDurability: return "durability";
+    case SyncIntent::kFullSync: return "full-sync";
+  }
+  return "?";
+}
+
+SyncPolicy SyncPolicy::for_stack(core::StackKind kind) noexcept {
+  switch (kind) {
+    case core::StackKind::kExt4DR:
+    case core::StackKind::kExt4OD:
+      return {.order = Syscall::kFdatasync,
+              .durability = Syscall::kFdatasync,
+              .full_sync = Syscall::kFsync};
+    case core::StackKind::kBfsDR:
+      return {.order = Syscall::kFdatabarrier,
+              .durability = Syscall::kFdatasync,
+              .full_sync = Syscall::kFsync};
+    case core::StackKind::kBfsOD:
+      // The paper's "relaxing the durability" configuration: every
+      // durability point is deliberately demoted to an ordering one.
+      return {.order = Syscall::kFdatabarrier,
+              .durability = Syscall::kFdatabarrier,
+              .full_sync = Syscall::kFbarrier};
+    case core::StackKind::kOptFs:
+      return {.order = Syscall::kOsync,
+              .durability = Syscall::kOsync,
+              .full_sync = Syscall::kOsync};
+  }
+  return {};
+}
+
+sim::Task issue(fs::Filesystem& filesystem, fs::Inode& f, Syscall call) {
+  switch (call) {
+    case Syscall::kNone:
+      break;
+    case Syscall::kFsync:
+      co_await filesystem.fsync(f);
+      break;
+    case Syscall::kFdatasync:
+      co_await filesystem.fdatasync(f);
+      break;
+    case Syscall::kFbarrier:
+      co_await filesystem.fbarrier(f);
+      break;
+    case Syscall::kFdatabarrier:
+      co_await filesystem.fdatabarrier(f);
+      break;
+    case Syscall::kOsync:
+      co_await filesystem.osync(f, /*wait_transfer=*/true);
+      break;
+  }
+}
+
+}  // namespace bio::api

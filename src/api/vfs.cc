@@ -1,0 +1,285 @@
+#include "api/vfs.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace bio::api {
+
+// ---- descriptor-table plumbing ---------------------------------------------
+
+Vfs::FdEntry* Vfs::entry(Fd fd) {
+  if (fd < 0 || static_cast<std::size_t>(fd) >= fds_.size() ||
+      fds_[static_cast<std::size_t>(fd)].vnode == nullptr)
+    return nullptr;
+  return &fds_[static_cast<std::size_t>(fd)];
+}
+
+const Vfs::FdEntry* Vfs::entry(Fd fd) const {
+  return const_cast<Vfs*>(this)->entry(fd);
+}
+
+Errno Vfs::fail(Errno e) const {
+  ++stats_.errors;
+  return e;
+}
+
+void Vfs::unref(Vnode& vn) {
+  --vn.refcount;
+  maybe_retire(vn);
+}
+
+void Vfs::unpin(Vnode& vn) {
+  --vn.pins;
+  maybe_retire(vn);
+}
+
+void Vfs::maybe_retire(Vnode& vn) {
+  if (vn.refcount > 0 || vn.pins > 0) return;
+  if (vn.unlinked) fs_.reclaim(*vn.inode);
+  vnodes_.erase(vn.inode);
+}
+
+Vfs::Vnode& Vfs::vnode_for(fs::Inode& inode) {
+  std::unique_ptr<Vnode>& slot = vnodes_[&inode];
+  if (slot == nullptr) {
+    slot = std::make_unique<Vnode>();
+    slot->inode = &inode;
+  }
+  return *slot;
+}
+
+Fd Vfs::alloc_fd(Vnode& vn) {
+  // POSIX semantics: the lowest free descriptor.
+  std::size_t slot = 0;
+  while (slot < fds_.size() && fds_[slot].vnode != nullptr) ++slot;
+  if (slot == fds_.size()) fds_.emplace_back();
+  fds_[slot].vnode = &vn;
+  fds_[slot].offset = 0;
+  ++vn.refcount;
+  ++open_fds_;
+  return static_cast<Fd>(slot);
+}
+
+// ---- namespace --------------------------------------------------------------
+
+sim::TaskOf<Result<File>> Vfs::open(std::string name, OpenOptions opts) {
+  fs::Inode* inode = fs_.lookup(name);
+  if (inode != nullptr) {
+    if (opts.create && opts.exclusive) co_return fail(Errno::kExist);
+  } else {
+    if (!opts.create) co_return fail(Errno::kNoEnt);
+    if (!fs_.has_free_inode()) co_return fail(Errno::kNoSpc);
+    co_await fs_.create(std::move(name), inode, opts.extent_blocks);
+    ++stats_.creates;
+  }
+  ++stats_.opens;
+  co_return File(this, alloc_fd(vnode_for(*inode)));
+}
+
+Status Vfs::close(Fd fd) {
+  FdEntry* e = entry(fd);
+  if (e == nullptr) return fail(Errno::kBadF);
+  Vnode* vn = e->vnode;
+  e->vnode = nullptr;
+  e->offset = 0;
+  ++e->generation;
+  --open_fds_;
+  ++stats_.closes;
+  unref(*vn);
+  return {};
+}
+
+sim::TaskOf<Status> Vfs::unlink(const std::string& name) {
+  fs::Inode* inode = fs_.lookup(name);
+  if (inode == nullptr) co_return fail(Errno::kNoEnt);
+  ++stats_.unlinks;
+  auto it = vnodes_.find(inode);
+  if (it != vnodes_.end()) {
+    // Descriptors are still open: remove the name only; the extent/ino
+    // recycle on the last close, so surviving fds never alias a new file.
+    it->second->unlinked = true;
+    co_await fs_.unlink_deferred(name);
+  } else {
+    co_await fs_.unlink(name);
+  }
+  co_return Status{};
+}
+
+// ---- data path --------------------------------------------------------------
+
+sim::TaskOf<Result<std::uint32_t>> Vfs::pread(Fd fd, std::uint32_t page,
+                                              std::uint32_t npages) {
+  FdEntry* e = entry(fd);
+  if (e == nullptr) co_return fail(Errno::kBadF);
+  if (npages == 0) co_return fail(Errno::kInval);
+  Vnode& vn = *e->vnode;
+  fs::Inode& inode = *vn.inode;
+  if (page >= inode.size_blocks) co_return std::uint32_t{0};  // at/past EOF
+  const std::uint32_t n = std::min(npages, inode.size_blocks - page);
+  pin(vn);
+  co_await fs_.read(inode, page, n);
+  unpin(vn);
+  co_return n;
+}
+
+sim::TaskOf<Result<std::uint32_t>> Vfs::pwrite(Fd fd, std::uint32_t page,
+                                               std::uint32_t npages) {
+  FdEntry* e = entry(fd);
+  if (e == nullptr) co_return fail(Errno::kBadF);
+  if (npages == 0) co_return fail(Errno::kInval);
+  Vnode& vn = *e->vnode;
+  fs::Inode& inode = *vn.inode;
+  // 64-bit sum: page + npages must not wrap past the extent check.
+  if (std::uint64_t{page} + npages > inode.extent_blocks)
+    co_return fail(Errno::kNoSpc);
+  pin(vn);
+  co_await fs_.write(inode, page, npages);
+  unpin(vn);
+  co_return npages;
+}
+
+sim::TaskOf<Result<std::uint32_t>> Vfs::read(Fd fd, std::uint32_t npages) {
+  FdEntry* e = entry(fd);
+  if (e == nullptr) co_return fail(Errno::kBadF);
+  const fs::Inode* inode = e->vnode->inode;
+  if (e->offset >= inode->size_blocks) co_return std::uint32_t{0};  // at EOF
+  const std::uint64_t gen = e->generation;
+  const std::uint32_t page = static_cast<std::uint32_t>(e->offset);
+  Result<std::uint32_t> r = co_await pread(fd, page, npages);
+  // Re-resolve: the fd may have been closed (and the slot reopened, even
+  // for the same file) by another simulated thread while the IO was in
+  // flight; the generation pins the exact descriptor incarnation.
+  if (r.ok() && (e = entry(fd)) != nullptr && e->generation == gen)
+    e->offset += r.value();
+  co_return r;
+}
+
+sim::TaskOf<Result<std::uint32_t>> Vfs::write(Fd fd, std::uint32_t npages) {
+  FdEntry* e = entry(fd);
+  if (e == nullptr) co_return fail(Errno::kBadF);
+  const fs::Inode* inode = e->vnode->inode;
+  if (e->offset + npages > inode->extent_blocks) co_return fail(Errno::kNoSpc);
+  const std::uint64_t gen = e->generation;
+  const std::uint32_t page = static_cast<std::uint32_t>(e->offset);
+  Result<std::uint32_t> r = co_await pwrite(fd, page, npages);
+  if (r.ok() && (e = entry(fd)) != nullptr && e->generation == gen)
+    e->offset += r.value();
+  co_return r;
+}
+
+sim::TaskOf<Result<std::uint32_t>> Vfs::append(Fd fd, std::uint32_t npages) {
+  FdEntry* e = entry(fd);
+  if (e == nullptr) co_return fail(Errno::kBadF);
+  if (npages == 0) co_return fail(Errno::kInval);
+  Vnode* vn = e->vnode;
+  const fs::Inode* inode = vn->inode;
+  // Reserve the target range before the first suspension (the write itself
+  // blocks in the page cache / throttle), so concurrent appenders through
+  // any descriptor of this file land on disjoint pages — O_APPEND
+  // atomicity. EOF is the max of i_size and outstanding reservations.
+  const std::uint32_t page = std::max(inode->size_blocks, vn->append_cursor);
+  if (std::uint64_t{page} + npages > inode->extent_blocks)
+    co_return fail(Errno::kNoSpc);
+  vn->append_cursor = page + npages;
+  const std::uint64_t gen = e->generation;
+  Result<std::uint32_t> r = co_await pwrite(fd, page, npages);
+  if (r.ok() && (e = entry(fd)) != nullptr && e->generation == gen)
+    e->offset = static_cast<std::uint64_t>(page) + r.value();
+  co_return r;
+}
+
+// ---- synchronization ---------------------------------------------------------
+
+sim::TaskOf<Status> Vfs::fsync(Fd fd) {
+  FdEntry* e = entry(fd);
+  if (e == nullptr) co_return fail(Errno::kBadF);
+  Vnode& vn = *e->vnode;
+  pin(vn);
+  co_await fs_.fsync(*vn.inode);
+  unpin(vn);
+  co_return Status{};
+}
+
+sim::TaskOf<Status> Vfs::fdatasync(Fd fd) {
+  FdEntry* e = entry(fd);
+  if (e == nullptr) co_return fail(Errno::kBadF);
+  Vnode& vn = *e->vnode;
+  pin(vn);
+  co_await fs_.fdatasync(*vn.inode);
+  unpin(vn);
+  co_return Status{};
+}
+
+sim::TaskOf<Status> Vfs::fbarrier(Fd fd) {
+  FdEntry* e = entry(fd);
+  if (e == nullptr) co_return fail(Errno::kBadF);
+  Vnode& vn = *e->vnode;
+  pin(vn);
+  co_await fs_.fbarrier(*vn.inode);
+  unpin(vn);
+  co_return Status{};
+}
+
+sim::TaskOf<Status> Vfs::fdatabarrier(Fd fd) {
+  FdEntry* e = entry(fd);
+  if (e == nullptr) co_return fail(Errno::kBadF);
+  Vnode& vn = *e->vnode;
+  pin(vn);
+  co_await fs_.fdatabarrier(*vn.inode);
+  unpin(vn);
+  co_return Status{};
+}
+
+sim::TaskOf<Status> Vfs::sync(Fd fd, SyncIntent intent) {
+  FdEntry* e = entry(fd);
+  if (e == nullptr) co_return fail(Errno::kBadF);
+  Vnode& vn = *e->vnode;
+  const Syscall call =
+      (vn.policy.has_value() ? *vn.policy : policy_).resolve(intent);
+  pin(vn);
+  co_await issue(fs_, *vn.inode, call);
+  unpin(vn);
+  co_return Status{};
+}
+
+// ---- descriptor metadata -----------------------------------------------------
+
+Result<std::uint32_t> Vfs::size_blocks(Fd fd) const {
+  const FdEntry* e = entry(fd);
+  if (e == nullptr) return fail(Errno::kBadF);
+  return e->vnode->inode->size_blocks;
+}
+
+Result<std::uint32_t> Vfs::extent_blocks(Fd fd) const {
+  const FdEntry* e = entry(fd);
+  if (e == nullptr) return fail(Errno::kBadF);
+  return e->vnode->inode->extent_blocks;
+}
+
+Result<std::uint64_t> Vfs::offset(Fd fd) const {
+  const FdEntry* e = entry(fd);
+  if (e == nullptr) return fail(Errno::kBadF);
+  return e->offset;
+}
+
+Status Vfs::seek(Fd fd, std::uint64_t page) {
+  FdEntry* e = entry(fd);
+  if (e == nullptr) return fail(Errno::kBadF);
+  e->offset = page;
+  return {};
+}
+
+Status Vfs::set_policy(Fd fd, SyncPolicy policy) {
+  FdEntry* e = entry(fd);
+  if (e == nullptr) return fail(Errno::kBadF);
+  e->vnode->policy = policy;
+  return {};
+}
+
+Result<SyncPolicy> Vfs::policy_of(Fd fd) const {
+  const FdEntry* e = entry(fd);
+  if (e == nullptr) return fail(Errno::kBadF);
+  return e->vnode->policy.has_value() ? *e->vnode->policy : policy_;
+}
+
+}  // namespace bio::api

@@ -1,5 +1,7 @@
 #include "core/stack.h"
 
+#include "api/sync_policy.h"
+
 namespace bio::core {
 
 const char* to_string(StackKind k) noexcept {
@@ -60,54 +62,22 @@ void Stack::start() {
   fs_->start();
 }
 
+// Deprecated shims: the substitution table is data now (api::SyncPolicy);
+// these only resolve the stack's row and issue the concrete syscall.
+
 sim::Task Stack::order_point(fs::Inode& f) {
-  switch (config_.kind) {
-    case StackKind::kExt4DR:
-    case StackKind::kExt4OD:
-      co_await fs_->fdatasync(f);
-      break;
-    case StackKind::kBfsDR:
-    case StackKind::kBfsOD:
-      co_await fs_->fdatabarrier(f);
-      break;
-    case StackKind::kOptFs:
-      co_await fs_->osync(f, /*wait_transfer=*/true);
-      break;
-  }
+  co_await api::issue(*fs_, f,
+                      api::SyncPolicy::for_stack(config_.kind).order);
 }
 
 sim::Task Stack::durability_point(fs::Inode& f) {
-  switch (config_.kind) {
-    case StackKind::kExt4DR:
-    case StackKind::kExt4OD:
-    case StackKind::kBfsDR:
-      co_await fs_->fdatasync(f);
-      break;
-    case StackKind::kBfsOD:
-      co_await fs_->fdatabarrier(f);  // durability deliberately relaxed
-      break;
-    case StackKind::kOptFs:
-      co_await fs_->osync(f, /*wait_transfer=*/true);
-      break;
-  }
+  co_await api::issue(*fs_, f,
+                      api::SyncPolicy::for_stack(config_.kind).durability);
 }
 
 sim::Task Stack::sync_file(fs::Inode& f) {
-  switch (config_.kind) {
-    case StackKind::kExt4DR:
-    case StackKind::kExt4OD:
-      co_await fs_->fsync(f);
-      break;
-    case StackKind::kBfsDR:
-      co_await fs_->fsync(f);
-      break;
-    case StackKind::kBfsOD:
-      co_await fs_->fbarrier(f);
-      break;
-    case StackKind::kOptFs:
-      co_await fs_->osync(f, /*wait_transfer=*/true);
-      break;
-  }
+  co_await api::issue(*fs_, f,
+                      api::SyncPolicy::for_stack(config_.kind).full_sync);
 }
 
 }  // namespace bio::core

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <deque>
+#include <set>
 
 #include "fs/journal.h"
 

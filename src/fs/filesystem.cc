@@ -91,12 +91,24 @@ Inode* Filesystem::lookup(const std::string& name) {
 }
 
 sim::Task Filesystem::unlink(const std::string& name) {
-  auto it = files_.find(name);
-  BIO_CHECK_MSG(it != files_.end(), "unlink of missing file: " + name);
-  Inode& f = *it->second;
+  co_await remove_name(name, /*reclaim_now=*/true);
+}
+
+sim::Task Filesystem::unlink_deferred(const std::string& name) {
+  co_await remove_name(name, /*reclaim_now=*/false);
+}
+
+void Filesystem::reclaim(Inode& f) {
   cache_.drop_file(f.ino);
   free_extents_.emplace_back(f.extent_base, f.extent_blocks);
   free_inos_.push_back(f.ino);
+}
+
+sim::Task Filesystem::remove_name(const std::string& name, bool reclaim_now) {
+  auto it = files_.find(name);
+  BIO_CHECK_MSG(it != files_.end(), "unlink of missing file: " + name);
+  Inode& f = *it->second;
+  if (reclaim_now) reclaim(f);
   const std::uint32_t dead_ino = f.ino;
   unlinked_.push_back(std::move(it->second));  // keep alive: open handles
   files_.erase(it);
@@ -371,6 +383,7 @@ sim::Task Filesystem::fdatabarrier(Inode& f) {
 }
 
 sim::Task Filesystem::osync(Inode& f, bool wait_transfer) {
+  ++stats_.osyncs;
   // OptFS: osync is filesystem-wide — it scans the *global* dirty list
   // (selective data journaling keeps that list long on overwrite-heavy
   // workloads), journals overwrites, writes allocating pages in place,

@@ -41,6 +41,7 @@ class Filesystem {
     std::uint64_t fdatasyncs = 0;
     std::uint64_t fbarriers = 0;
     std::uint64_t fdatabarriers = 0;
+    std::uint64_t osyncs = 0;
     std::uint64_t creates = 0;
     std::uint64_t unlinks = 0;
     std::uint64_t writeback_pages = 0;
@@ -60,6 +61,17 @@ class Filesystem {
   Inode* lookup(const std::string& name);
   /// Removes a file; recycles its extent and inode. Dirties the directory.
   sim::Task unlink(const std::string& name);
+  /// Removes the name but does NOT recycle the extent/ino: callers holding
+  /// open descriptors (api::Vfs) keep writing to the inode's storage and
+  /// call reclaim() on the last close, as the kernel does at iput().
+  sim::Task unlink_deferred(const std::string& name);
+  /// Recycles an unlinked inode's extent and ino (deferred reclamation).
+  void reclaim(Inode& f);
+  /// True while create() can still allocate an inode (the fd-visible
+  /// capacity check api::Vfs uses for its ENOSPC path).
+  bool has_free_inode() const noexcept {
+    return !free_inos_.empty() || next_ino_ < cfg_.max_inodes;
+  }
 
   // ---- data path ---------------------------------------------------------
 
@@ -112,6 +124,7 @@ class Filesystem {
   sim::Task request_backpressure();
   sim::Task wait_file_writebacks(Inode& f,
                                  const std::vector<blk::RequestPtr>& exclude);
+  sim::Task remove_name(const std::string& name, bool reclaim_now);
   sim::Task pdflush_loop();
   sim::Task throttle_writer();
   flash::Lba dir_block_of(const std::string& name) const;

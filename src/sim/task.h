@@ -15,6 +15,7 @@
 
 #include <coroutine>
 #include <exception>
+#include <optional>
 #include <utility>
 
 #include "sim/check.h"
@@ -83,6 +84,84 @@ class [[nodiscard]] Task {
     void await_resume() const {
       if (child && child.promise().error)
         std::rethrow_exception(child.promise().error);
+    }
+  };
+
+  Awaiter operator co_await() const& noexcept { return Awaiter{handle_}; }
+
+ private:
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_;
+};
+
+/// Value-returning variant of Task: `co_return value;` hands `value` to the
+/// awaiter (`T r = co_await child();`). TaskOf cannot be spawned as a
+/// top-level simulated thread — there would be nobody to receive the value —
+/// only awaited from a Task or another TaskOf. The syscall layer
+/// (api::Vfs) uses TaskOf<Result<...>> so every syscall has a typed
+/// errno-style outcome instead of a void Task.
+template <typename T>
+class [[nodiscard]] TaskOf {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(Handle h) const noexcept {
+      // Awaited-only: the continuation is always set by Awaiter below.
+      return h.promise().continuation;
+    }
+    void await_resume() const noexcept {}
+  };
+
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+    std::exception_ptr error;
+    std::optional<T> value;
+
+    TaskOf get_return_object() { return TaskOf{Handle::from_promise(*this)}; }
+    std::suspend_always initial_suspend() const noexcept { return {}; }
+    FinalAwaiter final_suspend() const noexcept { return {}; }
+    void return_value(T v) { value.emplace(std::move(v)); }
+    void unhandled_exception() { error = std::current_exception(); }
+  };
+
+  TaskOf() = default;
+  explicit TaskOf(Handle h) : handle_(h) {}
+  TaskOf(TaskOf&& other) noexcept
+      : handle_(std::exchange(other.handle_, {})) {}
+  TaskOf& operator=(TaskOf&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  TaskOf(const TaskOf&) = delete;
+  TaskOf& operator=(const TaskOf&) = delete;
+  ~TaskOf() { destroy(); }
+
+  bool valid() const noexcept { return static_cast<bool>(handle_); }
+
+  struct Awaiter {
+    Handle child;
+    bool await_ready() const noexcept { return !child || child.done(); }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+      child.promise().continuation = parent;
+      return child;  // symmetric transfer: start the child immediately
+    }
+    T await_resume() const {
+      BIO_CHECK_MSG(static_cast<bool>(child), "await on an empty TaskOf");
+      if (child.promise().error)
+        std::rethrow_exception(child.promise().error);
+      return std::move(*child.promise().value);
     }
   };
 

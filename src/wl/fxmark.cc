@@ -1,18 +1,21 @@
 #include "wl/fxmark.h"
 
 #include <string>
+#include <vector>
+
+#include "api/vfs.h"
 
 namespace bio::wl {
 
 namespace {
 
-sim::Task dwsl_thread(core::Stack& stack, const FxmarkParams& p,
-                      fs::Inode& file, std::uint64_t& ops) {
+sim::Task dwsl_thread(const FxmarkParams& p, api::File file,
+                      std::uint64_t& ops) {
   for (std::uint32_t i = 0; i < p.writes_per_thread; ++i) {
     // Allocating write: every append extends i_size, so every fsync
     // commits a journal transaction — the DWSL pattern.
-    co_await stack.fs().write(file, file.size_blocks, 1);
-    co_await stack.fs().fsync(file);
+    api::must(co_await file.append(1));
+    api::must(co_await file.fsync());
     ++ops;
   }
 }
@@ -24,12 +27,14 @@ FxmarkResult run_fxmark_dwsl(core::Stack& stack, const FxmarkParams& params,
   (void)rng;  // DWSL is deterministic; kept for interface uniformity
   FxmarkResult result;
   stack.start();
+  api::Vfs vfs(stack);
 
-  std::vector<fs::Inode*> files(params.cores, nullptr);
-  auto setup = [&stack, &params, &files]() -> sim::Task {
+  std::vector<api::File> files(params.cores);
+  auto setup = [&vfs, &params, &files]() -> sim::Task {
     for (std::uint32_t c = 0; c < params.cores; ++c) {
-      co_await stack.fs().create("dwsl" + std::to_string(c), files[c],
-                                 params.writes_per_thread + 1);
+      files[c] = api::must(co_await vfs.open(
+          "dwsl" + std::to_string(c),
+          {.create = true, .extent_blocks = params.writes_per_thread + 1}));
     }
   };
   stack.sim().spawn("setup", setup());
@@ -40,7 +45,7 @@ FxmarkResult run_fxmark_dwsl(core::Stack& stack, const FxmarkParams& params,
   auto ops = std::make_unique<std::uint64_t>(0);
   for (std::uint32_t c = 0; c < params.cores; ++c)
     stack.sim().spawn("dwsl:" + std::to_string(c),
-                      dwsl_thread(stack, params, *files[c], *ops));
+                      dwsl_thread(params, files[c], *ops));
   stack.sim().run();
 
   result.elapsed = stack.sim().now() - t0;

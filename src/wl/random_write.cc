@@ -1,26 +1,32 @@
 #include "wl/random_write.h"
 
+#include <string>
+#include <vector>
+
+#include "api/vfs.h"
+
 namespace bio::wl {
 
 namespace {
 
-sim::Task workload_body(core::Stack& stack, const RandomWriteParams& p,
-                        sim::Rng rng, RandomWriteResult& out) {
+sim::Task workload_body(core::Stack& stack, api::Vfs& vfs,
+                        const RandomWriteParams& p, sim::Rng rng,
+                        RandomWriteResult& out) {
   sim::Simulator& sim = stack.sim();
-  fs::Filesystem& filesystem = stack.fs();
   const bool alloc_mode =
       p.allocating || p.mode == RandomWriteParams::Mode::kAllocFdatasync ||
       p.mode == RandomWriteParams::Mode::kAllocFdatabarrier;
   const std::uint32_t nfiles = std::max<std::uint32_t>(1, p.files);
 
-  std::vector<fs::Inode*> files(nfiles, nullptr);
+  std::vector<api::File> files(nfiles);
   const std::uint32_t per_file_ws = p.working_set_pages / nfiles;
   const std::uint32_t extent =
       alloc_mode ? static_cast<std::uint32_t>(p.ops / nfiles) + 2
                  : per_file_ws;
   for (std::uint32_t fidx = 0; fidx < nfiles; ++fidx) {
-    co_await filesystem.create("bench" + std::to_string(fidx), files[fidx],
-                               extent);
+    files[fidx] = api::must(co_await vfs.open(
+        "bench" + std::to_string(fidx),
+        {.create = true, .extent_blocks = extent}));
     if (!alloc_mode) {
       // Pre-allocate so the measured writes are overwrites (no journal
       // commit from i_size changes), as in the paper's 4KB random write.
@@ -28,13 +34,13 @@ sim::Task workload_body(core::Stack& stack, const RandomWriteParams& p,
            off += blk::kMaxMergedBlocks) {
         const std::uint32_t n =
             std::min<std::uint32_t>(blk::kMaxMergedBlocks, per_file_ws - off);
-        co_await filesystem.write(*files[fidx], off, n);
-        co_await filesystem.fsync(*files[fidx]);
+        api::must(co_await files[fidx].pwrite(off, n));
+        api::must(co_await files[fidx].fsync());
       }
-      co_await filesystem.fsync(*files[fidx]);
+      api::must(co_await files[fidx].fsync());
     }
   }
-  fs::Inode* file = files[0];
+  api::File file = files[0];
 
   // ---- measured phase ----------------------------------------------------
   stack.device().reset_qd_accounting();
@@ -44,24 +50,26 @@ sim::Task workload_body(core::Stack& stack, const RandomWriteParams& p,
 
   for (std::uint64_t i = 0; i < p.ops; ++i) {
     file = files[i % nfiles];
-    const std::uint32_t page =
-        alloc_mode ? file->size_blocks
-                   : static_cast<std::uint32_t>(
-                         rng.uniform(0, per_file_ws - 1));
-    co_await filesystem.write(*file, page, 1);
+    if (alloc_mode) {
+      api::must(co_await file.append(1));
+    } else {
+      const std::uint32_t page =
+          static_cast<std::uint32_t>(rng.uniform(0, per_file_ws - 1));
+      api::must(co_await file.pwrite(page, 1));
+    }
     switch (p.mode) {
       case RandomWriteParams::Mode::kBuffered:
         break;
       case RandomWriteParams::Mode::kFdatasync:
       case RandomWriteParams::Mode::kAllocFdatasync:
-        co_await filesystem.fdatasync(*file);
+        api::must(co_await file.fdatasync());
         break;
       case RandomWriteParams::Mode::kFdatabarrier:
       case RandomWriteParams::Mode::kAllocFdatabarrier:
-        co_await filesystem.fdatabarrier(*file);
+        api::must(co_await file.fdatabarrier());
         break;
       case RandomWriteParams::Mode::kSyncFile:
-        co_await stack.sync_file(*file);
+        api::must(co_await file.sync_file());
         break;
     }
     ++out.ops_done;
@@ -83,7 +91,8 @@ RandomWriteResult run_random_write(core::Stack& stack,
                                    sim::Rng rng) {
   RandomWriteResult result;
   stack.start();
-  stack.sim().spawn("app", workload_body(stack, params, std::move(rng),
+  api::Vfs vfs(stack);
+  stack.sim().spawn("app", workload_body(stack, vfs, params, std::move(rng),
                                          result));
   stack.sim().run();
   return result;

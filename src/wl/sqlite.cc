@@ -1,77 +1,77 @@
 #include "wl/sqlite.h"
 
+#include "api/vfs.h"
+
 namespace bio::wl {
 
 namespace {
 
-sim::Task persist_txn(core::Stack& stack, const SqliteParams& p,
-                      fs::Inode& db, fs::Inode& journal, sim::Rng& rng,
-                      std::uint32_t& journal_cursor) {
-  fs::Filesystem& filesystem = stack.fs();
+sim::Task persist_txn(const SqliteParams& p, api::File db, api::File journal,
+                      sim::Rng& rng, std::uint32_t& journal_cursor) {
   // Rollback journal is truncated/reset per txn; model as a cursor that
   // wraps within the journal file's extent.
-  if (journal_cursor + p.journal_pages_per_tx + 2 >= journal.extent_blocks)
+  if (journal_cursor + p.journal_pages_per_tx + 2 >=
+      api::must(journal.extent_blocks()))
     journal_cursor = 1;
 
   // 1. Undo-log records.
-  co_await filesystem.write(journal, journal_cursor, p.journal_pages_per_tx);
+  api::must(co_await journal.pwrite(journal_cursor, p.journal_pages_per_tx));
   journal_cursor += p.journal_pages_per_tx;
-  co_await stack.order_point(journal);
+  api::must(co_await journal.order_point());
   // 2. Journal header update.
-  co_await filesystem.write(journal, 0, 1);
-  co_await stack.order_point(journal);
+  api::must(co_await journal.pwrite(0, 1));
+  api::must(co_await journal.order_point());
   // 3. Updated database pages.
   for (std::uint32_t i = 0; i < p.db_pages_per_tx; ++i) {
     const std::uint32_t page =
         static_cast<std::uint32_t>(rng.uniform(0, p.db_pages - 1));
-    co_await filesystem.write(db, page, 1);
+    api::must(co_await db.pwrite(page, 1));
   }
-  co_await stack.order_point(db);
+  api::must(co_await db.order_point());
   // 4. Commit: finalize the journal header (durability point).
-  co_await filesystem.write(journal, 0, 1);
-  co_await stack.durability_point(journal);
+  api::must(co_await journal.pwrite(0, 1));
+  api::must(co_await journal.durability_point());
 }
 
-sim::Task wal_txn(core::Stack& stack, const SqliteParams& p, fs::Inode& wal,
+sim::Task wal_txn(const SqliteParams& p, api::File wal,
                   std::uint32_t& wal_cursor) {
-  fs::Filesystem& filesystem = stack.fs();
-  if (wal_cursor + p.journal_pages_per_tx + 1 >= wal.extent_blocks)
+  if (wal_cursor + p.journal_pages_per_tx + 1 >=
+      api::must(wal.extent_blocks()))
     wal_cursor = 0;
-  co_await filesystem.write(wal, wal_cursor,
-                            p.journal_pages_per_tx + 1);  // frames + commit
+  api::must(co_await wal.pwrite(wal_cursor,
+                                p.journal_pages_per_tx + 1));  // + commit
   wal_cursor += p.journal_pages_per_tx + 1;
-  co_await stack.durability_point(wal);
+  api::must(co_await wal.durability_point());
 }
 
-sim::Task workload_body(core::Stack& stack, const SqliteParams& p,
-                        sim::Rng rng, SqliteResult& out) {
+sim::Task workload_body(core::Stack& stack, api::Vfs& vfs,
+                        const SqliteParams& p, sim::Rng rng,
+                        SqliteResult& out) {
   sim::Simulator& sim = stack.sim();
-  fs::Filesystem& filesystem = stack.fs();
 
-  fs::Inode* db = nullptr;
-  co_await filesystem.create("app.db", db, p.db_pages);
+  api::File db = api::must(co_await vfs.open(
+      "app.db", {.create = true, .extent_blocks = p.db_pages}));
   // Populate the database so txn updates are overwrites.
   for (std::uint32_t off = 0; off < p.db_pages; off += blk::kMaxMergedBlocks) {
     const std::uint32_t n =
         std::min<std::uint32_t>(blk::kMaxMergedBlocks, p.db_pages - off);
-    co_await filesystem.write(*db, off, n);
-    co_await filesystem.fsync(*db);
+    api::must(co_await db.pwrite(off, n));
+    api::must(co_await db.fsync());
   }
-  fs::Inode* journal = nullptr;
-  co_await filesystem.create(
+  api::File journal = api::must(co_await vfs.open(
       p.mode == SqliteParams::Mode::kWal ? "app.db-wal" : "app.db-journal",
-      journal, 2048);
-  co_await filesystem.write(*journal, 0, 1);
-  co_await filesystem.fsync(*journal);
+      {.create = true, .extent_blocks = 2048}));
+  api::must(co_await journal.pwrite(0, 1));
+  api::must(co_await journal.fsync());
 
   stack.device().reset_qd_accounting();
   const sim::SimTime t0 = sim.now();
   std::uint32_t cursor = 1;
   for (std::uint64_t i = 0; i < p.transactions; ++i) {
     if (p.mode == SqliteParams::Mode::kPersist)
-      co_await persist_txn(stack, p, *db, *journal, rng, cursor);
+      co_await persist_txn(p, db, journal, rng, cursor);
     else
-      co_await wal_txn(stack, p, *journal, cursor);
+      co_await wal_txn(p, journal, cursor);
     ++out.tx_done;
   }
   out.elapsed = sim.now() - t0;
@@ -86,8 +86,9 @@ SqliteResult run_sqlite(core::Stack& stack, const SqliteParams& params,
                         sim::Rng rng) {
   SqliteResult result;
   stack.start();
+  api::Vfs vfs(stack);
   stack.sim().spawn("sqlite",
-                    workload_body(stack, params, std::move(rng), result));
+                    workload_body(stack, vfs, params, std::move(rng), result));
   stack.sim().run();
   return result;
 }

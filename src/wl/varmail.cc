@@ -3,6 +3,8 @@
 #include <string>
 #include <vector>
 
+#include "api/vfs.h"
+
 namespace bio::wl {
 
 namespace {
@@ -13,9 +15,8 @@ struct Shared {
   std::uint64_t flowops = 0;
 };
 
-sim::Task mail_thread(core::Stack& stack, const VarmailParams& p,
-                      Shared& shared, sim::Rng rng) {
-  fs::Filesystem& filesystem = stack.fs();
+sim::Task mail_thread(api::Vfs& vfs, const VarmailParams& p, Shared& shared,
+                      sim::Rng rng) {
   for (std::uint32_t iter = 0; iter < p.iterations; ++iter) {
     // 1. delete an existing mail (keep at least a handful alive).
     if (shared.live_files.size() > 8) {
@@ -24,38 +25,52 @@ sim::Task mail_thread(core::Stack& stack, const VarmailParams& p,
       std::string victim = shared.live_files[idx];
       shared.live_files.erase(
           shared.live_files.begin() + static_cast<std::ptrdiff_t>(idx));
-      co_await filesystem.unlink(victim);
+      api::must(co_await vfs.unlink(victim));
       ++shared.flowops;
     }
     // 2. create a new mail, write it fully, sync it.
     {
       std::string name = "mail" + std::to_string(shared.next_name++);
-      fs::Inode* f = nullptr;
-      co_await filesystem.create(name, f, p.file_pages * 2);
-      co_await filesystem.write(*f, 0, p.file_pages);
-      co_await stack.sync_file(*f);
+      api::File f = api::must(co_await vfs.open(
+          name, {.create = true,
+                 .exclusive = true,
+                 .extent_blocks = p.file_pages * 2}));
+      api::must(co_await f.pwrite(0, p.file_pages));
+      api::must(co_await f.sync_file());
+      api::must(f.close());
       shared.live_files.push_back(std::move(name));
       shared.flowops += 3;  // create + write + sync
     }
-    // 3. append to an existing mail, sync it.
+    // 3. append to an existing mail, sync it. The mail may have vanished
+    // (ENOENT) or be full (ENOSPC); both are normal outcomes, not errors.
     if (!shared.live_files.empty()) {
       const std::size_t idx = static_cast<std::size_t>(
           rng.uniform(0, shared.live_files.size() - 1));
-      fs::Inode* f = stack.fs().lookup(shared.live_files[idx]);
-      if (f != nullptr && f->size_blocks + 1 <= f->extent_blocks) {
-        co_await filesystem.write(*f, f->size_blocks, 1);
-        co_await stack.sync_file(*f);
-        shared.flowops += 3;  // open + append + sync
+      api::Result<api::File> opened =
+          co_await vfs.open(shared.live_files[idx]);
+      if (opened.ok()) {
+        api::File f = opened.value();
+        if ((co_await f.append(1)).ok()) {
+          api::must(co_await f.sync_file());
+          shared.flowops += 3;  // open + append + sync
+        }
+        api::must(f.close());
       }
     }
     // 4. read a whole mail.
     if (!shared.live_files.empty()) {
       const std::size_t idx = static_cast<std::size_t>(
           rng.uniform(0, shared.live_files.size() - 1));
-      fs::Inode* f = stack.fs().lookup(shared.live_files[idx]);
-      if (f != nullptr && f->size_blocks > 0) {
-        co_await filesystem.read(*f, 0, f->size_blocks);
-        shared.flowops += 2;  // open + read
+      api::Result<api::File> opened =
+          co_await vfs.open(shared.live_files[idx]);
+      if (opened.ok()) {
+        api::File f = opened.value();
+        const std::uint32_t size = api::must(f.size_blocks());
+        if (size > 0) {
+          api::must(co_await f.pread(0, size));
+          shared.flowops += 2;  // open + read
+        }
+        api::must(f.close());
       }
     }
   }
@@ -67,31 +82,33 @@ VarmailResult run_varmail(core::Stack& stack, const VarmailParams& params,
                           sim::Rng rng) {
   VarmailResult result;
   stack.start();
+  api::Vfs vfs(stack);
   auto shared = std::make_unique<Shared>();
 
   // Pre-populate the file set (untimed from the benchmark's perspective —
   // accounting resets afterwards).
-  auto setup = [&stack, &params, s = shared.get()]() -> sim::Task {
+  auto setup = [&vfs, &params, s = shared.get()]() -> sim::Task {
+    api::File last;
     for (std::uint32_t i = 0; i < params.files; ++i) {
       std::string name = "mail" + std::to_string(s->next_name++);
-      fs::Inode* f = nullptr;
-      co_await stack.fs().create(name, f, params.file_pages * 2);
-      co_await stack.fs().write(*f, 0, params.file_pages);
+      api::File f = api::must(co_await vfs.open(
+          name, {.create = true, .extent_blocks = params.file_pages * 2}));
+      api::must(co_await f.pwrite(0, params.file_pages));
+      if (last.valid()) api::must(last.close());
+      last = f;
       s->live_files.push_back(std::move(name));
     }
-    fs::Inode* any = stack.fs().lookup(s->live_files.front());
-    co_await stack.fs().fsync(*any);
+    api::must(co_await last.fsync());
+    api::must(last.close());
   };
   stack.sim().spawn("setup", setup());
   stack.sim().run();
 
   stack.device().reset_qd_accounting();
   const sim::SimTime t0 = stack.sim().now();
-  std::vector<sim::ThreadCtx*> threads;
   for (std::uint32_t t = 0; t < params.threads; ++t)
-    threads.push_back(&stack.sim().spawn(
-        "mail:" + std::to_string(t),
-        mail_thread(stack, params, *shared, rng.fork())));
+    stack.sim().spawn("mail:" + std::to_string(t),
+                      mail_thread(vfs, params, *shared, rng.fork()));
   stack.sim().run();
 
   result.elapsed = stack.sim().now() - t0;

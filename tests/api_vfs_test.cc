@@ -1,0 +1,504 @@
+// Tests for the handle-based VFS layer: descriptor lifecycle, per-fd
+// offsets, errno paths, and the SyncPolicy substitution table — including
+// parity with the deprecated Stack::order_point/durability_point helpers
+// for every StackKind.
+//
+// The parity suite intentionally calls the deprecated shims.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/vfs.h"
+#include "fs_test_util.h"
+
+namespace bio::api {
+namespace {
+
+using core::StackKind;
+using fs::testutil::StackFixture;
+using sim::Task;
+
+constexpr StackKind kAllKinds[] = {StackKind::kExt4DR, StackKind::kExt4OD,
+                                   StackKind::kBfsDR, StackKind::kBfsOD,
+                                   StackKind::kOptFs};
+
+// ---- descriptor lifecycle ---------------------------------------------------
+
+TEST(VfsTest, OpenAllocatesLowestFdAndCloseRecyclesIt) {
+  StackFixture x(StackKind::kBfsDR);
+  Vfs vfs(*x.stack);
+  auto body = [&]() -> Task {
+    File a = must(co_await vfs.open("a", {.create = true}));
+    File b = must(co_await vfs.open("b", {.create = true}));
+    EXPECT_EQ(a.fd(), 0);
+    EXPECT_EQ(b.fd(), 1);
+    EXPECT_EQ(vfs.open_fds(), 2u);
+
+    // Same file again: new fd, shared vnode, still counted.
+    File a2 = must(co_await vfs.open("a"));
+    EXPECT_EQ(a2.fd(), 2);
+
+    must(a.close());
+    File c = must(co_await vfs.open("c", {.create = true}));
+    EXPECT_EQ(c.fd(), 0) << "lowest free fd must be recycled";
+    EXPECT_EQ(vfs.open_fds(), 3u);
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+  EXPECT_EQ(vfs.stats().opens, 4u);
+  EXPECT_EQ(vfs.stats().creates, 3u);
+}
+
+TEST(VfsTest, EveryFdSyscallReturnsEbadfAfterClose) {
+  StackFixture x(StackKind::kExt4DR);
+  Vfs vfs(*x.stack);
+  auto body = [&]() -> Task {
+    File f = must(co_await vfs.open("a", {.create = true}));
+    const Fd fd = f.fd();
+    must(co_await vfs.pwrite(fd, 0, 1));
+    must(f.close());
+    EXPECT_FALSE(f.valid());
+
+    EXPECT_EQ((co_await vfs.pwrite(fd, 0, 1)).error(), Errno::kBadF);
+    EXPECT_EQ((co_await vfs.pread(fd, 0, 1)).error(), Errno::kBadF);
+    EXPECT_EQ((co_await vfs.read(fd, 1)).error(), Errno::kBadF);
+    EXPECT_EQ((co_await vfs.write(fd, 1)).error(), Errno::kBadF);
+    EXPECT_EQ((co_await vfs.append(fd, 1)).error(), Errno::kBadF);
+    EXPECT_EQ((co_await vfs.fsync(fd)).error(), Errno::kBadF);
+    EXPECT_EQ((co_await vfs.fdatasync(fd)).error(), Errno::kBadF);
+    EXPECT_EQ((co_await vfs.sync(fd, SyncIntent::kOrder)).error(),
+              Errno::kBadF);
+    EXPECT_EQ(vfs.size_blocks(fd).error(), Errno::kBadF);
+    EXPECT_EQ(vfs.offset(fd).error(), Errno::kBadF);
+    EXPECT_EQ(vfs.seek(fd, 0).error(), Errno::kBadF);
+    EXPECT_EQ(vfs.close(fd).error(), Errno::kBadF) << "double close";
+    EXPECT_EQ(vfs.close(-1).error(), Errno::kBadF);
+    EXPECT_EQ(vfs.close(99).error(), Errno::kBadF);
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+  EXPECT_GT(vfs.stats().errors, 10u);
+}
+
+// ---- namespace errno paths --------------------------------------------------
+
+TEST(VfsTest, OpenMissingIsEnoentExclusiveExistingIsEexist) {
+  StackFixture x(StackKind::kExt4DR);
+  Vfs vfs(*x.stack);
+  auto body = [&]() -> Task {
+    EXPECT_EQ((co_await vfs.open("ghost")).error(), Errno::kNoEnt);
+    File f = must(co_await vfs.open("a", {.create = true}));
+    EXPECT_EQ(
+        (co_await vfs.open("a", {.create = true, .exclusive = true})).error(),
+        Errno::kExist);
+    must(f.close());
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+}
+
+TEST(VfsTest, DoubleUnlinkIsEnoentAndOpenFdSurvivesUnlink) {
+  StackFixture x(StackKind::kBfsDR);
+  Vfs vfs(*x.stack);
+  auto body = [&]() -> Task {
+    File f = must(co_await vfs.open("a", {.create = true}));
+    must(co_await vfs.unlink("a"));
+    EXPECT_EQ((co_await vfs.unlink("a")).error(), Errno::kNoEnt)
+        << "second unlink of the same name";
+    EXPECT_EQ((co_await vfs.open("a")).error(), Errno::kNoEnt)
+        << "unlinked name must not resolve";
+
+    // POSIX: the open descriptor keeps the file alive and writable.
+    must(co_await f.pwrite(0, 2));
+    must(co_await f.fsync());
+    EXPECT_EQ(must(f.size_blocks()), 2u);
+    must(f.close());
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+}
+
+TEST(VfsTest, OpenFdSurvivesInoRecycling) {
+  // While a descriptor is open, unlink must defer recycling: a new file
+  // created afterwards must get neither the ino slot's vnode nor the old
+  // file's extent, and the old fd keeps addressing the old storage.
+  StackFixture x(StackKind::kBfsDR);
+  Vfs vfs(*x.stack);
+  auto body = [&]() -> Task {
+    File old_f = must(
+        co_await vfs.open("a", {.create = true, .extent_blocks = 8}));
+    const flash::Lba old_base = x.fs().lookup("a")->extent_base;
+    must(co_await vfs.unlink("a"));
+    File new_f = must(
+        co_await vfs.open("b", {.create = true, .extent_blocks = 8}));
+    EXPECT_NE(x.fs().lookup("b")->extent_base, old_base)
+        << "extent must not be recycled while the old fd is open";
+    must(co_await old_f.pwrite(0, 2));
+    must(co_await new_f.pwrite(0, 1));
+    EXPECT_EQ(must(old_f.size_blocks()), 2u);
+    EXPECT_EQ(must(new_f.size_blocks()), 1u) << "descriptors must not alias";
+    must(co_await old_f.fsync());
+    must(old_f.close());
+    // Last close reclaims: the next create of the same size may now reuse
+    // the old extent.
+    File c = must(
+        co_await vfs.open("c", {.create = true, .extent_blocks = 8}));
+    EXPECT_EQ(x.fs().lookup("c")->extent_base, old_base)
+        << "reclamation must happen at last close";
+    must(c.close());
+    must(new_f.close());
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+}
+
+TEST(VfsTest, ConcurrentAppendersGetDisjointPages) {
+  // Both threads read EOF before either write completes; the append
+  // reservation must still hand them disjoint pages (O_APPEND atomicity).
+  StackFixture x(StackKind::kBfsDR);
+  Vfs vfs(*x.stack);
+  Fd fd_a = kInvalidFd;
+  Fd fd_b = kInvalidFd;
+  auto setup = [&]() -> Task {
+    fd_a = must(co_await vfs.open("log",
+                                  {.create = true, .extent_blocks = 16}))
+               .fd();
+    fd_b = must(co_await vfs.open("log")).fd();
+  };
+  x.sim().spawn("setup", setup());
+  x.sim().run();
+
+  auto appender = [&vfs](Fd fd) -> Task {
+    for (int i = 0; i < 3; ++i) must(co_await vfs.append(fd, 1));
+  };
+  x.sim().spawn("a", appender(fd_a));
+  x.sim().spawn("b", appender(fd_b));
+  x.sim().run();
+  EXPECT_EQ(must(vfs.size_blocks(fd_a)), 6u)
+      << "6 appends must yield 6 pages, not overlapping writes";
+}
+
+TEST(VfsTest, HugeOffsetsFailCleanlyInsteadOfWrapping) {
+  StackFixture x(StackKind::kExt4DR);
+  Vfs vfs(*x.stack);
+  auto body = [&]() -> Task {
+    File f = must(
+        co_await vfs.open("a", {.create = true, .extent_blocks = 8}));
+    must(co_await f.pwrite(0, 2));
+    // uint32 page+npages would wrap to 1 and pass the bounds check.
+    EXPECT_EQ((co_await f.pwrite(0xFFFFFFFFu, 2)).error(), Errno::kNoSpc);
+    // A seek past 2^32 pages must not truncate to a low page.
+    must(vfs.seek(f.fd(), std::uint64_t{1} << 32));
+    EXPECT_EQ(must(co_await f.read(1)), 0u) << "far offset reads EOF";
+    EXPECT_EQ((co_await f.write(1)).error(), Errno::kNoSpc);
+    must(f.close());
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+}
+
+TEST(VfsTest, CloseDuringInflightIoDefersReclamation) {
+  // Thread A suspends inside a write; thread B unlinks and closes the only
+  // fd. The in-flight syscall pins the vnode, so the extent must not be
+  // handed to a new file until A's IO completes.
+  StackFixture x(StackKind::kBfsDR);
+  Vfs vfs(*x.stack);
+  Fd fd = kInvalidFd;
+  flash::Lba base = 0;
+  auto setup = [&]() -> Task {
+    fd = must(co_await vfs.open("victim",
+                                {.create = true, .extent_blocks = 8}))
+             .fd();
+    base = x.fs().lookup("victim")->extent_base;
+  };
+  x.sim().spawn("setup", setup());
+  x.sim().run();
+
+  auto writer = [&]() -> Task {
+    must(co_await vfs.pwrite(fd, 0, 4));  // suspends in the write syscall
+  };
+  auto closer = [&]() -> Task {
+    must(co_await vfs.unlink("victim"));
+    must(vfs.close(fd));
+    File fresh = must(
+        co_await vfs.open("fresh", {.create = true, .extent_blocks = 8}));
+    EXPECT_NE(x.fs().lookup("fresh")->extent_base, base)
+        << "extent must stay pinned while A's write is in flight";
+    must(fresh.close());
+  };
+  x.sim().spawn("a", writer());
+  x.sim().spawn("b", closer());
+  x.sim().run();
+
+  // After everything drains the vnode is gone and the extent is reusable.
+  auto after = [&]() -> Task {
+    File again = must(
+        co_await vfs.open("again", {.create = true, .extent_blocks = 8}));
+    EXPECT_EQ(x.fs().lookup("again")->extent_base, base)
+        << "reclamation must happen once the in-flight IO finished";
+    must(again.close());
+  };
+  x.sim().spawn("c", after());
+  x.sim().run();
+  EXPECT_EQ(vfs.open_fds(), 0u);
+}
+
+TEST(VfsTest, FdReuseDuringInflightIoDoesNotCorruptNewOffset) {
+  // Thread A suspends inside write(fd); thread B closes the fd and reopens
+  // the SAME file into the recycled slot. A's completion must not advance
+  // the new descriptor's offset (generation check, fd-reuse ABA).
+  StackFixture x(StackKind::kExt4DR);
+  Vfs vfs(*x.stack);
+  Fd fd = kInvalidFd;
+  auto setup = [&]() -> Task {
+    File f = must(co_await vfs.open("shared",
+                                    {.create = true, .extent_blocks = 16}));
+    must(co_await f.pwrite(0, 8));  // pre-size so offset-writes stay inside
+    fd = f.fd();
+  };
+  x.sim().spawn("setup", setup());
+  x.sim().run();
+
+  auto writer = [&]() -> Task {
+    (void)co_await vfs.write(fd, 2);  // suspends; fd is recycled meanwhile
+  };
+  auto recycler = [&]() -> Task {
+    must(vfs.close(fd));
+    File f2 = must(co_await vfs.open("shared"));
+    EXPECT_EQ(f2.fd(), fd) << "slot must be recycled for the test to bite";
+  };
+  x.sim().spawn("a", writer());
+  x.sim().spawn("b", recycler());
+  x.sim().run();
+  EXPECT_EQ(must(vfs.offset(fd)), 0u)
+      << "the reopened descriptor must start at offset 0";
+}
+
+TEST(VfsTest, DefaultConstructedFileReturnsEbadfNotCrash) {
+  StackFixture x(StackKind::kExt4DR);
+  Vfs vfs(*x.stack);
+  auto body = [&]() -> Task {
+    File f;  // never opened
+    EXPECT_FALSE(f.valid());
+    EXPECT_EQ((co_await f.pwrite(0, 1)).error(), Errno::kBadF);
+    EXPECT_EQ((co_await f.append(1)).error(), Errno::kBadF);
+    EXPECT_EQ((co_await f.fsync()).error(), Errno::kBadF);
+    EXPECT_EQ((co_await f.sync_file()).error(), Errno::kBadF);
+    EXPECT_EQ(f.size_blocks().error(), Errno::kBadF);
+    EXPECT_EQ(f.close().error(), Errno::kBadF);
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+}
+
+TEST(VfsTest, WriteBeyondExtentAndInodeExhaustionAreEnospc) {
+  StackFixture x(StackKind::kExt4DR);
+  Vfs vfs(*x.stack);
+  auto body = [&]() -> Task {
+    File f = must(
+        co_await vfs.open("small", {.create = true, .extent_blocks = 4}));
+    must(co_await f.pwrite(0, 4));  // fills the reserved extent
+    EXPECT_EQ((co_await f.pwrite(3, 2)).error(), Errno::kNoSpc);
+    EXPECT_EQ((co_await f.append(1)).error(), Errno::kNoSpc);
+    must(f.close());
+
+    // Exhaust the inode table (max_inodes=64, inos 16..63 usable).
+    std::uint32_t created = 0;
+    Errno last = Errno::kOk;
+    for (int i = 0; i < 100; ++i) {
+      Result<File> r = co_await vfs.open(
+          "f" + std::to_string(i), {.create = true, .extent_blocks = 1});
+      if (!r.ok()) {
+        last = r.error();
+        break;
+      }
+      must(r.value().close());
+      ++created;
+    }
+    EXPECT_EQ(last, Errno::kNoSpc);
+    EXPECT_GT(created, 16u);
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+}
+
+// ---- per-fd offsets ---------------------------------------------------------
+
+TEST(VfsTest, PerFdOffsetsAreIndependentAcrossSimulatedThreads) {
+  StackFixture x(StackKind::kBfsDR);
+  Vfs vfs(*x.stack);
+  Fd fd_a = kInvalidFd;
+  Fd fd_b = kInvalidFd;
+  auto setup = [&]() -> Task {
+    fd_a = must(co_await vfs.open("shared",
+                                  {.create = true, .extent_blocks = 64}))
+               .fd();
+    fd_b = must(co_await vfs.open("shared")).fd();
+  };
+  x.sim().spawn("setup", setup());
+  x.sim().run();
+
+  auto writer = [&vfs](Fd fd, int n) -> Task {
+    for (int i = 0; i < n; ++i) must(co_await vfs.write(fd, 1));
+  };
+  x.sim().spawn("a", writer(fd_a, 3));
+  x.sim().spawn("b", writer(fd_b, 5));
+  x.sim().run();
+
+  EXPECT_EQ(must(vfs.offset(fd_a)), 3u)
+      << "fd A's offset must not see fd B's writes";
+  EXPECT_EQ(must(vfs.offset(fd_b)), 5u);
+  EXPECT_EQ(must(vfs.size_blocks(fd_a)), 5u)
+      << "both descriptors share one inode";
+}
+
+TEST(VfsTest, ReadAdvancesOffsetAndIsShortAtEof) {
+  StackFixture x(StackKind::kExt4DR);
+  Vfs vfs(*x.stack);
+  auto body = [&]() -> Task {
+    File f = must(
+        co_await vfs.open("a", {.create = true, .extent_blocks = 16}));
+    must(co_await f.pwrite(0, 3));
+    EXPECT_EQ(must(co_await f.read(2)), 2u);
+    EXPECT_EQ(must(co_await f.read(2)), 1u) << "short read at EOF";
+    EXPECT_EQ(must(co_await f.read(2)), 0u) << "at EOF";
+    must(vfs.seek(f.fd(), 1));
+    EXPECT_EQ(must(co_await f.read(8)), 2u);
+    must(f.close());
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+}
+
+TEST(VfsTest, AppendWritesAtEofThroughAnyDescriptor) {
+  StackFixture x(StackKind::kBfsDR);
+  Vfs vfs(*x.stack);
+  auto body = [&]() -> Task {
+    File a = must(
+        co_await vfs.open("log", {.create = true, .extent_blocks = 16}));
+    File b = must(co_await vfs.open("log"));
+    must(co_await a.append(2));
+    must(co_await b.append(1));
+    must(co_await a.append(1));
+    EXPECT_EQ(must(a.size_blocks()), 4u);
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+}
+
+// ---- SyncPolicy -------------------------------------------------------------
+
+TEST(SyncPolicyTest, TableMatchesPaperSubstitution) {
+  const SyncPolicy ext4 = SyncPolicy::for_stack(StackKind::kExt4DR);
+  EXPECT_EQ(ext4.order, Syscall::kFdatasync);
+  EXPECT_EQ(ext4.durability, Syscall::kFdatasync);
+  EXPECT_EQ(ext4.full_sync, Syscall::kFsync);
+  EXPECT_EQ(SyncPolicy::for_stack(StackKind::kExt4OD), ext4)
+      << "nobarrier changes the mount, not the syscalls";
+
+  const SyncPolicy bfs_dr = SyncPolicy::for_stack(StackKind::kBfsDR);
+  EXPECT_EQ(bfs_dr.order, Syscall::kFdatabarrier);
+  EXPECT_EQ(bfs_dr.durability, Syscall::kFdatasync);
+  EXPECT_EQ(bfs_dr.full_sync, Syscall::kFsync);
+
+  const SyncPolicy bfs_od = SyncPolicy::for_stack(StackKind::kBfsOD);
+  EXPECT_EQ(bfs_od.order, Syscall::kFdatabarrier);
+  EXPECT_EQ(bfs_od.durability, Syscall::kFdatabarrier);
+  EXPECT_EQ(bfs_od.full_sync, Syscall::kFbarrier);
+
+  const SyncPolicy optfs = SyncPolicy::for_stack(StackKind::kOptFs);
+  EXPECT_EQ(optfs.order, Syscall::kOsync);
+  EXPECT_EQ(optfs.durability, Syscall::kOsync);
+  EXPECT_EQ(optfs.full_sync, Syscall::kOsync);
+}
+
+/// One write+sync per intent, through the deprecated raw-Inode helpers.
+fs::Filesystem::Stats run_with_stack_helpers(StackKind kind) {
+  StackFixture x(kind);
+  auto body = [&]() -> Task {
+    fs::Inode* f = nullptr;
+    co_await x.fs().create("a", f, 64);
+    co_await x.fs().write(*f, 0, 1);
+    co_await x.stack->order_point(*f);
+    co_await x.fs().write(*f, 1, 1);
+    co_await x.stack->durability_point(*f);
+    co_await x.fs().write(*f, 2, 1);
+    co_await x.stack->sync_file(*f);
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+  return x.fs().stats();
+}
+
+/// The same sequence through Vfs + SyncPolicy intents.
+fs::Filesystem::Stats run_with_vfs_policy(StackKind kind) {
+  StackFixture x(kind);
+  Vfs vfs(*x.stack);
+  auto body = [&]() -> Task {
+    File f = must(
+        co_await vfs.open("a", {.create = true, .extent_blocks = 64}));
+    must(co_await f.pwrite(0, 1));
+    must(co_await f.order_point());
+    must(co_await f.pwrite(1, 1));
+    must(co_await f.durability_point());
+    must(co_await f.pwrite(2, 1));
+    must(co_await f.sync_file());
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+  return x.fs().stats();
+}
+
+TEST(SyncPolicyTest, ParityWithDeprecatedHelpersForAllStackKinds) {
+  for (StackKind kind : kAllKinds) {
+    const fs::Filesystem::Stats old_path = run_with_stack_helpers(kind);
+    const fs::Filesystem::Stats new_path = run_with_vfs_policy(kind);
+    EXPECT_EQ(old_path.fsyncs, new_path.fsyncs) << core::to_string(kind);
+    EXPECT_EQ(old_path.fdatasyncs, new_path.fdatasyncs)
+        << core::to_string(kind);
+    EXPECT_EQ(old_path.fbarriers, new_path.fbarriers) << core::to_string(kind);
+    EXPECT_EQ(old_path.fdatabarriers, new_path.fdatabarriers)
+        << core::to_string(kind);
+    EXPECT_EQ(old_path.osyncs, new_path.osyncs) << core::to_string(kind);
+    EXPECT_EQ(old_path.writes, new_path.writes) << core::to_string(kind);
+  }
+}
+
+TEST(SyncPolicyTest, PerFileOverrideBeatsVfsDefault) {
+  StackFixture x(StackKind::kBfsDR);
+  Vfs vfs(*x.stack);
+  auto body = [&]() -> Task {
+    File f = must(
+        co_await vfs.open("a", {.create = true, .extent_blocks = 16}));
+    // Demote this one file to the BFS-OD row: durability relaxed to
+    // ordering — the per-call-site flexibility the paper's §5 argues for.
+    must(f.set_policy(SyncPolicy::for_stack(StackKind::kBfsOD)));
+    must(co_await f.pwrite(0, 1));
+    must(co_await f.durability_point());
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+  EXPECT_EQ(x.fs().stats().fdatabarriers, 1u)
+      << "override must resolve durability to fdatabarrier";
+  EXPECT_EQ(x.fs().stats().fdatasyncs, 0u);
+}
+
+TEST(SyncPolicyTest, OverrideIsSharedAcrossFdsOfOneFile) {
+  StackFixture x(StackKind::kBfsDR);
+  Vfs vfs(*x.stack);
+  auto body = [&]() -> Task {
+    File a = must(
+        co_await vfs.open("a", {.create = true, .extent_blocks = 16}));
+    File b = must(co_await vfs.open("a"));
+    must(a.set_policy(SyncPolicy::for_stack(StackKind::kBfsOD)));
+    EXPECT_EQ(must(vfs.policy_of(b.fd())),
+              SyncPolicy::for_stack(StackKind::kBfsOD))
+        << "policy lives on the vnode, not the descriptor";
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+}
+
+}  // namespace
+}  // namespace bio::api

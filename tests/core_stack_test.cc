@@ -1,6 +1,11 @@
 // Tests for the public Stack API: configuration wiring, the syscall
 // substitution table, and cross-stack latency orderings that the paper's
 // results depend on.
+//
+// The Stack sync helpers are deprecated shims over api::SyncPolicy; these
+// tests deliberately keep exercising them until they are removed (the
+// api_vfs_test parity suite checks they match the policy table).
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 #include <gtest/gtest.h>
 
 #include "fs_test_util.h"
