@@ -1,0 +1,279 @@
+// Self-timing perf harness: wall-clock cost of the *simulator itself* (not
+// simulated latencies) across the five StackKinds plus request-churn and
+// page-cache-churn scenarios. Writes BENCH_perf.json so every PR leaves a
+// perf trajectory behind, and prints a before/after-comparable table.
+//
+// Metrics per scenario:
+//   * ns/io, ns/op       — wall nanoseconds per simulated device IO / op
+//   * events/sec         — simulator event-loop dispatch rate
+//   * requests/sec       — block-layer request throughput (wall clock)
+//   * allocs/req (pool)  — heap allocations per request, from RequestPool
+//                          stats (slab misses + control-block allocs +
+//                          BlockList spills); the legacy unpooled path paid
+//                          >= 3 per request unconditionally
+//   * allocs/op (global) — every operator-new call in the process, frames
+//                          and all, from the override below
+//
+// Usage: perf_suite [--smoke] [--out <path>]
+//   --smoke  small op counts (CI); --out defaults to BENCH_perf.json in the
+//   current directory (CI runs from the repo root).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "api/vfs.h"
+#include "core/stack.h"
+#include "sim/frame_pool.h"
+
+// ---- global allocation counter ---------------------------------------------
+
+static std::uint64_t g_new_calls = 0;
+
+void* operator new(std::size_t n) {
+  ++g_new_calls;
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) {
+  ++g_new_calls;
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+using namespace bio;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+enum class Mode { kFullSync, kFdatabarrier, kBuffered };
+
+struct ScenarioResult {
+  std::string name;
+  std::uint64_t ops = 0;
+  std::uint64_t sim_ios = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t events = 0;
+  double wall_ns = 0.0;
+  std::uint64_t global_allocs = 0;
+  blk::RequestPool::Stats pool;
+
+  double ns_per_io() const { return sim_ios ? wall_ns / double(sim_ios) : 0; }
+  double ns_per_op() const { return ops ? wall_ns / double(ops) : 0; }
+  double events_per_sec() const {
+    return wall_ns > 0 ? double(events) * 1e9 / wall_ns : 0;
+  }
+  double requests_per_sec() const {
+    return wall_ns > 0 ? double(requests) * 1e9 / wall_ns : 0;
+  }
+  double global_allocs_per_op() const {
+    return ops ? double(global_allocs) / double(ops) : 0;
+  }
+};
+
+std::uint64_t dev_ios(core::Stack& s) {
+  const auto& d = s.device().stats();
+  return d.writes + d.reads + d.flushes;
+}
+
+ScenarioResult run_scenario(const char* name, core::StackKind kind, Mode mode,
+                            std::uint64_t ops, std::uint32_t nfiles,
+                            std::uint32_t pages_per_file) {
+  auto stack = std::make_unique<core::Stack>(
+      core::StackConfig::make(kind, flash::DeviceProfile::plain_ssd()));
+  stack->start();
+  api::Vfs vfs(*stack);
+  std::vector<api::File> files(nfiles);
+
+  // Setup phase (not measured): create and pre-allocate the working set so
+  // the measured writes are overwrites.
+  auto setup = [&]() -> sim::Task {
+    for (std::uint32_t i = 0; i < nfiles; ++i) {
+      files[i] = api::must(co_await vfs.open(
+          "f" + std::to_string(i),
+          {.create = true, .extent_blocks = pages_per_file}));
+      for (std::uint32_t off = 0; off < pages_per_file;
+           off += blk::kMaxMergedBlocks) {
+        const std::uint32_t n = std::min<std::uint32_t>(
+            blk::kMaxMergedBlocks, pages_per_file - off);
+        api::must(co_await files[i].pwrite(off, n));
+        api::must(co_await files[i].fsync());
+      }
+    }
+  };
+  stack->sim().spawn("setup", setup());
+  stack->sim().run();
+
+  auto body = [&]() -> sim::Task {
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      api::File& f = files[i % nfiles];
+      const std::uint32_t page =
+          static_cast<std::uint32_t>((i * 7) % pages_per_file);
+      api::must(co_await f.pwrite(page, 1));
+      switch (mode) {
+        case Mode::kFullSync:
+          api::must(co_await f.sync_file());
+          break;
+        case Mode::kFdatabarrier:
+          api::must(co_await f.fdatabarrier());
+          break;
+        case Mode::kBuffered:
+          break;
+      }
+    }
+  };
+
+  ScenarioResult r;
+  r.name = name;
+  r.ops = ops;
+  const std::uint64_t ios0 = dev_ios(*stack);
+  const std::uint64_t sub0 = stack->blk().stats().submitted;
+  const std::uint64_t ev0 = stack->sim().events_dispatched();
+  const blk::RequestPool::Stats pool0 = stack->blk().pool().stats();
+  const std::uint64_t alloc0 = g_new_calls;
+  const auto t0 = Clock::now();
+  stack->sim().spawn("app", body());
+  stack->sim().run();
+  r.wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
+  r.sim_ios = dev_ios(*stack) - ios0;
+  r.requests = stack->blk().stats().submitted - sub0;
+  r.events = stack->sim().events_dispatched() - ev0;
+  r.global_allocs = g_new_calls - alloc0;
+  r.pool = stack->blk().pool().stats();
+  r.pool.acquired -= pool0.acquired;
+  r.pool.recycled -= pool0.recycled;
+  r.pool.fresh_requests -= pool0.fresh_requests;
+  r.pool.ctrl_allocs -= pool0.ctrl_allocs;
+  r.pool.block_heap_allocs -= pool0.block_heap_allocs;
+  return r;
+}
+
+void print_table(const std::vector<ScenarioResult>& results) {
+  std::printf(
+      "%-18s %9s %9s %9s %10s %11s %11s %11s %10s\n", "scenario", "ops",
+      "sim_ios", "ns/io", "ns/op", "events/s", "reqs/s", "allocs/req",
+      "allocs/op");
+  for (const auto& r : results)
+    std::printf(
+        "%-18s %9llu %9llu %9.1f %10.1f %11.0f %11.0f %11.4f %10.2f\n",
+        r.name.c_str(), (unsigned long long)r.ops,
+        (unsigned long long)r.sim_ios, r.ns_per_io(), r.ns_per_op(),
+        r.events_per_sec(), r.requests_per_sec(),
+        r.pool.allocs_per_request(), r.global_allocs_per_op());
+}
+
+bool write_json(const char* path, const std::vector<ScenarioResult>& results,
+                bool smoke) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perf_suite: cannot open %s for writing\n", path);
+    return false;
+  }
+  const sim::FramePoolStats& fp = sim::frame_pool_stats();
+  std::fprintf(f, "{\n  \"schema\": \"bio-perf/1\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f,
+               "  \"frame_pool\": {\"allocs\": %llu, \"reuses\": %llu, "
+               "\"fresh\": %llu},\n",
+               (unsigned long long)fp.allocs, (unsigned long long)fp.reuses,
+               (unsigned long long)fp.fresh);
+  std::fprintf(f, "  \"scenarios\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"name\": \"%s\",\n", r.name.c_str());
+    std::fprintf(f, "      \"ops\": %llu,\n", (unsigned long long)r.ops);
+    std::fprintf(f, "      \"sim_ios\": %llu,\n",
+                 (unsigned long long)r.sim_ios);
+    std::fprintf(f, "      \"requests\": %llu,\n",
+                 (unsigned long long)r.requests);
+    std::fprintf(f, "      \"events\": %llu,\n", (unsigned long long)r.events);
+    std::fprintf(f, "      \"wall_ns\": %.0f,\n", r.wall_ns);
+    std::fprintf(f, "      \"ns_per_io\": %.2f,\n", r.ns_per_io());
+    std::fprintf(f, "      \"ns_per_op\": %.2f,\n", r.ns_per_op());
+    std::fprintf(f, "      \"events_per_sec\": %.0f,\n", r.events_per_sec());
+    std::fprintf(f, "      \"requests_per_sec\": %.0f,\n",
+                 r.requests_per_sec());
+    std::fprintf(f, "      \"global_allocs\": %llu,\n",
+                 (unsigned long long)r.global_allocs);
+    std::fprintf(f, "      \"global_allocs_per_op\": %.3f,\n",
+                 r.global_allocs_per_op());
+    std::fprintf(
+        f,
+        "      \"pool\": {\"acquired\": %llu, \"recycled\": %llu, "
+        "\"fresh_requests\": %llu, \"ctrl_allocs\": %llu, "
+        "\"block_heap_allocs\": %llu, \"allocs_per_request\": %.4f}\n",
+        (unsigned long long)r.pool.acquired,
+        (unsigned long long)r.pool.recycled,
+        (unsigned long long)r.pool.fresh_requests,
+        (unsigned long long)r.pool.ctrl_allocs,
+        (unsigned long long)r.pool.block_heap_allocs,
+        r.pool.allocs_per_request());
+    std::fprintf(f, "    }%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* out = "BENCH_perf.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: perf_suite [--smoke] [--out <path>]\n");
+      return 2;
+    }
+  }
+
+  const std::uint64_t sync_ops = smoke ? 200 : 3000;
+  const std::uint64_t churn_ops = smoke ? 500 : 20000;
+  const std::uint64_t page_ops = smoke ? 2000 : 40000;
+
+  using K = core::StackKind;
+  std::vector<ScenarioResult> results;
+  std::printf("=== perf_suite — wall-clock cost of the simulator%s ===\n",
+              smoke ? " (smoke)" : "");
+  results.push_back(
+      run_scenario("sync-EXT4-DR", K::kExt4DR, Mode::kFullSync, sync_ops, 1,
+                   1024));
+  results.push_back(
+      run_scenario("sync-EXT4-OD", K::kExt4OD, Mode::kFullSync, sync_ops, 1,
+                   1024));
+  results.push_back(run_scenario("sync-BFS-DR", K::kBfsDR, Mode::kFullSync,
+                                 sync_ops, 1, 1024));
+  results.push_back(run_scenario("sync-BFS-OD", K::kBfsOD, Mode::kFullSync,
+                                 sync_ops, 1, 1024));
+  results.push_back(run_scenario("sync-OptFS", K::kOptFs, Mode::kFullSync,
+                                 sync_ops, 1, 1024));
+  // Request churn: ordering-only syncs never block, so this maximises
+  // request creation per wall second — the pool's worst case.
+  results.push_back(run_scenario("request-churn", K::kBfsOD,
+                                 Mode::kFdatabarrier, churn_ops, 1, 1024));
+  // Page-cache churn: buffered writes across many files; pdflush does the
+  // writeback. Exercises the per-inode dirty indexes.
+  results.push_back(run_scenario("pagecache-churn", K::kExt4DR,
+                                 Mode::kBuffered, page_ops, 32, 256));
+
+  print_table(results);
+  if (!write_json(out, results, smoke)) return 1;
+  std::printf("\nwrote %s\n", out);
+  return 0;
+}

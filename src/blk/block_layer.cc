@@ -4,8 +4,8 @@ namespace bio::blk {
 
 BlockLayer::BlockLayer(sim::Simulator& sim, flash::StorageDevice& dev,
                        BlockLayerConfig config)
-    : sim_(sim), dev_(dev), config_(std::move(config)), work_(sim),
-      drained_(sim) {
+    : sim_(sim), dev_(dev), config_(std::move(config)), pool_(sim),
+      work_(sim), drained_(sim) {
   std::unique_ptr<IoScheduler> base = make_scheduler(config_.scheduler);
   if (config_.epoch_scheduling)
     scheduler_ = std::make_unique<EpochScheduler>(std::move(base));
@@ -33,38 +33,41 @@ sim::Task BlockLayer::throttle() {
 
 std::shared_ptr<flash::Command> BlockLayer::to_command(
     const RequestPtr& r) const {
-  auto cmd = std::make_shared<flash::Command>();
-  cmd->done = r->completion.get();
-  cmd->keepalive = r;
+  // The command is embedded in the request; the device receives an aliasing
+  // shared_ptr into it, which both avoids a per-dispatch allocation and
+  // keeps the request alive while the device holds the command.
+  flash::Command& cmd = r->cmd;
+  cmd = flash::Command{};
+  cmd.done = &r->completion;
   switch (r->op) {
     case ReqOp::kWrite:
-      cmd->op = flash::OpCode::kWrite;
-      cmd->blocks = r->blocks;
-      cmd->fua = r->fua;
-      cmd->flush_before = r->flush;
+      cmd.op = flash::OpCode::kWrite;
+      cmd.blocks = std::span<const Block>(r->blocks.data(), r->blocks.size());
+      cmd.fua = r->fua;
+      cmd.flush_before = r->flush;
       if (config_.order_preserving_dispatch) {
-        cmd->barrier = r->barrier;
+        cmd.barrier = r->barrier;
         // §3.4: the barrier write is dispatched with ORDERED priority; all
         // other writes (even order-preserving ones) stay SIMPLE, because
         // intra-epoch reordering is legal.
-        cmd->priority =
+        cmd.priority =
             r->barrier ? flash::Priority::kOrdered : flash::Priority::kSimple;
       } else {
         // Legacy stack: ordering attributes never reach the device.
-        cmd->barrier = false;
-        cmd->priority = flash::Priority::kSimple;
+        cmd.barrier = false;
+        cmd.priority = flash::Priority::kSimple;
       }
       break;
     case ReqOp::kRead:
-      cmd->op = flash::OpCode::kRead;
-      cmd->read_lba = r->read_lba;
+      cmd.op = flash::OpCode::kRead;
+      cmd.read_lba = r->read_lba;
       break;
     case ReqOp::kFlush:
-      cmd->op = flash::OpCode::kFlush;
-      cmd->priority = flash::Priority::kHeadOfQueue;
+      cmd.op = flash::OpCode::kFlush;
+      cmd.priority = flash::Priority::kHeadOfQueue;
       break;
   }
-  return cmd;
+  return std::shared_ptr<flash::Command>(r, &cmd);
 }
 
 sim::Task BlockLayer::dispatch_loop() {
@@ -94,29 +97,28 @@ sim::Task BlockLayer::dispatch_loop() {
 }
 
 sim::Task BlockLayer::fanout(RequestPtr r) {
-  co_await r->completion->wait();
+  co_await r->completion.wait();
   trigger_absorbed(*r);
 }
 
-sim::Task BlockLayer::write_and_wait(
-    std::vector<std::pair<flash::Lba, flash::Version>> blocks, bool ordered,
-    bool barrier, bool flush, bool fua) {
-  RequestPtr r = make_write_request(sim_, std::move(blocks), ordered, barrier,
-                                    flush, fua);
+sim::Task BlockLayer::write_and_wait(std::vector<Block> blocks, bool ordered,
+                                     bool barrier, bool flush, bool fua) {
+  RequestPtr r = pool_.make_write(std::span<const Block>(blocks), ordered,
+                                  barrier, flush, fua);
   submit(r);
-  co_await r->completion->wait();
+  co_await r->completion.wait();
 }
 
 sim::Task BlockLayer::flush_and_wait() {
-  RequestPtr r = make_flush_request(sim_);
+  RequestPtr r = pool_.make_flush();
   submit(r);
-  co_await r->completion->wait();
+  co_await r->completion.wait();
 }
 
 sim::Task BlockLayer::read_and_wait(flash::Lba lba) {
-  RequestPtr r = make_read_request(sim_, lba);
+  RequestPtr r = pool_.make_read(lba);
   submit(r);
-  co_await r->completion->wait();
+  co_await r->completion.wait();
 }
 
 }  // namespace bio::blk

@@ -18,6 +18,7 @@
 #include "blk/epoch_scheduler.h"
 #include "blk/io_scheduler.h"
 #include "blk/request.h"
+#include "blk/request_pool.h"
 #include "flash/device.h"
 #include "sim/simulator.h"
 #include "sim/sync.h"
@@ -70,10 +71,15 @@ class BlockLayer {
   /// Globally unique version tag for a 4 KiB block write.
   flash::Version next_version() noexcept { return ++version_; }
 
+  /// Recycling allocator for requests; the filesystem and journals build
+  /// all their requests through this.
+  RequestPool& pool() noexcept { return pool_; }
+  const RequestPool& pool() const noexcept { return pool_; }
+
   /// Builds, submits and waits (convenience for tests/simple callers).
-  sim::Task write_and_wait(std::vector<std::pair<flash::Lba, flash::Version>> blocks,
-                           bool ordered = false, bool barrier = false,
-                           bool flush = false, bool fua = false);
+  sim::Task write_and_wait(std::vector<Block> blocks, bool ordered = false,
+                           bool barrier = false, bool flush = false,
+                           bool fua = false);
   sim::Task flush_and_wait();
   sim::Task read_and_wait(flash::Lba lba);
 
@@ -90,6 +96,7 @@ class BlockLayer {
   sim::Simulator& sim_;
   flash::StorageDevice& dev_;
   BlockLayerConfig config_;
+  RequestPool pool_;
   std::unique_ptr<IoScheduler> scheduler_;
   sim::Notify work_;
   sim::Notify drained_;

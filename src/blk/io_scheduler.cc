@@ -15,7 +15,7 @@ bool IoScheduler::try_back_merge(Request& back, const Request& r) {
   if (back.barrier || r.barrier) return false;
   if (back.blocks.size() + r.blocks.size() > kMaxMergedBlocks) return false;
   if (back.last_lba() + 1 != r.first_lba()) return false;
-  back.blocks.insert(back.blocks.end(), r.blocks.begin(), r.blocks.end());
+  back.blocks.append(r.blocks.data(), r.blocks.size());
   back.ordered = back.ordered || r.ordered;  // §3.3: merge keeps ordering
   return true;
 }

@@ -4,12 +4,22 @@
 //   * orderless        — neither flag; schedulable across epochs,
 //   * order-preserving — REQ_ORDERED; free to reorder *within* its epoch,
 //   * barrier          — REQ_ORDERED|REQ_BARRIER; delimits an epoch.
+//
+// Requests are built for recycling (blk::RequestPool): the completion event
+// and the device-facing Command are embedded (no per-request Event or
+// per-dispatch Command allocation), and the block payload lives in a
+// small-buffer BlockList whose heap fallback keeps its capacity across
+// reuses.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
+#include "flash/command.h"
 #include "flash/types.h"
 #include "sim/check.h"
 #include "sim/sync.h"
@@ -19,7 +29,83 @@ namespace bio::blk {
 
 enum class ReqOp : std::uint8_t { kWrite, kRead, kFlush };
 
+/// One 4 KiB payload block: (LBA, version tag).
+using Block = std::pair<flash::Lba, flash::Version>;
+
+/// Contiguous block run with inline storage for short requests (the common
+/// case) and a capacity-retaining heap fallback for merged ones.
+class BlockList {
+ public:
+  static constexpr std::size_t kInlineBlocks = 4;
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  const Block* data() const noexcept {
+    return size_ <= kInlineBlocks ? inline_.data() : heap_.data();
+  }
+  Block* data() noexcept {
+    return size_ <= kInlineBlocks ? inline_.data() : heap_.data();
+  }
+
+  const Block& operator[](std::size_t i) const noexcept { return data()[i]; }
+  const Block& front() const noexcept { return data()[0]; }
+  const Block& back() const noexcept { return data()[size_ - 1]; }
+  const Block* begin() const noexcept { return data(); }
+  const Block* end() const noexcept { return data() + size_; }
+
+  void push_back(const Block& b) { append(&b, 1); }
+
+  void append(const Block* p, std::size_t n) {
+    if (size_ + n <= kInlineBlocks) {
+      for (std::size_t i = 0; i < n; ++i) inline_[size_ + i] = p[i];
+      size_ += n;
+      return;
+    }
+    const std::size_t cap0 = heap_.capacity();
+    if (size_ <= kInlineBlocks) {
+      // Spill: move the inline prefix into the heap vector.
+      heap_.clear();
+      heap_.reserve(size_ + n);
+      heap_.insert(heap_.end(), inline_.begin(), inline_.begin() + size_);
+    }
+    heap_.insert(heap_.end(), p, p + n);
+    size_ += n;
+    if (heap_.capacity() != cap0) ++heap_allocs_;
+  }
+
+  void assign(std::span<const Block> blocks) {
+    clear();
+    append(blocks.data(), blocks.size());
+  }
+
+  /// Keeps the heap capacity: a recycled request that once carried a merged
+  /// 128-block run never reallocates for one again.
+  void clear() noexcept {
+    size_ = 0;
+    heap_.clear();
+  }
+
+  /// Heap growth events since the last call (RequestPool allocation stats).
+  std::uint32_t take_heap_allocs() noexcept {
+    return std::exchange(heap_allocs_, 0u);
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::array<Block, kInlineBlocks> inline_;
+  std::vector<Block> heap_;
+  std::uint32_t heap_allocs_ = 0;
+};
+
+struct Request;
+using RequestPtr = std::shared_ptr<Request>;
+
 struct Request {
+  explicit Request(sim::Simulator& sim) : completion(sim) {}
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+
   ReqOp op = ReqOp::kWrite;
   /// REQ_ORDERED: order-preserving write.
   bool ordered = false;
@@ -31,14 +117,18 @@ struct Request {
   bool fua = false;
 
   /// Write payload, ascending contiguous LBAs.
-  std::vector<std::pair<flash::Lba, flash::Version>> blocks;
+  BlockList blocks;
   flash::Lba read_lba = 0;
 
   sim::SimTime queued_at = 0;
-  /// Host completion IRQ.
-  std::unique_ptr<sim::Event> completion;
+  /// Host completion IRQ (embedded; re-armed on recycle).
+  sim::Event completion;
   /// Requests merged into this one; their completions fire with ours.
-  std::vector<std::shared_ptr<Request>> absorbed;
+  std::vector<RequestPtr> absorbed;
+  /// Device-facing command, filled at dispatch. The block layer hands the
+  /// device an aliasing shared_ptr to this member, so the request stays
+  /// alive while the device holds the command.
+  flash::Command cmd;
 
   flash::Lba first_lba() const {
     BIO_CHECK(!blocks.empty());
@@ -49,53 +139,108 @@ struct Request {
     return blocks.back().first;
   }
   bool is_write() const noexcept { return op == ReqOp::kWrite; }
+
+  /// Scrubs per-use state while retaining container capacities (pool reuse).
+  void reset_for_reuse() noexcept {
+    op = ReqOp::kWrite;
+    ordered = barrier = flush = fua = false;
+    blocks.clear();
+    read_lba = 0;
+    queued_at = 0;
+    completion.recycle();
+    absorbed.clear();
+    cmd = flash::Command{};
+  }
 };
 
-using RequestPtr = std::shared_ptr<Request>;
+namespace detail {
 
-/// Fires the completion of every request absorbed (transitively) into `r`.
-/// The dispatcher calls this when the carrying request completes.
-inline void trigger_absorbed(Request& r) {
-  for (const RequestPtr& a : r.absorbed) {
-    a->completion->trigger();
-    trigger_absorbed(*a);
+/// Heap-worklist preorder walk for absorption chains deeper than the
+/// recursion budget. Entering the loop processes `r`'s whole subtree before
+/// returning, so the caller's sibling order (= preorder) is preserved.
+inline void trigger_absorbed_deep(Request& r) {
+  std::vector<Request*> work;
+  work.reserve(r.absorbed.size());
+  for (auto it = r.absorbed.rbegin(); it != r.absorbed.rend(); ++it)
+    work.push_back(it->get());
+  while (!work.empty()) {
+    Request* cur = work.back();
+    work.pop_back();
+    cur->completion.trigger();
+    for (auto it = cur->absorbed.rbegin(); it != cur->absorbed.rend(); ++it)
+      work.push_back(it->get());
   }
 }
 
-inline RequestPtr make_write_request(
-    sim::Simulator& sim, std::vector<std::pair<flash::Lba, flash::Version>> blocks,
-    bool ordered = false, bool barrier = false, bool flush = false,
-    bool fua = false) {
+/// Recursive preorder walk with a depth budget: the common 1-2 link merge
+/// chains complete with zero heap traffic; anything deeper falls back to
+/// the worklist before the real stack is at risk.
+inline void trigger_absorbed_impl(Request& r, int depth_left) {
+  for (const RequestPtr& a : r.absorbed) {
+    a->completion.trigger();
+    if (a->absorbed.empty()) continue;
+    if (depth_left > 0)
+      trigger_absorbed_impl(*a, depth_left - 1);
+    else
+      trigger_absorbed_deep(*a);
+  }
+}
+
+}  // namespace detail
+
+/// Fires the completion of every request absorbed (transitively) into `r`,
+/// in preorder. The dispatcher calls this when the carrying request
+/// completes. Absorption chains grow one link per merge, so a long
+/// fsync-heavy run must not translate into unbounded recursion on the real
+/// stack — past a fixed depth the walk switches to an explicit worklist.
+inline void trigger_absorbed(Request& r) {
+  if (r.absorbed.empty()) return;
+  detail::trigger_absorbed_impl(r, /*depth_left=*/64);
+}
+
+/// Validates and stamps a write payload onto `r` (shared by RequestPool and
+/// the unpooled test helpers).
+inline void init_write_request(Request& r, std::span<const Block> blocks,
+                               bool ordered, bool barrier, bool flush,
+                               bool fua) {
   BIO_CHECK_MSG(!blocks.empty(), "write request without blocks");
   for (std::size_t i = 1; i < blocks.size(); ++i)
     BIO_CHECK_MSG(blocks[i].first == blocks[i - 1].first + 1,
                   "write request blocks must be contiguous ascending");
-  auto r = std::make_shared<Request>();
-  r->op = ReqOp::kWrite;
-  r->ordered = ordered || barrier;  // barrier implies order-preserving
-  r->barrier = barrier;
-  r->flush = flush;
-  r->fua = fua;
-  r->blocks = std::move(blocks);
+  r.op = ReqOp::kWrite;
+  r.ordered = ordered || barrier;  // barrier implies order-preserving
+  r.barrier = barrier;
+  r.flush = flush;
+  r.fua = fua;
+  r.blocks.assign(blocks);
+}
+
+// ---- unpooled helpers -------------------------------------------------------
+// Convenience constructors for tests and standalone scheduler use; the
+// production stack allocates through blk::RequestPool instead.
+
+inline RequestPtr make_write_request(sim::Simulator& sim,
+                                     std::vector<Block> blocks,
+                                     bool ordered = false, bool barrier = false,
+                                     bool flush = false, bool fua = false) {
+  auto r = std::make_shared<Request>(sim);
+  init_write_request(*r, blocks, ordered, barrier, flush, fua);
   r->queued_at = sim.now();
-  r->completion = std::make_unique<sim::Event>(sim);
   return r;
 }
 
 inline RequestPtr make_read_request(sim::Simulator& sim, flash::Lba lba) {
-  auto r = std::make_shared<Request>();
+  auto r = std::make_shared<Request>(sim);
   r->op = ReqOp::kRead;
   r->read_lba = lba;
   r->queued_at = sim.now();
-  r->completion = std::make_unique<sim::Event>(sim);
   return r;
 }
 
 inline RequestPtr make_flush_request(sim::Simulator& sim) {
-  auto r = std::make_shared<Request>();
+  auto r = std::make_shared<Request>(sim);
   r->op = ReqOp::kFlush;
   r->queued_at = sim.now();
-  r->completion = std::make_unique<sim::Event>(sim);
   return r;
 }
 

@@ -1,7 +1,5 @@
 #include "core/stack.h"
 
-#include "api/sync_policy.h"
-
 namespace bio::core {
 
 const char* to_string(StackKind k) noexcept {
@@ -60,24 +58,6 @@ void Stack::start() {
   device_->start();
   blk_->start();
   fs_->start();
-}
-
-// Deprecated shims: the substitution table is data now (api::SyncPolicy);
-// these only resolve the stack's row and issue the concrete syscall.
-
-sim::Task Stack::order_point(fs::Inode& f) {
-  co_await api::issue(*fs_, f,
-                      api::SyncPolicy::for_stack(config_.kind).order);
-}
-
-sim::Task Stack::durability_point(fs::Inode& f) {
-  co_await api::issue(*fs_, f,
-                      api::SyncPolicy::for_stack(config_.kind).durability);
-}
-
-sim::Task Stack::sync_file(fs::Inode& f) {
-  co_await api::issue(*fs_, f,
-                      api::SyncPolicy::for_stack(config_.kind).full_sync);
 }
 
 }  // namespace bio::core

@@ -12,8 +12,8 @@
 //   OptFS     | none (legacy)       | legacy (elevator)    | OptFS
 //
 // DR/OD for BarrierFS differ in which syscalls the workloads call; the
-// order_point()/durability_point() helpers encode the substitution table
-// the paper uses (§5, §6.4, §6.5).
+// substitution table the paper uses (§5, §6.4, §6.5) lives in
+// api::SyncPolicy, and applications reach it through api::Vfs/api::File.
 #pragma once
 
 #include <memory>
@@ -62,30 +62,6 @@ class Stack {
   fs::Filesystem& fs() noexcept { return *fs_; }
   StackKind kind() const noexcept { return config_.kind; }
   const StackConfig& config() const noexcept { return config_; }
-
-  // ---- syscall substitution table (paper §5) ----------------------------
-  //
-  // DEPRECATED: the substitution table now lives in api::SyncPolicy as
-  // data, and applications reach it through the handle-based api::Vfs /
-  // api::File layer (File::order_point() etc.) instead of raw Inode
-  // references. These shims delegate to SyncPolicy::for_stack(kind()) and
-  // remain only for pre-api callers.
-
-  /// A *storage-order* point: the application needs "everything before
-  /// this persists before everything after", not durability.
-  /// EXT4 -> fdatasync, BarrierFS -> fdatabarrier, OptFS -> osync.
-  [[deprecated("use api::File::order_point() via api::Vfs")]]
-  sim::Task order_point(fs::Inode& f);
-
-  /// A *durability* point: the application needs the data on media now.
-  /// BFS-OD deliberately relaxes this to fdatabarrier (the paper's
-  /// "relaxing the durability" configurations); OptFS has no durable sync.
-  [[deprecated("use api::File::durability_point() via api::Vfs")]]
-  sim::Task durability_point(fs::Inode& f);
-
-  /// Full-file sync (fsync flavour) under the stack's guarantee mode.
-  [[deprecated("use api::File::sync_file() via api::Vfs")]]
-  sim::Task sync_file(fs::Inode& f);
 
  private:
   StackConfig config_;

@@ -1,0 +1,44 @@
+// The host-visible storage command (§3.2/§3.4).
+//
+// Lives in its own header so the block layer can embed a Command inside its
+// pooled Request objects (the dispatch path hands the device an aliasing
+// shared_ptr into the request, so no per-dispatch allocation happens) while
+// flash/device.h stays independent of blk/.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+
+#include "flash/types.h"
+
+namespace bio::sim {
+class Event;
+}  // namespace bio::sim
+
+namespace bio::flash {
+
+/// One storage command (the block layer builds these from requests).
+struct Command {
+  OpCode op = OpCode::kWrite;
+  Priority priority = Priority::kSimple;
+  /// Cache-barrier flag on a write (REQ_BARRIER made it to the device).
+  bool barrier = false;
+  /// Persist the payload before completing (REQ_FUA).
+  bool fua = false;
+  /// Flush the cache before servicing (REQ_FLUSH).
+  bool flush_before = false;
+  /// Write payload: (lba, version) per 4 KiB block. Reads use lba/blocks=1.
+  /// Non-owning view; the submitter keeps the storage alive until the
+  /// completion IRQ (the block layer aliases the owning request).
+  std::span<const std::pair<Lba, Version>> blocks;
+  Lba read_lba = 0;
+
+  /// Completion IRQ to the host. Must outlive the command.
+  sim::Event* done = nullptr;
+
+  // Filled by the device.
+  std::uint64_t seq = 0;
+};
+
+}  // namespace bio::flash

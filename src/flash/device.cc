@@ -109,11 +109,13 @@ sim::Task StorageDevice::handle(SlotIter it) {
 }
 
 void StorageDevice::complete(SlotIter it) {
-  sim::Event* done = it->cmd->done;
+  // Keep the command (and, through the aliased ownership, the originating
+  // request) alive past the window erase: `done` points into that request.
+  std::shared_ptr<Command> cmd = std::move(it->cmd);
   window_.erase(it);
   note_qd_change();
   queue_event_.notify_all();
-  done->trigger();
+  cmd->done->trigger();
 }
 
 sim::Task StorageDevice::gc_stall() {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "flash/cache.h"
+#include "flash/command.h"
 #include "flash/nand.h"
 #include "flash/profile.h"
 #include "flash/segment_log.h"
@@ -37,30 +38,6 @@
 #include "sim/sync.h"
 
 namespace bio::flash {
-
-/// One storage command (the block layer builds these from requests).
-struct Command {
-  OpCode op = OpCode::kWrite;
-  Priority priority = Priority::kSimple;
-  /// Cache-barrier flag on a write (REQ_BARRIER made it to the device).
-  bool barrier = false;
-  /// Persist the payload before completing (REQ_FUA).
-  bool fua = false;
-  /// Flush the cache before servicing (REQ_FLUSH).
-  bool flush_before = false;
-  /// Write payload: (lba, version) per 4 KiB block. Reads use lba/blocks=1.
-  std::vector<std::pair<Lba, Version>> blocks;
-  Lba read_lba = 0;
-
-  /// Completion IRQ to the host. Must outlive the command.
-  sim::Event* done = nullptr;
-  /// Keeps the originating host object (e.g. blk::Request) alive while the
-  /// device still holds this command.
-  std::shared_ptr<void> keepalive;
-
-  // Filled by the device.
-  std::uint64_t seq = 0;
-};
 
 class StorageDevice {
  public:

@@ -80,15 +80,15 @@ sim::Task BarrierFsJournal::commit_loop() {
     const std::size_t jd_size =
         1 + txn->buffers.size() + txn->journaled_data_blocks;
     auto jd = reserve_journal_blocks(jd_size);
-    txn->jd_blocks = jd;
-    blk::RequestPtr jd_req = blk::make_write_request(
-        sim_, std::move(jd), /*ordered=*/true, /*barrier=*/true);
+    blk::RequestPtr jd_req = blk_.pool().make_write(
+        std::span<const blk::Block>(jd), /*ordered=*/true, /*barrier=*/true);
+    txn->jd_blocks = std::move(jd);
     blk_.submit(jd_req);
 
     auto jc = reserve_journal_blocks(1);
     txn->jc_block = jc[0];
-    txn->jc_req = blk::make_write_request(sim_, std::move(jc),
-                                          /*ordered=*/true, /*barrier=*/true);
+    txn->jc_req = blk_.pool().make_write(std::span<const blk::Block>(jc),
+                                         /*ordered=*/true, /*barrier=*/true);
     blk_.submit(txn->jc_req);
 
     txn->dispatched->trigger();
@@ -104,7 +104,7 @@ sim::Task BarrierFsJournal::flush_loop() {
     flush_queue_.pop_front();
 
     // Data plane: wait for the JC transfer (not its persistence!).
-    co_await txn->jc_req->completion->wait();
+    co_await txn->jc_req->completion.wait();
     if (txn->needs_flush) {
       co_await blk_.flush_and_wait();
       txn->flushed = true;

@@ -180,44 +180,47 @@ sim::Task Filesystem::read(Inode& f, std::uint32_t page,
 
 std::vector<blk::RequestPtr> Filesystem::submit_data(Inode& f, bool ordered,
                                                      bool barrier_last) {
-  std::vector<PageCache::PageKey> dirty = cache_.dirty_pages_of(f.ino);
+  // Single suspension-free pass: group the dirty pages into contiguous runs
+  // (pages of one file map to a contiguous extent, so page adjacency == LBA
+  // adjacency) and submit each run as soon as it closes. Runs are
+  // contiguous subranges of `dirty`, so a [start, end) index pair replaces
+  // the per-run key vectors.
+  std::vector<PageCache::PageKey>& dirty = scratch_keys_;
+  cache_.dirty_pages_of(f.ino, dirty);
   if (dirty.empty()) return {};
 
-  // Group into contiguous runs (pages of one file map to a contiguous
-  // extent, so page adjacency == LBA adjacency).
-  std::vector<std::vector<std::pair<flash::Lba, flash::Version>>> runs;
-  std::vector<std::vector<PageCache::PageKey>> run_keys;
-  for (const PageCache::PageKey& key : dirty) {
-    const PageCache::PageState* st = cache_.find(key.ino, key.page);
-    const bool extend =
-        !runs.empty() && runs.back().back().first + 1 == st->lba &&
-        runs.back().size() < blk::kMaxMergedBlocks;
-    if (!extend) {
-      runs.emplace_back();
-      run_keys.emplace_back();
-    }
-    runs.back().emplace_back(st->lba, st->version);
-    run_keys.back().push_back(key);
-  }
-
   std::vector<blk::RequestPtr> reqs;
-  reqs.reserve(runs.size());
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    const bool barrier = barrier_last && i + 1 == runs.size();
-    stats_.writeback_pages += runs[i].size();
-    blk::RequestPtr r =
-        blk::make_write_request(sim_, std::move(runs[i]), ordered, barrier);
-    for (const PageCache::PageKey& key : run_keys[i])
-      cache_.begin_writeback(key, r);
+  std::vector<blk::Block>& run = scratch_blocks_;
+  run.clear();
+  std::size_t run_start = 0;
+  auto flush_run = [&](std::size_t run_end) {
+    // Emits [run_start, run_end); the final run may carry the barrier.
+    const bool barrier = barrier_last && run_end == dirty.size();
+    stats_.writeback_pages += run.size();
+    blk::RequestPtr r = blk_.pool().make_write(
+        std::span<const blk::Block>(run), ordered, barrier);
+    for (std::size_t k = run_start; k < run_end; ++k)
+      cache_.begin_writeback(dirty[k], r);
     blk_.submit(r);
     reqs.push_back(std::move(r));
+    run.clear();
+    run_start = run_end;
+  };
+  for (std::size_t i = 0; i < dirty.size(); ++i) {
+    const PageCache::PageState* st = cache_.find(dirty[i].ino, dirty[i].page);
+    const bool extend = !run.empty() && run.back().first + 1 == st->lba &&
+                        run.size() < blk::kMaxMergedBlocks;
+    if (!extend && !run.empty()) flush_run(i);
+    run.emplace_back(st->lba, st->version);
   }
+  flush_run(dirty.size());
   return reqs;
 }
 
 std::uint32_t Filesystem::journal_overwrites(Inode& f) {
   std::uint32_t count = 0;
-  for (const PageCache::PageKey& key : cache_.dirty_pages_of(f.ino)) {
+  cache_.dirty_pages_of(f.ino, scratch_keys_);
+  for (const PageCache::PageKey& key : scratch_keys_) {
     const PageCache::PageState* st = cache_.find(key.ino, key.page);
     if (st->overwrite) {
       cache_.mark_clean(key);
@@ -229,7 +232,7 @@ std::uint32_t Filesystem::journal_overwrites(Inode& f) {
 }
 
 sim::Task Filesystem::wait_requests(std::vector<blk::RequestPtr> reqs) {
-  for (const blk::RequestPtr& r : reqs) co_await r->completion->wait();
+  for (const blk::RequestPtr& r : reqs) co_await r->completion.wait();
 }
 
 sim::Task Filesystem::request_backpressure() {
@@ -247,7 +250,7 @@ sim::Task Filesystem::wait_file_writebacks(
   for (const blk::RequestPtr& r : wb) {
     if (std::find(exclude.begin(), exclude.end(), r) != exclude.end())
       continue;
-    co_await r->completion->wait();
+    co_await r->completion.wait();
   }
 }
 
@@ -412,21 +415,28 @@ sim::Task Filesystem::osync(Inode& f, bool wait_transfer) {
 // ---- pdflush -----------------------------------------------------------------
 
 sim::Task Filesystem::pdflush_loop() {
+  // Batch-local buffers live in the coroutine frame and keep their
+  // capacity across batches; the collection/submission stretch below never
+  // suspends, so they cannot be observed half-filled.
+  std::vector<PageCache::PageKey> keys;
+  std::vector<blk::RequestPtr> reqs;
+  std::vector<blk::Block> run;
+  std::vector<PageCache::PageKey> run_keys;
   for (;;) {
     while (cache_.dirty_count() < cfg_.writeback_high_watermark)
       co_await cache_.dirtied().wait();
     while (cache_.dirty_count() > cfg_.writeback_low_watermark) {
-      std::vector<PageCache::PageKey> keys =
-          cache_.all_dirty(cfg_.writeback_batch * blk::kMaxMergedBlocks);
+      cache_.all_dirty(cfg_.writeback_batch * blk::kMaxMergedBlocks, keys);
       if (keys.empty()) break;
 
       // Group into contiguous runs per file.
-      std::vector<blk::RequestPtr> reqs;
-      std::vector<std::pair<flash::Lba, flash::Version>> run;
-      std::vector<PageCache::PageKey> run_keys;
+      reqs.clear();
+      run.clear();
+      run_keys.clear();
       auto flush_run = [&]() {
         if (run.empty()) return;
-        blk::RequestPtr r = blk::make_write_request(sim_, std::move(run));
+        blk::RequestPtr r =
+            blk_.pool().make_write(std::span<const blk::Block>(run));
         for (const PageCache::PageKey& key : run_keys)
           cache_.begin_writeback(key, r);
         stats_.writeback_pages += run_keys.size();
@@ -461,7 +471,7 @@ sim::Task Filesystem::pdflush_loop() {
                                   Journal::WaitMode::kDurable);
       }
 
-      for (const blk::RequestPtr& r : reqs) co_await r->completion->wait();
+      for (const blk::RequestPtr& r : reqs) co_await r->completion.wait();
       writeback_progress_.notify_all();
     }
   }

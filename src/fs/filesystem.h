@@ -113,6 +113,7 @@ class Filesystem {
 
   /// Submits write requests for the file's dirty pages (grouped into
   /// contiguous runs). `ordered`/`barrier_last` control the request flags.
+  /// Runs without suspension (uses the shared scratch buffers).
   std::vector<blk::RequestPtr> submit_data(Inode& f, bool ordered,
                                            bool barrier_last);
 
@@ -152,6 +153,13 @@ class Filesystem {
   Stats stats_;
   sim::LatencyRecorder fsync_latency_;
   bool started_ = false;
+
+  /// Scratch buffers reused by the suspension-free helpers (submit_data,
+  /// journal_overwrites). The simulator is single-threaded and these
+  /// helpers never co_await, so sharing them across concurrent syscalls is
+  /// safe and keeps the per-fsync heap traffic at zero.
+  std::vector<PageCache::PageKey> scratch_keys_;
+  std::vector<blk::Block> scratch_blocks_;
 };
 
 }  // namespace bio::fs

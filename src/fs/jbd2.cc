@@ -44,7 +44,7 @@ sim::Task Jbd2Journal::jbd_loop() {
     // Ordered mode: every data block attached to this transaction must be
     // transferred before the journal describes it.
     for (const blk::RequestPtr& r : txn->data_reqs)
-      co_await r->completion->wait();
+      co_await r->completion.wait();
 
     // JD: descriptor + one log block per buffer (+ journaled data).
     const std::size_t jd_size =

@@ -78,9 +78,8 @@ void Journal::checkpoint(Txn& txn) {
   // In-place metadata writes, orderless and asynchronous: checkpointing is
   // not on anyone's critical path once the journal copy is safe.
   for (flash::Lba block : txn.buffers) {
-    std::vector<std::pair<flash::Lba, flash::Version>> payload;
-    payload.emplace_back(block, blk_.next_version());
-    blk_.submit(blk::make_write_request(sim_, std::move(payload)));
+    const blk::Block payload[1] = {{block, blk_.next_version()}};
+    blk_.submit(blk_.pool().make_write(payload));
     ++stats_.checkpoint_writes;
   }
 }

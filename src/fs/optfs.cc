@@ -39,24 +39,25 @@ sim::Task OptFsJournal::commit_loop() {
     committing_ = txn;
 
     for (const blk::RequestPtr& r : txn->data_reqs)
-      co_await r->completion->wait();
+      co_await r->completion.wait();
 
     // Checksummed JD + JC dispatched together, one combined wait: the
     // flush between them is gone, the transfer wait is not.
     const std::size_t jd_size =
         1 + txn->buffers.size() + txn->journaled_data_blocks;
     auto jd = reserve_journal_blocks(jd_size);
-    txn->jd_blocks = jd;
     co_await sim_.delay(cfg_.checksum_cpu_per_block *
                         static_cast<sim::SimTime>(jd_size + 1));
-    blk::RequestPtr jd_req = blk::make_write_request(sim_, std::move(jd));
+    blk::RequestPtr jd_req =
+        blk_.pool().make_write(std::span<const blk::Block>(jd));
+    txn->jd_blocks = std::move(jd);
     blk_.submit(jd_req);
     auto jc = reserve_journal_blocks(1);
     txn->jc_block = jc[0];
-    txn->jc_req = blk::make_write_request(sim_, std::move(jc));
+    txn->jc_req = blk_.pool().make_write(std::span<const blk::Block>(jc));
     blk_.submit(txn->jc_req);
-    co_await jd_req->completion->wait();
-    co_await txn->jc_req->completion->wait();
+    co_await jd_req->completion.wait();
+    co_await txn->jc_req->completion.wait();
 
     txn->dispatched->trigger();
     txn->flushed = false;  // never durable at osync return

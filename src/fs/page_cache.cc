@@ -12,6 +12,8 @@ void PageCache::write(std::uint32_t ino, std::uint32_t page, flash::Lba lba,
   if (!st.dirty) {
     st.dirty = true;
     ++dirty_count_;
+    index_insert(dirty_index_, key);
+    if (st.writeback != nullptr) index_erase(wb_index_, key);
   }
   // A newer version supersedes any in-flight writeback: the page is dirty
   // again and the old request no longer "carries" it.
@@ -19,22 +21,45 @@ void PageCache::write(std::uint32_t ino, std::uint32_t page, flash::Lba lba,
   dirtied_.notify_all();
 }
 
+void PageCache::dirty_pages_of(std::uint32_t ino,
+                               std::vector<PageKey>& out) const {
+  out.clear();
+  auto it = dirty_index_.find(ino);
+  if (it == dirty_index_.end()) return;
+  out.reserve(it->second.size());
+  for (std::uint32_t page : it->second) out.push_back(PageKey{ino, page});
+}
+
 std::vector<PageCache::PageKey> PageCache::dirty_pages_of(
     std::uint32_t ino) const {
   std::vector<PageKey> out;
-  for (auto it = pages_.lower_bound(PageKey{ino, 0});
-       it != pages_.end() && it->first.ino == ino; ++it)
-    if (it->second.dirty) out.push_back(it->first);
+  dirty_pages_of(ino, out);
   return out;
 }
 
-std::vector<blk::RequestPtr> PageCache::writebacks_of(
-    std::uint32_t ino) const {
+std::vector<blk::RequestPtr> PageCache::writebacks_of(std::uint32_t ino) {
   std::vector<blk::RequestPtr> out;
-  for (auto it = pages_.lower_bound(PageKey{ino, 0});
-       it != pages_.end() && it->first.ino == ino; ++it)
-    if (!it->second.dirty && it->second.writeback != nullptr)
-      out.push_back(it->second.writeback);
+  auto it = wb_index_.find(ino);
+  if (it == wb_index_.end()) return out;
+  std::set<std::uint32_t>& pages = it->second;
+  for (auto pit = pages.begin(); pit != pages.end();) {
+    auto mit = pages_.find(PageKey{ino, *pit});
+    BIO_CHECK_MSG(mit != pages_.end() && mit->second.writeback != nullptr,
+                  "writeback index out of sync");
+    blk::RequestPtr& wb = mit->second.writeback;
+    if (wb->completion.is_set()) {
+      // Lazy completion sweep: the carrier already finished (waiting on its
+      // set event would be a no-op), so drop the stale reference. This
+      // keeps the wait list O(in-flight) and releases the request back to
+      // the pool instead of pinning it until the page is rewritten.
+      wb = nullptr;
+      pit = pages.erase(pit);
+      continue;
+    }
+    out.push_back(wb);
+    ++pit;
+  }
+  if (pages.empty()) wb_index_.erase(it);
   return out;
 }
 
@@ -45,15 +70,23 @@ void PageCache::begin_writeback(const PageKey& key, blk::RequestPtr req) {
     it->second.dirty = false;
     BIO_CHECK(dirty_count_ > 0);
     --dirty_count_;
+    index_erase(dirty_index_, key);
   }
   it->second.writeback = std::move(req);
+  if (it->second.writeback != nullptr)
+    index_insert(wb_index_, key);
+  else
+    index_erase(wb_index_, key);
 }
 
 void PageCache::end_writeback(const PageKey& key,
                               const blk::RequestPtr& req) {
   auto it = pages_.find(key);
   if (it == pages_.end()) return;
-  if (it->second.writeback == req) it->second.writeback = nullptr;
+  if (it->second.writeback == req) {
+    it->second.writeback = nullptr;
+    index_erase(wb_index_, key);
+  }
 }
 
 void PageCache::mark_clean(const PageKey& key) {
@@ -63,6 +96,7 @@ void PageCache::mark_clean(const PageKey& key) {
     it->second.dirty = false;
     BIO_CHECK(dirty_count_ > 0);
     --dirty_count_;
+    index_erase(dirty_index_, key);
   }
 }
 
@@ -75,6 +109,8 @@ void PageCache::drop_file(std::uint32_t ino) {
     }
     it = pages_.erase(it);
   }
+  dirty_index_.erase(ino);
+  wb_index_.erase(ino);
 }
 
 const PageCache::PageState* PageCache::find(std::uint32_t ino,
@@ -83,14 +119,45 @@ const PageCache::PageState* PageCache::find(std::uint32_t ino,
   return it == pages_.end() ? nullptr : &it->second;
 }
 
+void PageCache::all_dirty(std::size_t limit,
+                          std::vector<PageKey>& out) const {
+  out.clear();
+  for (const auto& [ino, dirty_pages] : dirty_index_) {
+    for (std::uint32_t page : dirty_pages) {
+      if (out.size() >= limit) return;
+      out.push_back(PageKey{ino, page});
+    }
+  }
+}
+
 std::vector<PageCache::PageKey> PageCache::all_dirty(
     std::size_t limit) const {
   std::vector<PageKey> out;
-  for (const auto& [key, st] : pages_) {
-    if (out.size() >= limit) break;
-    if (st.dirty) out.push_back(key);
-  }
+  all_dirty(limit, out);
   return out;
+}
+
+bool PageCache::check_index_invariants() const {
+  std::size_t dirty_seen = 0;
+  for (const auto& [key, st] : pages_) {
+    const auto dit = dirty_index_.find(key.ino);
+    const bool in_dirty =
+        dit != dirty_index_.end() && dit->second.contains(key.page);
+    if (in_dirty != st.dirty) return false;
+    if (st.dirty) ++dirty_seen;
+    const auto wit = wb_index_.find(key.ino);
+    const bool in_wb = wit != wb_index_.end() && wit->second.contains(key.page);
+    if (in_wb != (!st.dirty && st.writeback != nullptr)) return false;
+  }
+  if (dirty_seen != dirty_count_) return false;
+  // No stale index entries pointing at evicted pages.
+  for (const auto& [ino, dirty_pages] : dirty_index_)
+    for (std::uint32_t page : dirty_pages)
+      if (!pages_.contains(PageKey{ino, page})) return false;
+  for (const auto& [ino, wb_pages] : wb_index_)
+    for (std::uint32_t page : wb_pages)
+      if (!pages_.contains(PageKey{ino, page})) return false;
+  return true;
 }
 
 }  // namespace bio::fs

@@ -6,10 +6,17 @@
 // background flusher keeps the global dirty count between the configured
 // watermarks, which is what the buffered-write scenarios (Fig 1 "buffered",
 // Fig 9 "P") exercise.
+//
+// Dirty and writeback pages are indexed per inode (ordered by page) on top
+// of the flat page map, so fsync's dirty scan is O(dirty-of-file) and
+// pdflush's batch collection is O(limit) — not O(total cached pages). The
+// global iteration order (ascending ino, then page) matches the old
+// full-scan behaviour exactly.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "blk/request.h"
@@ -44,11 +51,15 @@ class PageCache {
   void write(std::uint32_t ino, std::uint32_t page, flash::Lba lba,
              flash::Version version, bool overwrite);
 
-  /// Dirty pages of one file, ascending page order.
+  /// Dirty pages of one file, ascending page order (appended to `out`,
+  /// which is cleared first — callers reuse scratch buffers).
+  void dirty_pages_of(std::uint32_t ino, std::vector<PageKey>& out) const;
   std::vector<PageKey> dirty_pages_of(std::uint32_t ino) const;
 
-  /// Requests currently writing back pages of `ino` (to wait on).
-  std::vector<blk::RequestPtr> writebacks_of(std::uint32_t ino) const;
+  /// Requests currently writing back pages of `ino` (to wait on). Lazily
+  /// sweeps out carriers whose completion already fired, so the result is
+  /// the genuinely in-flight set.
+  std::vector<blk::RequestPtr> writebacks_of(std::uint32_t ino);
 
   /// Marks `key` as under writeback by `req` (clears dirty).
   void begin_writeback(const PageKey& key, blk::RequestPtr req);
@@ -68,15 +79,37 @@ class PageCache {
   std::size_t dirty_count() const noexcept { return dirty_count_; }
   std::size_t total_pages() const noexcept { return pages_.size(); }
 
-  /// All dirty pages (global), in (ino, page) order — pdflush's view.
+  /// Up to `limit` dirty pages (global), in (ino, page) order — pdflush's
+  /// view. O(limit), via the dirty index.
+  void all_dirty(std::size_t limit, std::vector<PageKey>& out) const;
   std::vector<PageKey> all_dirty(std::size_t limit) const;
 
   /// Notified whenever a write dirties a page (pdflush wake-up).
   sim::Notify& dirtied() noexcept { return dirtied_; }
 
+  /// Exhaustively cross-checks the dirty/writeback indexes against the page
+  /// map (test hook; O(total pages)).
+  bool check_index_invariants() const;
+
  private:
+  using InoIndex = std::map<std::uint32_t, std::set<std::uint32_t>>;
+
+  static void index_insert(InoIndex& idx, const PageKey& key) {
+    idx[key.ino].insert(key.page);
+  }
+  static void index_erase(InoIndex& idx, const PageKey& key) {
+    auto it = idx.find(key.ino);
+    if (it == idx.end()) return;
+    it->second.erase(key.page);
+    if (it->second.empty()) idx.erase(it);
+  }
+
   sim::Simulator* sim_;
   std::map<PageKey, PageState> pages_;
+  /// ino -> dirty pages (key.dirty == true exactly when indexed here).
+  InoIndex dirty_index_;
+  /// ino -> pages with an in-flight writeback (and dirty == false).
+  InoIndex wb_index_;
   std::size_t dirty_count_ = 0;
   sim::Notify dirtied_;
 };

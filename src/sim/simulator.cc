@@ -29,7 +29,8 @@ Simulator::~Simulator() {
   // Drop pending events first so nothing resumes into destroyed frames,
   // then destroy the frames of still-suspended top-level tasks (this
   // cascades into any nested child tasks they own).
-  while (!queue_.empty()) queue_.pop();
+  queue_.clear();
+  callbacks_.clear();
   for (auto& [thr, handle] : live_) handle.destroy();
 }
 
@@ -52,34 +53,49 @@ ThreadCtx& Simulator::spawn(std::string name, Task task) {
 void Simulator::schedule_resume(SimTime at, std::coroutine_handle<> h,
                                 ThreadCtx* thr, bool is_wakeup) {
   BIO_CHECK_MSG(at >= now_, "scheduling into the past");
-  queue_.push(Scheduled{at, next_seq_++, h, thr, is_wakeup, nullptr});
+  const std::uintptr_t aux = reinterpret_cast<std::uintptr_t>(thr) |
+                             (is_wakeup ? kWakeupBit : 0);
+  queue_.push(Scheduled{at, next_seq_++, h.address(), aux});
 }
 
 void Simulator::schedule_call(SimTime at, std::function<void()> fn) {
   BIO_CHECK_MSG(at >= now_, "scheduling into the past");
-  queue_.push(Scheduled{at, next_seq_++, nullptr, nullptr, false,
-                        std::move(fn)});
+  std::uint32_t slot;
+  if (!free_callback_slots_.empty()) {
+    slot = free_callback_slots_.back();
+    free_callback_slots_.pop_back();
+    callbacks_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(callbacks_.size());
+    callbacks_.push_back(std::move(fn));
+  }
+  queue_.push(Scheduled{at, next_seq_++, nullptr, slot});
 }
 
-void Simulator::dispatch(Scheduled&& ev) {
+void Simulator::dispatch(const Scheduled& ev) {
   now_ = ev.at;
-  if (ev.callback) {
+  ++events_dispatched_;
+  if (ev.frame == nullptr) {
+    const std::uint32_t slot = static_cast<std::uint32_t>(ev.aux);
+    std::function<void()> fn = std::move(callbacks_[slot]);
+    callbacks_[slot] = nullptr;
+    free_callback_slots_.push_back(slot);
     current_ = nullptr;
-    ev.callback();
+    fn();
     return;
   }
-  if (ev.is_wakeup && ev.thread != nullptr) ++ev.thread->context_switches;
-  current_ = ev.thread;
-  ev.handle.resume();
+  ThreadCtx* thr = reinterpret_cast<ThreadCtx*>(ev.aux & ~kWakeupBit);
+  if ((ev.aux & kWakeupBit) != 0 && thr != nullptr) ++thr->context_switches;
+  current_ = thr;
+  std::coroutine_handle<>::from_address(ev.frame).resume();
   current_ = nullptr;
 }
 
 void Simulator::run() {
   stopped_ = false;
   while (!queue_.empty() && !stopped_) {
-    Scheduled ev = queue_.top();
-    queue_.pop();
-    dispatch(std::move(ev));
+    const Scheduled ev = queue_.pop();
+    dispatch(ev);
   }
   if (failure_) {
     std::exception_ptr e = std::exchange(failure_, nullptr);
@@ -90,9 +106,8 @@ void Simulator::run() {
 void Simulator::run_until(SimTime t) {
   stopped_ = false;
   while (!queue_.empty() && !stopped_ && queue_.top().at <= t) {
-    Scheduled ev = queue_.top();
-    queue_.pop();
-    dispatch(std::move(ev));
+    const Scheduled ev = queue_.pop();
+    dispatch(ev);
   }
   if (now_ < t) now_ = t;
   if (failure_) {

@@ -12,6 +12,7 @@
 #include <deque>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "sim/check.h"
 #include "sim/simulator.h"
@@ -50,6 +51,15 @@ class Event {
     set_ = false;
   }
 
+  /// Re-arms unconditionally, discarding any registered waiters. Only for
+  /// object recycling (blk::RequestPool) where the embedded event may be
+  /// torn down mid-wait during simulator teardown — exactly as destroying
+  /// a heap-allocated Event would have.
+  void recycle() noexcept {
+    waiters_.clear();
+    set_ = false;
+  }
+
   struct Awaiter {
     Event& event;
     bool await_ready() const noexcept { return event.set_; }
@@ -66,7 +76,10 @@ class Event {
  private:
   Simulator* sim_;
   bool set_ = false;
-  std::deque<detail::Waiter> waiters_;
+  /// vector, not deque: wakes always drain everyone at once, and a default
+  /// vector performs no heap allocation (deques grab a chunk on
+  /// construction — costly for the pooled per-request events).
+  std::vector<detail::Waiter> waiters_;
 };
 
 /// Counting semaphore with FIFO hand-off: release() passes the permit

@@ -19,6 +19,7 @@
 #include <utility>
 
 #include "sim/check.h"
+#include "sim/frame_pool.h"
 
 namespace bio::sim {
 
@@ -53,6 +54,11 @@ class [[nodiscard]] Task {
     FinalAwaiter final_suspend() const noexcept { return {}; }
     void return_void() const noexcept {}
     void unhandled_exception() { error = std::current_exception(); }
+
+    // Coroutine frames come from the recycling frame pool: per-await frame
+    // allocation is the simulator's dominant heap traffic.
+    static void* operator new(std::size_t n) { return detail::frame_alloc(n); }
+    static void operator delete(void* p) noexcept { detail::frame_free(p); }
   };
 
   Task() = default;
@@ -131,6 +137,9 @@ class [[nodiscard]] TaskOf {
     FinalAwaiter final_suspend() const noexcept { return {}; }
     void return_value(T v) { value.emplace(std::move(v)); }
     void unhandled_exception() { error = std::current_exception(); }
+
+    static void* operator new(std::size_t n) { return detail::frame_alloc(n); }
+    static void operator delete(void* p) noexcept { detail::frame_free(p); }
   };
 
   TaskOf() = default;

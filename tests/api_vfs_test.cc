@@ -1,10 +1,7 @@
 // Tests for the handle-based VFS layer: descriptor lifecycle, per-fd
 // offsets, errno paths, and the SyncPolicy substitution table — including
-// parity with the deprecated Stack::order_point/durability_point helpers
-// for every StackKind.
-//
-// The parity suite intentionally calls the deprecated shims.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// parity between Vfs-resolved intents and direct policy-row issuance for
+// every StackKind.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -413,18 +410,20 @@ TEST(SyncPolicyTest, TableMatchesPaperSubstitution) {
   EXPECT_EQ(optfs.full_sync, Syscall::kOsync);
 }
 
-/// One write+sync per intent, through the deprecated raw-Inode helpers.
-fs::Filesystem::Stats run_with_stack_helpers(StackKind kind) {
+/// One write+sync per intent, issuing the policy table's row directly
+/// against the filesystem (no Vfs layer in the loop).
+fs::Filesystem::Stats run_with_policy_rows(StackKind kind) {
   StackFixture x(kind);
+  const SyncPolicy policy = SyncPolicy::for_stack(kind);
   auto body = [&]() -> Task {
     fs::Inode* f = nullptr;
     co_await x.fs().create("a", f, 64);
     co_await x.fs().write(*f, 0, 1);
-    co_await x.stack->order_point(*f);
+    co_await api::issue(x.fs(), *f, policy.order);
     co_await x.fs().write(*f, 1, 1);
-    co_await x.stack->durability_point(*f);
+    co_await api::issue(x.fs(), *f, policy.durability);
     co_await x.fs().write(*f, 2, 1);
-    co_await x.stack->sync_file(*f);
+    co_await api::issue(x.fs(), *f, policy.full_sync);
   };
   x.sim().spawn("t", body());
   x.sim().run();
@@ -450,9 +449,9 @@ fs::Filesystem::Stats run_with_vfs_policy(StackKind kind) {
   return x.fs().stats();
 }
 
-TEST(SyncPolicyTest, ParityWithDeprecatedHelpersForAllStackKinds) {
+TEST(SyncPolicyTest, VfsIntentsMatchDirectPolicyIssuance) {
   for (StackKind kind : kAllKinds) {
-    const fs::Filesystem::Stats old_path = run_with_stack_helpers(kind);
+    const fs::Filesystem::Stats old_path = run_with_policy_rows(kind);
     const fs::Filesystem::Stats new_path = run_with_vfs_policy(kind);
     EXPECT_EQ(old_path.fsyncs, new_path.fsyncs) << core::to_string(kind);
     EXPECT_EQ(old_path.fdatasyncs, new_path.fdatasyncs)

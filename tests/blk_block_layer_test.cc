@@ -104,9 +104,9 @@ TEST(BlockLayerTest, MergedRequestFansOutCompletions) {
     RequestPtr b = make_write_request(s.sim, {{12, 3}});
     s.blk.submit(a);
     s.blk.submit(b);  // merges into a at the scheduler
-    co_await a->completion->wait();
+    co_await a->completion.wait();
     ++completions;
-    co_await b->completion->wait();
+    co_await b->completion.wait();
     ++completions;
   };
   s.sim.spawn("t", body());
@@ -129,7 +129,7 @@ TEST(BlockLayerTest, BusyDeviceEventuallyDispatchesEverything) {
       s.blk.submit(reqs.back());
     }
     for (auto& r : reqs) {
-      co_await r->completion->wait();
+      co_await r->completion.wait();
       ++done;
     }
   };
@@ -150,7 +150,7 @@ TEST(BlockLayerTest, BusyPollModeUsesTimedRetry) {
       reqs.push_back(make_write_request(s.sim, {{Lba(i * 2), Version(i)}}));
       s.blk.submit(reqs.back());
     }
-    for (auto& r : reqs) co_await r->completion->wait();
+    for (auto& r : reqs) co_await r->completion.wait();
   };
   s.sim.spawn("t", body());
   s.sim.run();
@@ -170,8 +170,8 @@ TEST(BlockLayerTest, EpochOrderingPreservedThroughFullStack) {
     s.blk.submit(w3);
     RequestPtr w4 = make_write_request(s.sim, {{4, 4}}, true);
     s.blk.submit(w4);
-    co_await w4->completion->wait();
-    co_await w3->completion->wait();
+    co_await w4->completion.wait();
+    co_await w3->completion.wait();
   };
   s.sim.spawn("t", body());
   s.sim.run();

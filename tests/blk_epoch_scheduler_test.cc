@@ -124,6 +124,78 @@ TEST(EpochSchedulerTest, StagedBarrierReblocksQueue) {
   EXPECT_EQ(s.barrier_reassignments(), 2u);
 }
 
+TEST(EpochSchedulerTest, ChainOfStagedBarriersUnblocksEpochByEpoch) {
+  // Three epochs staged behind one another: each dequeue of a barrier must
+  // re-block the queue and admit exactly the next epoch's requests.
+  Simulator sim;
+  EpochScheduler s(std::make_unique<NoopScheduler>());
+  s.enqueue(wr(sim, 1, true, true));    // epoch 0 barrier
+  s.enqueue(wr(sim, 10, true, true));   // staged: epoch 1 barrier
+  s.enqueue(wr(sim, 20, true, true));   // staged: epoch 2 barrier
+  s.enqueue(wr(sim, 30, true));         // staged: epoch 3
+  EXPECT_EQ(s.staged_count(), 3u);
+
+  RequestPtr b0 = s.dequeue();
+  EXPECT_TRUE(b0->barrier);
+  EXPECT_TRUE(s.blocked()) << "epoch-1 barrier re-blocked on admission";
+  EXPECT_EQ(s.staged_count(), 2u) << "epochs 2 and 3 remain staged";
+
+  RequestPtr b1 = s.dequeue();
+  EXPECT_TRUE(b1->barrier);
+  EXPECT_EQ(b1->first_lba(), 10u);
+  EXPECT_TRUE(s.blocked());
+  EXPECT_EQ(s.staged_count(), 1u);
+
+  RequestPtr b2 = s.dequeue();
+  EXPECT_TRUE(b2->barrier);
+  EXPECT_EQ(b2->first_lba(), 20u);
+  EXPECT_FALSE(s.blocked()) << "no staged barrier left";
+  EXPECT_EQ(s.dequeue()->first_lba(), 30u);
+  EXPECT_EQ(s.barrier_reassignments(), 3u);
+}
+
+TEST(EpochSchedulerTest, OrderlessStagedBehindReblockedBarrierEntersBase) {
+  // While blocked on a staged barrier, the re-admission loop must admit
+  // orderless requests into the base queue (they are epoch-free) but hold
+  // back everything behind the next staged barrier.
+  Simulator sim;
+  EpochScheduler s(std::make_unique<NoopScheduler>());
+  s.enqueue(wr(sim, 1, true, true));    // epoch 0 barrier
+  s.enqueue(wr(sim, 20));               // staged orderless
+  s.enqueue(wr(sim, 40, true, true));   // staged: epoch 1 barrier
+  s.enqueue(wr(sim, 60));               // staged behind the epoch-1 barrier
+
+  RequestPtr b0 = s.dequeue();
+  EXPECT_TRUE(b0->barrier);
+  EXPECT_TRUE(s.blocked()) << "epoch-1 barrier re-blocked the queue";
+  // The orderless lba-20 request and the (stripped) barrier write joined
+  // the base queue; lba 60 is still staged behind the re-blocking barrier.
+  EXPECT_EQ(s.staged_count(), 1u);
+  EXPECT_EQ(s.dequeue()->first_lba(), 20u);
+  RequestPtr b1 = s.dequeue();
+  EXPECT_EQ(b1->first_lba(), 40u);
+  EXPECT_TRUE(b1->barrier);
+  EXPECT_FALSE(s.blocked());
+  EXPECT_EQ(s.dequeue()->first_lba(), 60u);
+  EXPECT_EQ(s.dequeue(), nullptr);
+}
+
+TEST(EpochSchedulerTest, SizeCountsBaseAndStagedThroughReblocking) {
+  Simulator sim;
+  EpochScheduler s(std::make_unique<NoopScheduler>());
+  s.enqueue(wr(sim, 1, true, true));
+  s.enqueue(wr(sim, 10, true, true));
+  s.enqueue(wr(sim, 20, true));
+  EXPECT_EQ(s.size(), 3u);
+  (void)s.dequeue();  // epoch 0 barrier out; epoch-1 barrier re-blocks
+  EXPECT_TRUE(s.blocked());
+  EXPECT_EQ(s.size(), 2u) << "one in base (stripped barrier), one staged";
+  (void)s.dequeue();
+  EXPECT_EQ(s.size(), 1u);
+  (void)s.dequeue();
+  EXPECT_EQ(s.size(), 0u);
+}
+
 TEST(EpochSchedulerTest, StagedBarrierMayMergeIntoItsOwnEpoch) {
   // Contiguous LBAs: the epoch-1 barrier write merges with the epoch-1
   // request ahead of it. That is legal — both belong to one epoch — and the

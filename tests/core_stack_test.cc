@@ -2,12 +2,11 @@
 // substitution table, and cross-stack latency orderings that the paper's
 // results depend on.
 //
-// The Stack sync helpers are deprecated shims over api::SyncPolicy; these
-// tests deliberately keep exercising them until they are removed (the
-// api_vfs_test parity suite checks they match the policy table).
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// Sync intents resolve through api::SyncPolicy (the paper's §5 table as
+// data); these tests issue the policy rows directly against the filesystem.
 #include <gtest/gtest.h>
 
+#include "api/sync_policy.h"
 #include "fs_test_util.h"
 
 namespace bio::core {
@@ -17,6 +16,12 @@ using namespace bio::sim::literals;
 using fs::testutil::StackFixture;
 using fs::testutil::test_stack_config;
 using sim::Task;
+
+/// Issues the policy-resolved syscall for `kind`'s row and `intent`.
+sim::Task issue_intent(StackFixture& x, fs::Inode& f, api::SyncIntent intent) {
+  const api::SyncPolicy policy = api::SyncPolicy::for_stack(x.stack->kind());
+  co_await api::issue(x.fs(), f, policy.resolve(intent));
+}
 
 TEST(StackConfigTest, Ext4WiresLegacyLayers) {
   StackConfig c = StackConfig::make(StackKind::kExt4DR,
@@ -77,7 +82,7 @@ TEST(StackTest, OrderPointMapsToFdatabarrierOnBfs) {
     fs::Inode* f = nullptr;
     co_await x.fs().create("a", f);
     co_await x.fs().write(*f, 0, 1);
-    co_await x.stack->order_point(*f);
+    co_await issue_intent(x, *f, api::SyncIntent::kOrder);
   };
   x.sim().spawn("t", body());
   x.sim().run();
@@ -91,7 +96,7 @@ TEST(StackTest, OrderPointMapsToFdatasyncOnExt4) {
     fs::Inode* f = nullptr;
     co_await x.fs().create("a", f);
     co_await x.fs().write(*f, 0, 1);
-    co_await x.stack->order_point(*f);
+    co_await issue_intent(x, *f, api::SyncIntent::kOrder);
   };
   x.sim().spawn("t", body());
   x.sim().run();
@@ -105,7 +110,7 @@ TEST(StackTest, DurabilityPointRelaxedOnlyOnBfsOd) {
       fs::Inode* f = nullptr;
       co_await x.fs().create("a", f);
       co_await x.fs().write(*f, 0, 1);
-      co_await x.stack->durability_point(*f);
+      co_await issue_intent(x, *f, api::SyncIntent::kDurability);
       // Data must be durable at return for DR stacks.
       EXPECT_TRUE(x.dev().durable_state().contains(f->lba_of_page(0)))
           << to_string(kind);
@@ -121,7 +126,7 @@ TEST(StackTest, SyncFileUsesFbarrierOnBfsOd) {
     fs::Inode* f = nullptr;
     co_await x.fs().create("a", f);
     co_await x.fs().write(*f, 0, 1);
-    co_await x.stack->sync_file(*f);
+    co_await issue_intent(x, *f, api::SyncIntent::kFullSync);
   };
   x.sim().spawn("t", body());
   x.sim().run();
@@ -142,7 +147,7 @@ TEST(StackTest, FsyncLatencyOrderingAcrossStacks) {
         co_await x.sim().delay(5_ms);  // fresh tick: metadata commit per op
         co_await x.fs().write(*f, static_cast<std::uint32_t>(i), 1);
         const sim::SimTime t0 = x.sim().now();
-        co_await x.stack->sync_file(*f);
+        co_await issue_intent(x, *f, api::SyncIntent::kFullSync);
         result += x.sim().now() - t0;
       }
     };

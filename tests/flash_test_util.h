@@ -36,10 +36,13 @@ inline DeviceProfile test_profile(BarrierMode mode, bool plp = false) {
   return p;
 }
 
-/// Owns the completion event a Command points at.
+/// Owns the completion event and block payload a Command points at
+/// (Command::blocks is a non-owning span; in production the block layer's
+/// pooled request owns the storage).
 struct Submission {
   std::shared_ptr<Command> cmd;
   std::unique_ptr<sim::Event> done;
+  std::shared_ptr<std::vector<std::pair<Lba, Version>>> blocks;
 };
 
 inline Submission make_write(sim::Simulator& sim,
@@ -50,12 +53,14 @@ inline Submission make_write(sim::Simulator& sim,
   Submission s;
   s.cmd = std::make_shared<Command>();
   s.done = std::make_unique<sim::Event>(sim);
+  s.blocks = std::make_shared<std::vector<std::pair<Lba, Version>>>(
+      std::move(blocks));
   s.cmd->op = OpCode::kWrite;
   s.cmd->priority = priority;
   s.cmd->barrier = barrier;
   s.cmd->fua = fua;
   s.cmd->flush_before = flush_before;
-  s.cmd->blocks = std::move(blocks);
+  s.cmd->blocks = *s.blocks;
   s.cmd->done = s.done.get();
   return s;
 }
