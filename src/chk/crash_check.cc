@@ -1,0 +1,431 @@
+#include "chk/crash_check.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "api/vfs.h"
+#include "fs/recovery.h"
+#include "sim/rng.h"
+
+namespace bio::chk {
+namespace {
+
+using namespace bio::sim::literals;
+using core::StackKind;
+using flash::Lba;
+using flash::Version;
+
+/// What the stack's API contract promises (the checker verifies exactly
+/// this; EXT4-OD *claims* the EXT4-DR contract and is expected to break it).
+struct Guarantees {
+  /// durability_point()/sync_file() returned => covered data is on media.
+  bool durable_acks = false;
+};
+
+Guarantees guarantees_of(StackKind kind) {
+  switch (kind) {
+    case StackKind::kExt4DR:
+    case StackKind::kExt4OD:  // claimed, not kept — the paper's motivation
+    case StackKind::kBfsDR:
+      return {.durable_acks = true};
+    case StackKind::kBfsOD:
+    case StackKind::kOptFs:
+      return {.durable_acks = false};  // ordering only until quiescence
+  }
+  return {};
+}
+
+core::StackConfig checker_config(StackKind kind,
+                                 const CrashCheckOptions& opt) {
+  flash::DeviceProfile dev;
+  dev.name = "chk";
+  dev.geometry = flash::Geometry{.channels = 2,
+                                 .ways_per_channel = 2,
+                                 .blocks_per_chip = 64,
+                                 .pages_per_block = 4};
+  dev.nand = flash::NandTiming{.read_page = 50_us,
+                               .program_page = 200_us,
+                               .erase_block = 1'000_us,
+                               .channel_xfer = 10_us};
+  dev.queue_depth = 16;
+  dev.cache_entries = 64;
+  dev.cmd_overhead = 5_us;
+  dev.dma_4k = 10_us;
+  dev.flush_overhead = 20_us;
+  dev.plp_flush_latency = 15_us;
+  dev.read_hit_latency = 5_us;
+  core::StackConfig cfg = core::StackConfig::make(kind, dev);
+  if (opt.journal_blocks != 0) cfg.fs.journal_blocks = opt.journal_blocks;
+  cfg.fs.max_inodes = 64;
+  cfg.fs.default_extent_blocks = opt.extent_blocks;
+  cfg.fs.writeback_high_watermark = 1u << 20;  // pdflush off: explicit syncs
+  return cfg;
+}
+
+/// One buffered write as the oracle remembers it.
+struct PageWrite {
+  Lba lba = 0;
+  Version version = 0;
+  /// The file's ordering epoch at write time (order/durability/full-sync
+  /// points bump it): if any write of a later epoch survives, every write
+  /// of an earlier epoch must have survived.
+  std::uint64_t epoch = 0;
+};
+
+struct FileOracle {
+  std::string name;
+  api::File handle;
+  fs::Inode* inode = nullptr;
+  std::uint64_t epoch = 0;
+  /// Latest write per page.
+  std::map<std::uint32_t, PageWrite> pages;
+  /// Every write, epoch-tagged (order-prefix checking).
+  std::vector<PageWrite> writes;
+  /// Writes with index < synced_upto were covered by some sync point and
+  /// must be durable once the device quiesces.
+  std::size_t synced_upto = 0;
+  /// Snapshot of `pages` at the last durability-guaranteed sync return.
+  std::map<std::uint32_t, PageWrite> acked;
+  bool has_acks = false;
+  /// sync_file() returned: the file (and this size) must survive.
+  bool full_synced = false;
+  std::uint32_t full_synced_size = 0;
+};
+
+struct Oracle {
+  std::vector<FileOracle> files;
+  bool finished = false;
+};
+
+sim::Task workload(core::Stack& stack, api::Vfs& vfs, Oracle& oracle,
+                   const CrashCheckOptions& opt, const Guarantees& g,
+                   std::uint64_t seed) {
+  sim::Rng rng(seed);
+  oracle.files.resize(static_cast<std::size_t>(opt.files));
+  for (int i = 0; i < opt.files; ++i) {
+    FileOracle& f = oracle.files[static_cast<std::size_t>(i)];
+    f.name = "f" + std::to_string(i);
+    api::OpenOptions oo;
+    oo.create = true;
+    oo.extent_blocks = opt.extent_blocks;
+    api::Result<api::File> r = co_await vfs.open(f.name, oo);
+    BIO_CHECK_MSG(r.ok(), "checker workload: open failed");
+    f.handle = r.value();
+    f.inode = stack.fs().lookup(f.name);
+    BIO_CHECK(f.inode != nullptr);
+  }
+  // Settle the creates so every later crash point has the namespace.
+  {
+    FileOracle& f0 = oracle.files.front();
+    must(co_await f0.handle.sync_file());
+    for (FileOracle& f : oracle.files) {
+      ++f.epoch;
+      if (g.durable_acks) {
+        f.full_synced = true;
+        f.full_synced_size = f.inode->size_blocks;
+        f.has_acks = true;
+      }
+      f.synced_upto = f.writes.size();
+    }
+  }
+
+  auto record_write = [&](FileOracle& f, std::uint32_t page,
+                          std::uint32_t n) {
+    for (std::uint32_t p = page; p < page + n; ++p) {
+      const fs::PageCache::PageState* st =
+          stack.fs().page_cache().find(f.inode->ino, p);
+      BIO_CHECK(st != nullptr);
+      const PageWrite w{f.inode->lba_of_page(p), st->version, f.epoch};
+      f.pages[p] = w;
+      f.writes.push_back(w);
+    }
+  };
+
+  for (int i = 0; i < opt.ops; ++i) {
+    FileOracle& f = oracle.files[static_cast<std::size_t>(
+        rng.uniform(0, opt.files - 1))];
+    const int dice = static_cast<int>(rng.uniform(0, 99));
+    if (dice < 55) {
+      const std::uint32_t n = static_cast<std::uint32_t>(rng.uniform(1, 3));
+      const std::uint32_t page = static_cast<std::uint32_t>(
+          rng.uniform(0, opt.extent_blocks - n));
+      api::Result<std::uint32_t> r = co_await f.handle.pwrite(page, n);
+      if (r.ok()) record_write(f, page, r.value());
+    } else if (dice < 65) {
+      const std::uint32_t room = opt.extent_blocks - f.inode->size_blocks;
+      if (room > 0) {
+        const std::uint32_t n = std::min<std::uint32_t>(
+            room, static_cast<std::uint32_t>(rng.uniform(1, 2)));
+        const std::uint32_t at = f.inode->size_blocks;
+        api::Result<std::uint32_t> r = co_await f.handle.append(n);
+        if (r.ok()) record_write(f, at, r.value());
+      }
+    } else if (dice < 80) {
+      must(co_await f.handle.order_point());
+      ++f.epoch;
+      f.synced_upto = f.writes.size();
+    } else if (dice < 92) {
+      must(co_await f.handle.durability_point());
+      ++f.epoch;
+      f.synced_upto = f.writes.size();
+      if (g.durable_acks) {
+        f.acked = f.pages;
+        f.has_acks = true;
+      }
+    } else {
+      must(co_await f.handle.sync_file());
+      ++f.epoch;
+      f.synced_upto = f.writes.size();
+      f.full_synced = true;
+      f.full_synced_size = f.inode->size_blocks;
+      if (g.durable_acks) {
+        f.acked = f.pages;
+        f.has_acks = true;
+      }
+    }
+    if (rng.chance(0.3))
+      co_await stack.sim().delay(rng.uniform(1, 400) * 1_us);
+    if (rng.chance(0.08))
+      co_await stack.sim().delay(rng.uniform(2'000, 6'000) * 1_us);
+  }
+  oracle.finished = true;
+}
+
+std::string describe(const PageWrite& w) {
+  std::ostringstream os;
+  os << "lba=" << w.lba << " v=" << w.version << " epoch=" << w.epoch;
+  return os.str();
+}
+
+/// BIO_CHK_DEBUG=1 diagnostic dump for a failed write check: where the
+/// block's versions actually ended up (image, FTL mapping, transfer
+/// history, log prefix). This is how the checker's findings get root-caused
+/// down the stack.
+void debug_dump_write(const char* what, const PageWrite& w,
+                      const flash::StorageDevice::DurableImage& image,
+                      core::Stack& stack) {
+  if (std::getenv("BIO_CHK_DEBUG") == nullptr) return;
+  auto img = image.blocks.find(w.lba);
+  const auto mapped = stack.device().log().mapped_version(w.lba);
+  std::fprintf(stderr, "DBG %s lba=%llu v=%llu image=%lld mapped=%lld\n",
+               what, (unsigned long long)w.lba, (unsigned long long)w.version,
+               img == image.blocks.end() ? -1 : (long long)img->second,
+               mapped.has_value() ? (long long)*mapped : -1);
+  for (const auto& e : stack.device().transfer_history())
+    if (e.lba == w.lba)
+      std::fprintf(stderr, "  xfer v=%llu epoch=%llu order=%llu\n",
+                   (unsigned long long)e.version, (unsigned long long)e.epoch,
+                   (unsigned long long)e.order);
+  std::fprintf(stderr, "  log prefix=%llu appends=%llu cache_dirty=%zu\n",
+               (unsigned long long)stack.device().log().programmed_prefix(),
+               (unsigned long long)stack.device().log().append_count(),
+               stack.device().cache().dirty_count());
+}
+
+}  // namespace
+
+CrashCheckResult run_crash_check(StackKind kind, std::uint64_t seed,
+                                 sim::SimTime crash_at,
+                                 const CrashCheckOptions& opt) {
+  CrashCheckResult res;
+  res.seed = seed;
+  res.crash_at = crash_at;
+  const Guarantees g = guarantees_of(kind);
+  const core::StackConfig cfg = checker_config(kind, opt);
+
+  auto stack = std::make_unique<core::Stack>(cfg);
+  stack->start();
+  api::Vfs vfs(*stack);
+  Oracle oracle;
+  stack->sim().spawn("chk:wl",
+                     workload(*stack, vfs, oracle, opt, g, seed));
+  stack->sim().run_until(crash_at);  // power cut
+
+  res.workload_finished = oracle.finished;
+  res.quiesced = oracle.finished &&
+                 stack->device().cache().dirty_count() == 0 &&
+                 stack->device().queue_depth() == 0;
+  res.journal_wraps = stack->fs().journal().stats().journal_wraps;
+  res.journal_stalls = stack->fs().journal().stats().journal_stalls;
+  res.checkpoint_flushes = stack->fs().journal().stats().checkpoint_flushes;
+
+  // ---- recover the durable image -----------------------------------------
+  const flash::StorageDevice::DurableImage image =
+      stack->device().capture_durable_image();
+  const fs::Recovery recovery(stack->fs().journal(), stack->fs().layout(),
+                              stack->fs().config());
+  const fs::RecoveryReport report = recovery.recover(image.blocks);
+  res.files_recovered = static_cast<std::uint32_t>(report.files.size());
+  res.txns_replayed = report.txns_replayed;
+  res.txns_discarded = report.txns_discarded;
+  res.tail_truncated = report.tail_truncated;
+  res.recovery_clean = report.clean();
+
+  auto violation = [&res](const std::string& what) {
+    res.violations.push_back(what);
+  };
+
+  // A working journal never forces recovery to replay a stale log copy.
+  if (!report.clean())
+    violation("recovery silently corrupted " +
+              std::to_string(report.corrupted_blocks.size()) +
+              " home block(s) (stale log replay under a surviving commit)");
+
+  auto present = [&report](const PageWrite& w) {
+    auto it = report.data.find(w.lba);
+    return it != report.data.end() && it->second >= w.version;
+  };
+
+  auto recovered_file =
+      [&report](const std::string& name)
+      -> const fs::RecoveryReport::RecoveredFile* {
+    for (const auto& f : report.files)
+      if (f.name == name) return &f;
+    return nullptr;
+  };
+
+  for (const FileOracle& f : oracle.files) {
+    // 1. Acknowledged durability: every page covered by a returned
+    //    durability_point()/sync_file() must have survived.
+    if (g.durable_acks && f.has_acks) {
+      for (const auto& [page, w] : f.acked) {
+        ++res.acked_pages_checked;
+        if (!present(w)) {
+          violation(f.name + " page " + std::to_string(page) + " (" +
+                    describe(w) + ") was acked durable but did not survive");
+          debug_dump_write("acked", w, image, *stack);
+        }
+      }
+    }
+    // 2. Epoch prefix ordering: a surviving write of epoch e proves every
+    //    write of epochs < e survived.
+    std::uint64_t max_present_epoch = 0;
+    bool any_present = false;
+    for (const PageWrite& w : f.writes)
+      if (present(w)) {
+        max_present_epoch = std::max(max_present_epoch, w.epoch);
+        any_present = true;
+      }
+    for (const PageWrite& w : f.writes) {
+      ++res.order_writes_checked;
+      if (any_present && w.epoch < max_present_epoch && !present(w)) {
+        violation(f.name + " write (" + describe(w) +
+                  ") lost although epoch " +
+                  std::to_string(max_present_epoch) +
+                  " survived — ordering broken");
+        debug_dump_write("order", w, image, *stack);
+      }
+    }
+    // 3. Delayed durability: once the device has quiesced, everything any
+    //    sync point ever covered must be on media (OptFS's osync contract;
+    //    trivially implied by durable_acks elsewhere).
+    if (res.quiesced) {
+      for (std::size_t i = 0; i < f.synced_upto; ++i) {
+        const PageWrite& w = f.writes[i];
+        if (!present(w))
+          violation(f.name + " write (" + describe(w) +
+                    ") not durable after quiescence");
+      }
+    }
+    // 4. Namespace: a file whose sync_file() returned must be recovered
+    //    with at least the synced size. Without durable acks this only
+    //    holds after quiescence.
+    if (f.full_synced && (g.durable_acks || res.quiesced)) {
+      const fs::RecoveryReport::RecoveredFile* rf = recovered_file(f.name);
+      if (rf == nullptr)
+        violation(f.name + " was fsynced but does not exist after recovery");
+      else if (rf->size_blocks < f.full_synced_size)
+        violation(f.name + " recovered with size " +
+                  std::to_string(rf->size_blocks) + " < synced size " +
+                  std::to_string(f.full_synced_size));
+    }
+  }
+
+  // ---- remount a fresh stack over the recovered image --------------------
+  if (opt.remount) {
+    auto stack2 = std::make_unique<core::Stack>(cfg);
+    stack2->fs().mount(report);
+    stack2->start();
+    api::Vfs vfs2(*stack2);
+    bool remount_ok = true;
+    std::string remount_err;
+    auto verify = [&]() -> sim::Task {
+      for (const auto& rf : report.files) {
+        api::Result<api::File> r = co_await vfs2.open(rf.name, {});
+        if (!r.ok()) {
+          remount_ok = false;
+          remount_err = "open(" + rf.name + ") failed on remount";
+          co_return;
+        }
+        api::File h = r.value();
+        if (h.size_blocks().value() != rf.size_blocks) {
+          remount_ok = false;
+          remount_err = rf.name + " remounted with wrong size";
+          co_return;
+        }
+        must(h.close());
+      }
+      // The recovered filesystem must be fully usable: write + full sync.
+      api::OpenOptions oo;
+      oo.create = true;
+      api::Result<api::File> r = co_await vfs2.open("post-crash", oo);
+      if (!r.ok()) {
+        remount_ok = false;
+        remount_err = "create failed on remounted stack";
+        co_return;
+      }
+      api::File h = r.value();
+      api::Result<std::uint32_t> w = co_await h.pwrite(0, 2);
+      api::Status s = co_await h.sync_file();
+      if (!w.ok() || !s.ok()) {
+        remount_ok = false;
+        remount_err = "write+sync failed on remounted stack";
+      }
+      must(h.close());
+    };
+    stack2->sim().spawn("chk:verify", verify());
+    stack2->sim().run();
+    if (!remount_ok) violation("remount: " + remount_err);
+  }
+
+  return res;
+}
+
+CrashSweepResult run_crash_sweep(StackKind kind, int points,
+                                 std::uint64_t base_seed,
+                                 const CrashCheckOptions& opt) {
+  CrashSweepResult sweep;
+  sim::Rng rng(base_seed * 7919 + 17);
+  for (int i = 0; i < points; ++i) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    // Mostly mid-workload cuts; a slice of late cuts exercises the
+    // quiesced (delayed-durability) contract.
+    const sim::SimTime crash_at =
+        rng.chance(0.2) ? rng.uniform(60'000, 300'000) * 1_us
+                        : rng.uniform(100, 60'000) * 1_us;
+    const CrashCheckResult res = run_crash_check(kind, seed, crash_at, opt);
+    ++sweep.points;
+    if (res.quiesced) ++sweep.quiesced_points;
+    sweep.acked_pages_checked += res.acked_pages_checked;
+    sweep.order_writes_checked += res.order_writes_checked;
+    sweep.journal_wraps += res.journal_wraps;
+    sweep.journal_stalls += res.journal_stalls;
+    sweep.files_recovered += res.files_recovered;
+    if (!res.ok()) {
+      ++sweep.failed_points;
+      if (sweep.sample_violations.size() < 8) {
+        std::ostringstream os;
+        os << core::to_string(kind) << " seed=" << res.seed
+           << " crash=" << res.crash_at << "ns: " << res.violations.front();
+        sweep.sample_violations.push_back(os.str());
+      }
+    }
+  }
+  return sweep;
+}
+
+}  // namespace bio::chk

@@ -1,0 +1,102 @@
+// Full-stack crash-injection checker.
+//
+// Runs a randomized api::Vfs workload on a freshly assembled IO stack,
+// cuts power at a chosen simulated instant, recovers the durable image
+// through fs::Recovery, remounts a *fresh* stack over the recovered state,
+// and verifies the stack's crash-consistency contract:
+//
+//   stack   | verified guarantees
+//   --------+-----------------------------------------------------------
+//   EXT4-DR | fsync/fdatasync returned => durable; per-file epoch prefix
+//   BFS-DR  | same (fdatabarrier additionally delimits epochs for free)
+//   BFS-OD  | per-file epoch prefix (fdatabarrier/fbarrier order only),
+//           | full durability once the device quiesces
+//   OptFS   | osync epoch prefix + delayed durability (prefix now,
+//           | everything once the device quiesces)
+//   EXT4-OD | *claims* the EXT4-DR contract but runs nobarrier on an
+//           | orderless device — the checker is expected to catch it
+//           | violating (the paper's Fig 1 motivation)
+//
+// plus, on every stack with a working journal, that recovery never has to
+// replay a stale log copy (RecoveryReport::clean()).
+//
+// run_crash_sweep() repeats this over many (seed, crash instant) points;
+// tests/crash_recovery_test.cc drives >= 200 points per stack and
+// examples/crash_consistency.cpp is the CLI for it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/stack.h"
+#include "sim/time.h"
+
+namespace bio::chk {
+
+struct CrashCheckOptions {
+  /// Files the workload churns.
+  int files = 4;
+  /// Random operations after setup.
+  int ops = 60;
+  /// Journal size for the scenario (small values force wraps). 0 = stack
+  /// default.
+  std::uint32_t journal_blocks = 256;
+  /// Extent reserved per file (4 KiB pages).
+  std::uint32_t extent_blocks = 64;
+  /// Remount a fresh stack over the recovered image and verify it works.
+  bool remount = true;
+};
+
+struct CrashCheckResult {
+  std::uint64_t seed = 0;
+  sim::SimTime crash_at = 0;
+
+  std::vector<std::string> violations;
+  bool ok() const noexcept { return violations.empty(); }
+
+  // Scenario facts (for reporting and targeted assertions).
+  bool workload_finished = false;
+  /// Device + page cache fully drained at the crash instant: everything
+  /// ever synced must have reached media.
+  bool quiesced = false;
+  std::uint32_t files_recovered = 0;
+  std::uint32_t txns_replayed = 0;
+  std::uint32_t txns_discarded = 0;
+  bool tail_truncated = false;
+  bool recovery_clean = true;
+  std::uint64_t journal_wraps = 0;
+  std::uint64_t journal_stalls = 0;
+  std::uint64_t checkpoint_flushes = 0;
+  std::uint32_t acked_pages_checked = 0;
+  std::uint32_t order_writes_checked = 0;
+};
+
+/// One workload + power cut + recovery + remount + verification pass.
+CrashCheckResult run_crash_check(core::StackKind kind, std::uint64_t seed,
+                                 sim::SimTime crash_at,
+                                 const CrashCheckOptions& opt = {});
+
+struct CrashSweepResult {
+  int points = 0;
+  int failed_points = 0;
+  int quiesced_points = 0;
+  std::uint64_t acked_pages_checked = 0;
+  std::uint64_t order_writes_checked = 0;
+  std::uint64_t journal_wraps = 0;
+  std::uint64_t journal_stalls = 0;
+  std::uint32_t files_recovered = 0;
+  /// First few violations, with their (seed, crash) context.
+  std::vector<std::string> sample_violations;
+
+  bool ok() const noexcept { return failed_points == 0; }
+};
+
+/// Sweeps `points` random (seed, crash instant) combinations derived from
+/// `base_seed`. Crash instants mix mid-workload cuts with post-quiescence
+/// ones (the delayed-durability cases).
+CrashSweepResult run_crash_sweep(core::StackKind kind, int points,
+                                 std::uint64_t base_seed = 1,
+                                 const CrashCheckOptions& opt = {});
+
+}  // namespace bio::chk

@@ -39,6 +39,11 @@ struct Command {
 
   // Filled by the device.
   std::uint64_t seq = 0;
+  /// Cache order watermark just past this write's transferred blocks (0 =
+  /// never transferred). StorageDevice::persisted_through(persist_through)
+  /// answers "is this write's payload on media"; the filesystem's
+  /// already-committed fsync barrier uses it.
+  std::uint64_t persist_through = 0;
 };
 
 }  // namespace bio::flash

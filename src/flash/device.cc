@@ -142,6 +142,7 @@ sim::Task StorageDevice::handle_write(SlotIter it) {
   }
   host_bus_.release();
   const std::uint64_t through = cache_.next_order();
+  cmd->persist_through = through;
   if (honor_barrier) ++epoch_;
   if (cmd->barrier) ++stats_.barrier_writes;
   it->dma_done = true;
@@ -193,13 +194,23 @@ sim::Task StorageDevice::handle_flush(SlotIter it) {
 }
 
 sim::Task StorageDevice::do_flush() {
+  const std::uint64_t seq = ++flush_entries_;
   co_await sim_.delay(profile_.flush_overhead);
   if (profile_.plp) {
     // Power-safe cache: a flush only acknowledges.
     co_await sim_.delay(profile_.plp_flush_latency);
+    flush_horizon_ = std::max(flush_horizon_, seq);
     co_return;
   }
   co_await wait_persisted_through(cache_.next_order());
+  flush_horizon_ = std::max(flush_horizon_, seq);
+}
+
+bool StorageDevice::persisted_through(std::uint64_t through) const noexcept {
+  if (profile_.plp) return true;
+  if (profile_.barrier_mode == BarrierMode::kTransactional)
+    return txn_committed_through_ >= through;
+  return cache_.drained_through(through);
 }
 
 sim::Task StorageDevice::wait_persisted_through(std::uint64_t through) {

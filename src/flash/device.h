@@ -84,6 +84,41 @@ class StorageDevice {
   /// if power failed at the current simulated instant.
   std::unordered_map<Lba, Version> durable_state() const;
 
+  /// A captured durable image: the block-level state a power cut at
+  /// `captured_at` would leave behind. Versions are the payload identity —
+  /// the simulation stores no bytes, so (lba -> version) *is* the disk
+  /// content, and higher layers (fs::Recovery) interpret it through their
+  /// own content records.
+  struct DurableImage {
+    std::unordered_map<Lba, Version> blocks;
+    sim::SimTime captured_at = 0;
+    std::uint64_t epoch = 0;
+  };
+  DurableImage capture_durable_image() const {
+    return DurableImage{durable_state(), sim_.now(), epoch_};
+  }
+
+  /// True when every cache entry with order < `through` has been persisted
+  /// (non-blocking form of wait_persisted_through; crash analysis and the
+  /// journal's checkpoint-release logic use it read-only).
+  bool persisted_through(std::uint64_t through) const noexcept;
+
+  // ---- flush horizon ------------------------------------------------------
+  // Counters letting a host-side caller reason "did a full cache flush start
+  // after instant X and complete?" without issuing one itself. A flush whose
+  // entry sequence is > X snapshots the cache after X, so its completion
+  // makes everything transferred before X durable. jbd2-style checkpoint
+  // tail-advance uses this to piggyback on the flushes fsync traffic already
+  // issues instead of adding its own.
+
+  /// Entry sequence of the most recently *started* flush (0 = none yet).
+  /// A caller proving durability must therefore require a *strictly
+  /// greater* completed entry (flush_horizon() > stamp): a flush with the
+  /// same sequence entered before the stamped instant.
+  std::uint64_t flush_sequence() const noexcept { return flush_entries_; }
+  /// Highest entry sequence among *completed* flushes (0 = none yet).
+  std::uint64_t flush_horizon() const noexcept { return flush_horizon_; }
+
   /// Arrival-ordered transfer history with epoch tags (invariant checks).
   const std::vector<WritebackCache::Entry>& transfer_history() const {
     return cache_.transfer_history();
@@ -156,6 +191,10 @@ class StorageDevice {
   sim::Notify txn_wake_;
   sim::Notify txn_done_;
   std::uint64_t txn_committed_through_ = 0;  // cache order watermark
+
+  // Flush-horizon counters (see accessors above).
+  std::uint64_t flush_entries_ = 0;
+  std::uint64_t flush_horizon_ = 0;
 
   Stats stats_;
   bool started_ = false;

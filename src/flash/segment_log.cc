@@ -53,8 +53,8 @@ SegmentLog::Alloc SegmentLog::allocate_slot(Lba lba, Version version) {
   install_mapping(lba, slot);
   seg->slots[offset] = PhysSlot{lba, true};
   ++seg->valid_count;
-  mapped_version_[lba] = version;
-  history_.push_back(AppendRecord{lba, version, false});
+  history_.push_back(AppendRecord{lba, version, false, false});
+  mapped_version_[lba] = MappedContent{version, history_.size() - 1};
   return Alloc{slot, history_.size() - 1};
 }
 
@@ -77,12 +77,17 @@ void SegmentLog::install_mapping(Lba lba, SlotId slot) {
 
 void SegmentLog::mark_programmed(std::uint64_t history_index) {
   history_[history_index].programmed = true;
-  if (history_index == prefix_) advance_prefix();
+  if (history_index <= prefix_) advance_prefix();
 }
 
 void SegmentLog::advance_prefix() {
+  // gc_redundant records never gate the prefix: their content already sits
+  // programmed at an earlier log position, and the source segment outlives
+  // the relocation, so recovery loses nothing if the copy is torn.
   const std::uint64_t before = prefix_;
-  while (prefix_ < history_.size() && history_[prefix_].programmed) ++prefix_;
+  while (prefix_ < history_.size() &&
+         (history_[prefix_].programmed || history_[prefix_].gc_redundant))
+    ++prefix_;
   if (prefix_ != before) prefix_advanced_.notify_all();
 }
 
@@ -141,7 +146,7 @@ std::unordered_map<Lba, Version> SegmentLog::durable_committed() const {
 std::optional<Version> SegmentLog::mapped_version(Lba lba) const {
   auto it = mapped_version_.find(lba);
   if (it == mapped_version_.end()) return std::nullopt;
-  return it->second;
+  return it->second.version;
 }
 
 void SegmentLog::prefill(double utilization, Lba lba_span, sim::Rng& rng) {
@@ -240,8 +245,13 @@ sim::Task SegmentLog::relocate_slot(SlotId victim_slot,
   }
   // Synchronous slot assignment keeps log order consistent with mapping
   // updates (no suspension between the check above and the allocation).
-  const Version version = mapped_version_.at(lba);
-  const Alloc alloc = allocate_slot(lba, version);
+  const MappedContent src = mapped_version_.at(lba);
+  const Alloc alloc = allocate_slot(lba, src.version);
+  // Only a relocation of already-programmed content is redundant for
+  // recovery; copying a page whose own program is still in flight must
+  // gate the prefix like any other append.
+  history_[alloc.history_index].gc_redundant =
+      history_[src.history_index].programmed;
   co_await nand_.read(chip_of(victim_slot));
   co_await nand_.program(chip_of(alloc.slot));
   mark_programmed(alloc.history_index);

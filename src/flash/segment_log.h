@@ -118,6 +118,11 @@ class SegmentLog {
     Lba lba;
     Version version;
     bool programmed = false;
+    /// GC relocation of content whose source copy was already programmed:
+    /// recovery can fall back to the source (its segment is not erased
+    /// until the copy lands), so an in-flight relocation must not truncate
+    /// the in-order-recovery prefix.
+    bool gc_redundant = false;
   };
   struct PhysSlot {
     Lba lba = 0;
@@ -169,8 +174,12 @@ class SegmentLog {
   std::deque<std::uint32_t> free_segments_;
   std::uint32_t active_segment_;
 
+  struct MappedContent {
+    Version version = 0;
+    std::uint64_t history_index = 0;  // record that installed this mapping
+  };
   std::unordered_map<Lba, SlotId> mapping_;
-  std::unordered_map<Lba, Version> mapped_version_;
+  std::unordered_map<Lba, MappedContent> mapped_version_;
 
   std::vector<AppendRecord> history_;  // append order = persist order
   std::uint64_t prefix_ = 0;           // programmed prefix watermark

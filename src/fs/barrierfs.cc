@@ -77,16 +77,14 @@ sim::Task BarrierFsJournal::commit_loop() {
     // Control plane (Eq. 3): dispatch JD and JC back-to-back, both
     // ORDERED|BARRIER. D (dispatched earlier as order-preserving requests)
     // and JD form one epoch; JC forms the next. No waits.
-    const std::size_t jd_size =
-        1 + txn->buffers.size() + txn->journaled_data_blocks;
-    auto jd = reserve_journal_blocks(jd_size);
-    blk::RequestPtr jd_req = blk_.pool().make_write(
-        std::span<const blk::Block>(jd), /*ordered=*/true, /*barrier=*/true);
-    txn->jd_blocks = std::move(jd);
+    co_await reserve_jd(*txn);
+    blk::RequestPtr jd_req =
+        blk_.pool().make_write(std::span<const blk::Block>(txn->jd_blocks),
+                               /*ordered=*/true, /*barrier=*/true);
     blk_.submit(jd_req);
 
-    auto jc = reserve_journal_blocks(1);
-    txn->jc_block = jc[0];
+    co_await reserve_jc(*txn);
+    const blk::Block jc[1] = {txn->jc_block};
     txn->jc_req = blk_.pool().make_write(std::span<const blk::Block>(jc),
                                          /*ordered=*/true, /*barrier=*/true);
     blk_.submit(txn->jc_req);

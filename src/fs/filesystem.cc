@@ -5,6 +5,7 @@
 #include "fs/barrierfs.h"
 #include "fs/jbd2.h"
 #include "fs/optfs.h"
+#include "fs/recovery.h"
 
 namespace bio::fs {
 
@@ -31,6 +32,56 @@ Filesystem::Filesystem(sim::Simulator& sim, blk::BlockLayer& blk,
   root_.name = "/";
   next_ino_ = std::max<std::uint32_t>(1, cfg_.dir_shards);
   data_next_ = layout_.data_base();
+  shard_entries_.resize(std::max<std::uint32_t>(1, cfg_.dir_shards));
+  journal_->set_close_hook([this](Txn& txn) { snapshot_metadata(txn); });
+}
+
+void Filesystem::snapshot_metadata(Txn& txn) {
+  // Freeze the logical content of every dirtied metadata block: this is
+  // what the transaction's journal log copies (and later its in-place
+  // checkpoint copies) "contain", and what fs::Recovery reinstalls.
+  txn.meta_snapshots.reserve(txn.buffers.size());
+  for (flash::Lba block : txn.buffers) {  // set order: stays sorted
+    MetaSnapshot snap;
+    const std::uint32_t idx =
+        static_cast<std::uint32_t>(block - layout_.inode_base());
+    if (idx < shard_entries_.size()) {
+      snap.is_directory = true;
+      snap.entries.assign(shard_entries_[idx].begin(),
+                          shard_entries_[idx].end());
+    } else {
+      snap.ino = idx;
+      auto it = by_ino_.find(idx);
+      if (it != by_ino_.end()) {
+        const Inode& f = *it->second;
+        snap.exists = true;
+        snap.name = f.name;
+        snap.extent_base = f.extent_base;
+        snap.extent_blocks = f.extent_blocks;
+        snap.size_blocks = f.size_blocks;
+      }
+    }
+    txn.meta_snapshots.emplace_back(block, std::move(snap));
+  }
+}
+
+void Filesystem::mount(const RecoveryReport& recovered) {
+  BIO_CHECK_MSG(files_.empty() && stats_.writes == 0,
+                "mount() over a used filesystem");
+  for (const RecoveryReport::RecoveredFile& rf : recovered.files) {
+    auto inode = std::make_unique<Inode>();
+    inode->ino = rf.ino;
+    inode->name = rf.name;
+    inode->extent_base = rf.extent_base;
+    inode->extent_blocks = rf.extent_blocks;
+    inode->size_blocks = rf.size_blocks;
+    by_ino_.emplace(rf.ino, inode.get());
+    shard_entries_[static_cast<std::size_t>(
+        dir_block_of(rf.name) - layout_.inode_base())][rf.name] = rf.ino;
+    next_ino_ = std::max(next_ino_, rf.ino + 1);
+    data_next_ = std::max(data_next_, rf.extent_base + rf.extent_blocks);
+    files_.emplace(rf.name, std::move(inode));
+  }
 }
 
 flash::Lba Filesystem::dir_block_of(const std::string& name) const {
@@ -75,6 +126,10 @@ sim::Task Filesystem::create(std::string name, Inode*& out,
   ++stats_.creates;
   out = &f;
   files_.emplace(std::move(name), std::move(inode));
+  by_ino_[f.ino] = &f;
+  shard_entries_[static_cast<std::size_t>(dir_block_of(f.name) -
+                                          layout_.inode_base())][f.name] =
+      f.ino;
 
   // Creating dirties the directory shard and the new inode.
   std::uint64_t tid = 0;
@@ -110,6 +165,10 @@ sim::Task Filesystem::remove_name(const std::string& name, bool reclaim_now) {
   Inode& f = *it->second;
   if (reclaim_now) reclaim(f);
   const std::uint32_t dead_ino = f.ino;
+  by_ino_.erase(dead_ino);
+  shard_entries_[static_cast<std::size_t>(dir_block_of(name) -
+                                          layout_.inode_base())]
+      .erase(name);
   unlinked_.push_back(std::move(it->second));  // keep alive: open handles
   files_.erase(it);
   ++stats_.unlinks;
@@ -178,6 +237,29 @@ sim::Task Filesystem::read(Inode& f, std::uint32_t page,
 
 // ---- helpers ----------------------------------------------------------------
 
+sim::Task Filesystem::wait_stable_pages(Inode& f) {
+  // WB_SYNC_ALL write_cache_pages semantics: before resubmitting a dirty
+  // page whose previous writeback copy is still in flight, wait for that
+  // copy to land. Without this, two versions of one page race through the
+  // scheduler and the older one can be written second — a write-after-write
+  // hazard no real page cache allows (one in-flight copy per page).
+  for (;;) {
+    blk::RequestPtr waiting;
+    // scratch_keys_ is only touched between suspension points (re-collected
+    // after every wait), so sharing it with submit_data stays safe.
+    cache_.dirty_pages_of(f.ino, scratch_keys_);
+    for (const PageCache::PageKey& key : scratch_keys_) {
+      const PageCache::PageState* st = cache_.find(key.ino, key.page);
+      if (st->writeback != nullptr && !st->writeback->completion.is_set()) {
+        waiting = st->writeback;
+        break;
+      }
+    }
+    if (waiting == nullptr) co_return;
+    co_await waiting->completion.wait();
+  }
+}
+
 std::vector<blk::RequestPtr> Filesystem::submit_data(Inode& f, bool ordered,
                                                      bool barrier_last) {
   // Single suspension-free pass: group the dirty pages into contiguous runs
@@ -218,21 +300,39 @@ std::vector<blk::RequestPtr> Filesystem::submit_data(Inode& f, bool ordered,
 }
 
 std::uint32_t Filesystem::journal_overwrites(Inode& f) {
-  std::uint32_t count = 0;
   cache_.dirty_pages_of(f.ino, scratch_keys_);
+  scratch_blocks_.clear();
   for (const PageCache::PageKey& key : scratch_keys_) {
     const PageCache::PageState* st = cache_.find(key.ino, key.page);
     if (st->overwrite) {
+      scratch_blocks_.emplace_back(st->lba, st->version);
       cache_.mark_clean(key);
-      ++count;
     }
   }
-  if (count > 0) journal_->add_journaled_data(count);
-  return count;
+  if (!scratch_blocks_.empty()) journal_->add_journaled_data(scratch_blocks_);
+  return static_cast<std::uint32_t>(scratch_blocks_.size());
 }
 
-sim::Task Filesystem::wait_requests(std::vector<blk::RequestPtr> reqs) {
+sim::Task Filesystem::wait_requests(const std::vector<blk::RequestPtr>& reqs) {
   for (const blk::RequestPtr& r : reqs) co_await r->completion.wait();
+}
+
+sim::Task Filesystem::ensure_data_durable(
+    const std::vector<blk::RequestPtr>& reqs) {
+  if (cfg_.nobarrier || reqs.empty()) co_return;
+  for (const blk::RequestPtr& r : reqs) co_await r->completion.wait();
+  const flash::StorageDevice& dev = blk_.device();
+  bool proven = true;
+  for (const blk::RequestPtr& r : reqs) {
+    // persist_through == 0: the request was absorbed into a foreign carrier
+    // and never stamped — not provably persisted either.
+    if (r->cmd.persist_through == 0 ||
+        !dev.persisted_through(r->cmd.persist_through)) {
+      proven = false;
+      break;
+    }
+  }
+  if (!proven) co_await blk_.flush_and_wait();
 }
 
 sim::Task Filesystem::request_backpressure() {
@@ -270,12 +370,17 @@ sim::Task Filesystem::fsync(Inode& f) {
   switch (cfg_.journal) {
     case JournalKind::kJbd2: {
       // Fig 3 / Eq. 2: D -> wait -> trigger JBD -> wait txn durable.
+      co_await wait_stable_pages(f);
       std::vector<blk::RequestPtr> reqs =
           submit_data(f, /*ordered=*/false, false);
       co_await wait_file_writebacks(f, reqs);
-      co_await wait_requests(std::move(reqs));  // Wait-on-Transfer
+      co_await wait_requests(reqs);  // Wait-on-Transfer
       if (f.meta_dirty || f.size_dirty) {
         co_await commit_metadata(f, Journal::WaitMode::kDurable);
+        // If the inode's transaction had already committed (group commit),
+        // the wait above returned without a flush covering this call's
+        // data — issue it (ext4_sync_file's needs-barrier path).
+        co_await ensure_data_durable(reqs);
       } else if (!cfg_.nobarrier) {
         co_await blk_.flush_and_wait();  // fdatasync-degenerate path
       }
@@ -284,13 +389,15 @@ sim::Task Filesystem::fsync(Inode& f) {
     case JournalKind::kBarrierFs: {
       // Eq. 3: dispatch D as order-preserving, commit without any waits on
       // transfer; a single sleep until the flush thread reports durability.
+      co_await wait_stable_pages(f);
       std::vector<blk::RequestPtr> reqs =
           submit_data(f, /*ordered=*/true, false);
       co_await wait_file_writebacks(f, reqs);
       if (f.meta_dirty || f.size_dirty) {
         co_await commit_metadata(f, Journal::WaitMode::kDurable);
+        co_await ensure_data_durable(reqs);  // already-committed case
       } else {
-        co_await wait_requests(std::move(reqs));
+        co_await wait_requests(reqs);
         co_await blk_.flush_and_wait();
       }
       break;
@@ -307,25 +414,29 @@ sim::Task Filesystem::fdatasync(Inode& f) {
   ++stats_.fdatasyncs;
   switch (cfg_.journal) {
     case JournalKind::kJbd2: {
+      co_await wait_stable_pages(f);
       std::vector<blk::RequestPtr> reqs =
           submit_data(f, /*ordered=*/false, false);
       co_await wait_file_writebacks(f, reqs);
-      co_await wait_requests(std::move(reqs));
+      co_await wait_requests(reqs);
       if (f.size_dirty) {
         co_await commit_metadata(f, Journal::WaitMode::kDurable);
+        co_await ensure_data_durable(reqs);  // already-committed case
       } else if (!cfg_.nobarrier) {
         co_await blk_.flush_and_wait();
       }
       break;
     }
     case JournalKind::kBarrierFs: {
+      co_await wait_stable_pages(f);
       std::vector<blk::RequestPtr> reqs =
           submit_data(f, /*ordered=*/true, false);
       co_await wait_file_writebacks(f, reqs);
       if (f.size_dirty) {
         co_await commit_metadata(f, Journal::WaitMode::kDurable);
+        co_await ensure_data_durable(reqs);  // already-committed case
       } else {
-        co_await wait_requests(std::move(reqs));
+        co_await wait_requests(reqs);
         co_await blk_.flush_and_wait();
       }
       break;
@@ -342,6 +453,7 @@ sim::Task Filesystem::fbarrier(Inode& f) {
   switch (cfg_.journal) {
     case JournalKind::kBarrierFs: {
       const bool will_commit = f.meta_dirty || f.size_dirty;
+      co_await wait_stable_pages(f);
       std::vector<blk::RequestPtr> reqs =
           submit_data(f, /*ordered=*/true, /*barrier_last=*/!will_commit);
       co_await request_backpressure();
@@ -370,6 +482,7 @@ sim::Task Filesystem::fdatabarrier(Inode& f) {
   BIO_CHECK_MSG(cfg_.journal == JournalKind::kBarrierFs,
                 "fdatabarrier() requires BarrierFS");
   const bool commit_needed = f.size_dirty;
+  co_await wait_stable_pages(f);
   std::vector<blk::RequestPtr> reqs =
       submit_data(f, /*ordered=*/true, /*barrier_last=*/!commit_needed);
   co_await request_backpressure();
@@ -394,9 +507,13 @@ sim::Task Filesystem::osync(Inode& f, bool wait_transfer) {
   const std::size_t dirty_pages = cache_.dirty_count();
   co_await sim_.delay(cfg_.osync_scan_cpu_per_page *
                       static_cast<sim::SimTime>(dirty_pages + 1));
+  co_await wait_stable_pages(f);
   const std::uint32_t journaled = journal_overwrites(f);
   std::vector<blk::RequestPtr> reqs = submit_data(f, false, false);
-  if (wait_transfer) co_await wait_requests(std::move(reqs));
+  // The osync transaction's commit checksum covers the allocating writes
+  // going in place: attach them so recovery can validate atomicity.
+  for (const blk::RequestPtr& r : reqs) journal_->attach_data(r);
+  if (wait_transfer) co_await wait_requests(reqs);
   if (journaled > 0) {
     // The journaled pages live in the *running* transaction; commit that
     // one (the inode's recorded txn may be long retired).
@@ -422,6 +539,7 @@ sim::Task Filesystem::pdflush_loop() {
   std::vector<blk::RequestPtr> reqs;
   std::vector<blk::Block> run;
   std::vector<PageCache::PageKey> run_keys;
+  std::vector<blk::Block> journaled_blocks;
   for (;;) {
     while (cache_.dirty_count() < cfg_.writeback_high_watermark)
       co_await cache_.dirtied().wait();
@@ -445,15 +563,21 @@ sim::Task Filesystem::pdflush_loop() {
         run.clear();
         run_keys.clear();
       };
-      std::uint32_t journaled = 0;
+      journaled_blocks.clear();
+      blk::RequestPtr skipped_carrier;
       for (const PageCache::PageKey& key : keys) {
         if (reqs.size() >= cfg_.writeback_batch) break;
         const PageCache::PageState* st = cache_.find(key.ino, key.page);
+        if (st->writeback != nullptr && !st->writeback->completion.is_set()) {
+          // WB_SYNC_NONE: skip pages with an in-flight copy.
+          if (skipped_carrier == nullptr) skipped_carrier = st->writeback;
+          continue;
+        }
         if (cfg_.journal == JournalKind::kOptFs && st->overwrite) {
           // OptFS: overwrite writeback goes through the journal (selective
           // data journaling), not in place.
+          journaled_blocks.emplace_back(st->lba, st->version);
           cache_.mark_clean(key);
-          ++journaled;
           continue;
         }
         const bool extend = !run.empty() &&
@@ -465,10 +589,18 @@ sim::Task Filesystem::pdflush_loop() {
         run_keys.push_back(key);
       }
       flush_run();
-      if (journaled > 0) {
-        journal_->add_journaled_data(journaled);
+      if (!journaled_blocks.empty()) {
+        journal_->add_journaled_data(journaled_blocks);
         co_await journal_->commit(journal_->running_txn_id(),
                                   Journal::WaitMode::kDurable);
+      } else if (reqs.empty()) {
+        // Every collected page was skipped (in-flight copies): this pass
+        // made no progress, so suspend on one of the carriers or the loop
+        // would spin forever in the cooperative simulator.
+        if (skipped_carrier != nullptr)
+          co_await skipped_carrier->completion.wait();
+        else
+          break;
       }
 
       for (const blk::RequestPtr& r : reqs) co_await r->completion.wait();

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -31,6 +32,8 @@
 #include "sim/sync.h"
 
 namespace bio::fs {
+
+struct RecoveryReport;  // fs/recovery.h
 
 class Filesystem {
  public:
@@ -51,6 +54,12 @@ class Filesystem {
 
   /// Spawns journal threads and pdflush. Call once after blk.start().
   void start();
+
+  /// Remounts this (fresh, unused) filesystem over a recovered image:
+  /// rebuilds the namespace and inode table from the files fs::Recovery
+  /// reconstructed. Call before running any workload; start() may be
+  /// called before or after.
+  void mount(const RecoveryReport& recovered);
 
   // ---- namespace ---------------------------------------------------------
 
@@ -111,6 +120,11 @@ class Filesystem {
     return cfg_.journal == JournalKind::kBarrierFs;
   }
 
+  /// Waits until no dirty page of `f` still has an in-flight writeback
+  /// copy (stable resubmission; see the definition). Every sync path calls
+  /// this before submit_data.
+  sim::Task wait_stable_pages(Inode& f);
+
   /// Submits write requests for the file's dirty pages (grouped into
   /// contiguous runs). `ordered`/`barrier_last` control the request flags.
   /// Runs without suspension (uses the shared scratch buffers).
@@ -121,8 +135,20 @@ class Filesystem {
   /// (selective data journaling); returns the count journaled.
   std::uint32_t journal_overwrites(Inode& f);
 
-  sim::Task wait_requests(std::vector<blk::RequestPtr> reqs);
+  /// Journal close hook: freezes each dirtied metadata block's logical
+  /// content (MetaSnapshot) into the closing transaction.
+  void snapshot_metadata(Txn& txn);
+
+  sim::Task wait_requests(const std::vector<blk::RequestPtr>& reqs);
   sim::Task request_backpressure();
+  /// ext4_sync_file's "journal already committed" barrier: a durability
+  /// syscall whose metadata transaction committed (and flushed) *before*
+  /// this call's data transferred must still issue a flush, or the data
+  /// sits in the device cache while the caller believes it durable. Waits
+  /// the requests' transfers, then flushes unless every request provably
+  /// persisted (its cache watermark drained — e.g. under the commit's own
+  /// flush).
+  sim::Task ensure_data_durable(const std::vector<blk::RequestPtr>& reqs);
   sim::Task wait_file_writebacks(Inode& f,
                                  const std::vector<blk::RequestPtr>& exclude);
   sim::Task remove_name(const std::string& name, bool reclaim_now);
@@ -143,6 +169,11 @@ class Filesystem {
   /// them, as with the kernel's inode refcount); their ino/extent are
   /// recycled immediately.
   std::vector<std::unique_ptr<Inode>> unlinked_;
+  /// Live files by ino (snapshot_metadata's inode-block lookup).
+  std::unordered_map<std::uint32_t, Inode*> by_ino_;
+  /// Directory-shard contents by shard index: name -> ino (the logical
+  /// content of the shard's directory block).
+  std::vector<std::map<std::string, std::uint32_t>> shard_entries_;
   std::uint32_t next_ino_ = 1;  // ino 0 is the root directory
   std::deque<std::uint32_t> free_inos_;
   flash::Lba data_next_ = 0;

@@ -45,32 +45,44 @@ sim::Task Jbd2Journal::jbd_loop() {
     // transferred before the journal describes it.
     for (const blk::RequestPtr& r : txn->data_reqs)
       co_await r->completion.wait();
+    txn->data_reqs.clear();  // pooled requests must recycle
 
     // JD: descriptor + one log block per buffer (+ journaled data).
-    const std::size_t jd_size =
-        1 + txn->buffers.size() + txn->journaled_data_blocks;
-    auto jd = reserve_journal_blocks(jd_size);
-    txn->jd_blocks = jd;
+    co_await reserve_jd(*txn);
     if (cfg_.journal_checksum)
       co_await sim_.delay(cfg_.checksum_cpu_per_block *
-                          static_cast<sim::SimTime>(jd_size));
-    co_await blk_.write_and_wait(std::move(jd));  // Wait-on-Transfer
+                          static_cast<sim::SimTime>(txn->jd_blocks.size()));
+    {  // Wait-on-Transfer (pooled request; no payload copy)
+      blk::RequestPtr jd_req = blk_.pool().make_write(
+          std::span<const blk::Block>(txn->jd_blocks));
+      blk_.submit(jd_req);
+      co_await jd_req->completion.wait();
+    }
 
     // JC. Default: FLUSH|FUA. Checksum: FUA then one flush. nobarrier:
     // plain write, nothing durable.
-    auto jc = reserve_journal_blocks(1);
-    txn->jc_block = jc[0];
+    co_await reserve_jc(*txn);
+    const blk::Block jc[1] = {txn->jc_block};
     if (cfg_.nobarrier) {
-      co_await blk_.write_and_wait(std::move(jc));
+      blk::RequestPtr jc_req =
+          blk_.pool().make_write(std::span<const blk::Block>(jc));
+      blk_.submit(jc_req);
+      co_await jc_req->completion.wait();
       txn->flushed = false;
     } else if (cfg_.journal_checksum) {
-      co_await blk_.write_and_wait(std::move(jc), false, false,
-                                   /*flush=*/false, /*fua=*/true);
+      blk::RequestPtr jc_req =
+          blk_.pool().make_write(std::span<const blk::Block>(jc), false,
+                                 false, /*flush=*/false, /*fua=*/true);
+      blk_.submit(jc_req);
+      co_await jc_req->completion.wait();
       co_await blk_.flush_and_wait();
       txn->flushed = true;
     } else {
-      co_await blk_.write_and_wait(std::move(jc), false, false,
-                                   /*flush=*/true, /*fua=*/true);
+      blk::RequestPtr jc_req =
+          blk_.pool().make_write(std::span<const blk::Block>(jc), false,
+                                 false, /*flush=*/true, /*fua=*/true);
+      blk_.submit(jc_req);
+      co_await jc_req->completion.wait();
       txn->flushed = true;
     }
     txn->dispatched->trigger();

@@ -1,5 +1,7 @@
 #include "fs/journal.h"
 
+#include <algorithm>
+
 namespace bio::fs {
 
 const char* to_string(JournalKind k) noexcept {
@@ -13,7 +15,12 @@ const char* to_string(JournalKind k) noexcept {
 
 Journal::Journal(sim::Simulator& sim, blk::BlockLayer& blk,
                  const FsConfig& cfg, const Layout& layout)
-    : sim_(sim), blk_(blk), cfg_(cfg), layout_(layout) {
+    : sim_(sim),
+      blk_(blk),
+      cfg_(cfg),
+      layout_(layout),
+      ckpt_wake_(sim),
+      journal_space_(sim) {
   running_ = std::make_unique<Txn>(sim_, next_txn_id_++);
 }
 
@@ -21,8 +28,10 @@ void Journal::attach_data(blk::RequestPtr r) {
   running_->data_reqs.push_back(std::move(r));
 }
 
-void Journal::add_journaled_data(std::uint32_t pages) {
-  running_->journaled_data_blocks += pages;
+void Journal::add_journaled_data(std::span<const blk::Block> pages) {
+  running_->journaled_data_blocks += static_cast<std::uint32_t>(pages.size());
+  running_->journaled_data.insert(running_->journaled_data.end(),
+                                  pages.begin(), pages.end());
 }
 
 bool Journal::is_retired(std::uint64_t tid) const {
@@ -34,6 +43,23 @@ const Txn* Journal::find_txn(std::uint64_t tid) const {
   if (running_ && running_->id == tid) return running_.get();
   auto it = txns_.find(tid);
   return it == txns_.end() ? nullptr : it->second.get();
+}
+
+const JournalRecord* Journal::find_record(flash::Version version) const {
+  auto it = records_.find(version);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+const Journal::CheckpointId* Journal::find_checkpoint(
+    flash::Version version) const {
+  auto it = checkpoint_versions_.find(version);
+  return it == checkpoint_versions_.end() ? nullptr : &it->second;
+}
+
+const Journal::DataCheckpointId* Journal::find_data_checkpoint(
+    flash::Version version) const {
+  auto it = data_checkpoint_versions_.find(version);
+  return it == data_checkpoint_versions_.end() ? nullptr : &it->second;
 }
 
 Txn& Journal::get_txn(std::uint64_t tid) {
@@ -50,38 +76,255 @@ Txn* Journal::close_running(bool allow_empty) {
   if (running_->empty()) ++stats_.empty_commits;
   Txn* txn = running_.get();
   txn->state = Txn::State::kCommitting;
+  if (close_hook_) close_hook_(*txn);  // freeze metadata-buffer content
   txns_.emplace(txn->id, std::move(running_));
   running_ = std::make_unique<Txn>(sim_, next_txn_id_++);
   ++stats_.commits;
   return txn;
 }
 
-std::vector<std::pair<flash::Lba, flash::Version>>
-Journal::reserve_journal_blocks(std::size_t n) {
-  BIO_CHECK_MSG(n <= cfg_.journal_blocks,
-                "transaction larger than the journal");
-  if (journal_head_ + n > cfg_.journal_blocks) {
-    journal_head_ = 0;  // JBD2-style wrap: records never straddle the end
-    ++stats_.journal_wraps;
+// ---- journal space ---------------------------------------------------------
+
+bool Journal::checkpoint_durable(const Txn& txn) const {
+  if (!txn.checkpoint_done) return false;
+  if (!txn.journaled_data.empty() && !txn.data_checkpointed) return false;
+  if (txn.checkpoint_blocks.empty() && txn.journaled_data.empty())
+    return true;  // nothing was copied in place
+  if (blk_.device().profile().plp) return true;
+  // A full flush whose entry sequence postdates the checkpoint completion
+  // snapshotted the cache after those writes transferred.
+  return blk_.device().flush_horizon() > txn.checkpoint_flush_stamp;
+}
+
+void Journal::advance_tail() {
+  bool advanced = false;
+  while (!live_spans_.empty()) {
+    const JournalSpan& front = live_spans_.front();
+    Txn& txn = *front.txn;
+    if (txn.state != Txn::State::kRetired || !checkpoint_durable(txn)) break;
+    // Freed: the span itself plus any wrap waste between tail and its start.
+    const std::uint32_t cap = cfg_.journal_blocks;
+    const std::uint32_t waste =
+        (front.start + cap - journal_tail_) % cap;
+    BIO_CHECK(journal_used_ >= waste + front.len);
+    journal_used_ -= waste + front.len;
+    journal_tail_ = (front.start + front.len) % cap;
+    // The tail pointer moves past `front`'s txn only when no earlier span
+    // remains; track the oldest still-live txn as the scan start.
+    const std::uint64_t released_txn = txn.id;
+    live_spans_.pop_front();
+    sb_tail_txn_ = live_spans_.empty()
+                       ? std::max(sb_tail_txn_, released_txn + 1)
+                       : std::max(sb_tail_txn_, live_spans_.front().txn->id);
+    ++stats_.tail_advances;
+    advanced = true;
   }
-  std::vector<std::pair<flash::Lba, flash::Version>> blocks;
-  blocks.reserve(n);
-  for (std::size_t i = 0; i < n; ++i)
-    blocks.emplace_back(layout_.journal_base() + journal_head_ + i,
-                        blk_.next_version());
-  journal_head_ += n;
-  stats_.journal_blocks_written += n;
-  return blocks;
+  if (advanced) journal_space_.notify_all();
+}
+
+sim::Task Journal::force_tail_advance() {
+  // The front transactions' checkpoints have transferred but are not yet
+  // provably durable. Copy any journaled data in place (lazy OptFS
+  // checkpoint), then issue the jbd2-style update-log-tail flush; both are
+  // off every syscall's critical path except this stalled reserve.
+  // Collect the newest journaled content per home lba across the batch: a
+  // page journaled by several of these transactions gets ONE in-place copy
+  // (two concurrent same-lba writes could land inverted and resurrect the
+  // older content — the buffer-lock rule applies to checkpoints too).
+  std::map<flash::Lba, flash::Version> to_copy;
+  std::vector<Txn*> copied;
+  for (const JournalSpan& span : live_spans_) {
+    Txn& txn = *span.txn;
+    if (txn.state != Txn::State::kRetired) break;
+    if (!txn.checkpoint_done) break;
+    if (!txn.journaled_data.empty() && !txn.data_checkpointed) {
+      for (const blk::Block& page : txn.journaled_data) {
+        flash::Version& v = to_copy[page.first];
+        v = std::max(v, page.second);
+      }
+      txn.data_checkpointed = true;
+      copied.push_back(&txn);
+    }
+  }
+  std::vector<blk::RequestPtr> data_copies;
+  data_copies.reserve(to_copy.size());
+  for (const auto& [lba, content] : to_copy) {
+    const flash::Version v = blk_.next_version();
+    data_checkpoint_versions_.emplace(v, DataCheckpointId{lba, content});
+    const blk::Block payload[1] = {{lba, v}};
+    blk::RequestPtr r = blk_.pool().make_write(payload);
+    blk_.submit(r);
+    data_copies.push_back(std::move(r));
+    ++stats_.checkpoint_writes;
+  }
+  for (const blk::RequestPtr& r : data_copies) co_await r->completion.wait();
+  // The data copies postdate the recorded checkpoint stamp; require a flush
+  // entered after *their* completion before the space counts as durable.
+  for (Txn* txn : copied)
+    txn->checkpoint_flush_stamp = std::max(txn->checkpoint_flush_stamp,
+                                           blk_.device().flush_sequence());
+  ++stats_.checkpoint_flushes;
+  co_await blk_.flush_and_wait();
+  advance_tail();
+  // Re-check is the caller's loop; wake anyone else stalled too.
+  journal_space_.notify_all();
+}
+
+sim::Task Journal::reserve_journal_blocks(Txn& txn, std::size_t n,
+                                          std::vector<blk::Block>& out) {
+  const std::uint32_t cap = cfg_.journal_blocks;
+  BIO_CHECK_MSG(n <= cap, "transaction larger than the journal");
+  for (;;) {
+    // Free opportunistic releases first (no flush needed).
+    if (!live_spans_.empty()) advance_tail();
+    const bool wrap = journal_head_ + n > cap;
+    const std::uint32_t waste =
+        wrap ? cap - static_cast<std::uint32_t>(journal_head_) : 0;
+    if (journal_used_ + waste + n <= cap) {
+      const std::uint32_t start =
+          wrap ? 0 : static_cast<std::uint32_t>(journal_head_);
+      if (wrap) {
+        journal_head_ = 0;
+        ++stats_.journal_wraps;
+      }
+      out.clear();
+      out.reserve(n);
+      for (std::size_t i = 0; i < n; ++i)
+        out.emplace_back(layout_.journal_base() + journal_head_ + i,
+                         blk_.next_version());
+      journal_head_ += n;
+      journal_used_ += waste + static_cast<std::uint32_t>(n);
+      live_spans_.push_back(
+          JournalSpan{&txn, start, static_cast<std::uint32_t>(n)});
+      stats_.journal_blocks_written += n;
+      co_return;
+    }
+    // Journal full: the head would run into records still owned by an
+    // un-checkpointed transaction (pre-fix this silently clobbered them).
+    ++stats_.journal_stalls;
+    BIO_CHECK_MSG(!live_spans_.empty(), "journal accounting corrupt");
+    BIO_CHECK_MSG(live_spans_.front().txn != &txn,
+                  "transaction larger than the journal");
+    Txn& oldest = *live_spans_.front().txn;
+    if (oldest.state == Txn::State::kRetired && oldest.checkpoint_done) {
+      co_await force_tail_advance();
+    } else {
+      // Wait for the oldest transaction to retire / its checkpoint writes
+      // to land; retire() and checkpoint_tracker() notify.
+      co_await journal_space_.wait();
+    }
+  }
+}
+
+sim::Task Journal::reserve_jd(Txn& txn) {
+  const std::size_t jd_size =
+      1 + txn.buffers.size() + txn.journaled_data_blocks;
+  co_await reserve_journal_blocks(txn, jd_size, txn.jd_blocks);
+
+  // Register the descriptor's content record. Its tag table (log block ->
+  // home) is implied by the transaction: jd_blocks[1..] pair with the
+  // metadata buffers in set order, then the journaled data pages —
+  // fs::Recovery re-derives it from there.
+  records_.emplace(txn.jd_blocks[0].second,
+                   JournalRecord{JournalRecord::Type::kDescriptor, txn.id});
+}
+
+sim::Task Journal::reserve_jc(Txn& txn) {
+  // scratch_jc_ is only touched on the suspension-free path after the
+  // reserve completes (one journal thread reserves at a time per journal).
+  std::vector<blk::Block>& jc = scratch_jc_;
+  co_await reserve_journal_blocks(txn, 1, jc);
+  txn.jc_block = jc[0];
+  records_.emplace(jc[0].second,
+                   JournalRecord{JournalRecord::Type::kCommit, txn.id});
+}
+
+// ---- checkpoint ------------------------------------------------------------
+
+sim::Task Journal::checkpoint_tracker() {
+  for (;;) {
+    while (ckpt_queue_.empty()) co_await ckpt_wake_.wait();
+    PendingCheckpoint p = std::move(ckpt_queue_.front());
+    ckpt_queue_.pop_front();
+    // Deferred copies: their home block had an older copy in flight at
+    // submit time (two concurrent writes to one block can land inverted,
+    // resurrecting the older content — jbd2's buffer lock forbids it).
+    // Serialize: wait out the conflict, then submit.
+    for (const blk::Block& b : p.deferred) {
+      for (;;) {
+        auto it = inflight_ckpt_.find(b.first);
+        if (it == inflight_ckpt_.end() || it->second->completion.is_set())
+          break;
+        co_await it->second->completion.wait();
+      }
+      const blk::Block payload[1] = {b};
+      blk::RequestPtr r = blk_.pool().make_write(payload);
+      blk_.submit(r);
+      inflight_ckpt_[b.first] = r;
+      auto dit = deferred_ckpt_count_.find(b.first);
+      BIO_CHECK(dit != deferred_ckpt_count_.end() && dit->second > 0);
+      --dit->second;
+      p.reqs.push_back(std::move(r));
+      ++stats_.checkpoint_writes;
+    }
+    for (const blk::RequestPtr& r : p.reqs) co_await r->completion.wait();
+    // Drop completed conflict-detection entries so the pooled requests can
+    // recycle (a block checkpointed once and never again would otherwise
+    // pin its request for the rest of the run).
+    for (const blk::RequestPtr& r : p.reqs) {
+      auto it = inflight_ckpt_.find(r->blocks.front().first);
+      if (it != inflight_ckpt_.end() && it->second == r)
+        inflight_ckpt_.erase(it);
+    }
+    p.txn->checkpoint_done = true;
+    // The stamp may postdate the actual completion (the tracker drains in
+    // retire order) — only ever conservative for the durability proof.
+    p.txn->checkpoint_flush_stamp = blk_.device().flush_sequence();
+    journal_space_.notify_all();
+  }
 }
 
 void Journal::checkpoint(Txn& txn) {
   // In-place metadata writes, orderless and asynchronous: checkpointing is
-  // not on anyone's critical path once the journal copy is safe.
+  // not on anyone's critical path once the journal copy is safe. Completion
+  // is tracked (checkpoint_tracker) because the journal space the records
+  // occupy may only be reused once these copies are durable.
+  PendingCheckpoint p;
+  p.txn = &txn;
+  p.reqs.reserve(txn.buffers.size());
   for (flash::Lba block : txn.buffers) {
-    const blk::Block payload[1] = {{block, blk_.next_version()}};
-    blk_.submit(blk_.pool().make_write(payload));
+    const flash::Version v = blk_.next_version();
+    checkpoint_versions_.emplace(v, CheckpointId{block, txn.id});
+    txn.checkpoint_blocks.emplace_back(block, v);
+    auto it = inflight_ckpt_.find(block);
+    auto dit = deferred_ckpt_count_.find(block);
+    if ((it != inflight_ckpt_.end() && !it->second->completion.is_set()) ||
+        (dit != deferred_ckpt_count_.end() && dit->second > 0)) {
+      // An older copy of this block is still in flight (or queued behind
+      // one): defer to the tracker (per-block serialization).
+      p.deferred.emplace_back(block, v);
+      ++deferred_ckpt_count_[block];
+      continue;
+    }
+    const blk::Block payload[1] = {{block, v}};
+    blk::RequestPtr r = blk_.pool().make_write(payload);
+    blk_.submit(r);
+    inflight_ckpt_[block] = r;
+    p.reqs.push_back(std::move(r));
     ++stats_.checkpoint_writes;
   }
+  if (txn.journaled_data.empty()) txn.data_checkpointed = true;
+  if (p.reqs.empty() && p.deferred.empty()) {
+    txn.checkpoint_done = true;
+    txn.checkpoint_flush_stamp = 0;  // nothing to persist
+    return;
+  }
+  if (!ckpt_tracker_started_) {
+    ckpt_tracker_started_ = true;
+    sim_.spawn("jnl:ckpt", checkpoint_tracker());
+  }
+  ckpt_queue_.push_back(std::move(p));
+  ckpt_wake_.notify_all();
 }
 
 void Journal::retire(Txn& txn) {
@@ -89,6 +332,7 @@ void Journal::retire(Txn& txn) {
   commit_order_.push_back(&txn);
   checkpoint(txn);
   txn.durable->trigger();
+  journal_space_.notify_all();
 }
 
 }  // namespace bio::fs

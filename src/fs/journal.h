@@ -9,13 +9,32 @@
 // How JD/JC are written — with which waits, flags and flushes — is exactly
 // what distinguishes EXT4 from BarrierFS (paper Eq. 2 vs Eq. 3), so that
 // logic lives in the subclasses.
+//
+// Journal-space lifetime (DESIGN.md §6.5): the journal area is circular
+// with an explicit tail. A transaction's records own their blocks from
+// reservation until the transaction has retired AND its in-place checkpoint
+// copies are durable; reserve_journal_blocks() stalls instead of handing
+// out space still owned by an un-checkpointed transaction (the jbd2
+// "journal full" path). Tail advance requires durability of the released
+// checkpoints: either a full device flush completed after the checkpoint
+// writes did (flush horizon — fsync traffic pays for it), or the journal
+// issues one itself (jbd2's update-log-tail flush).
+//
+// Every journal block carries a JournalRecord describing its content
+// (descriptor tag table / log copy / commit record), keyed by the block's
+// version — the simulation's payload identity. fs::Recovery replays a
+// crashed device image through these records.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
+#include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "blk/block_layer.h"
@@ -26,6 +45,24 @@
 
 namespace bio::fs {
 
+/// Content description of one journal-area block, keyed by the block's
+/// write version. This is the "what would a scan read here" model: the
+/// durable image gives (lba -> version); looking the version up here gives
+/// the record that version carried. Only descriptor and commit blocks have
+/// records — log blocks are located through their transaction's descriptor
+/// (jd_blocks[1..] paired with buffers, then journaled_data) and validated
+/// by version, and the commit checksum's in-place data coverage lives in
+/// Txn::covered_data.
+struct JournalRecord {
+  enum class Type : std::uint8_t {
+    kDescriptor,  // tag table: the txn's log blocks and their homes
+    kCommit,      // commit record
+  };
+
+  Type type = Type::kDescriptor;
+  std::uint64_t txn_id = 0;
+};
+
 struct Txn {
   enum class State : std::uint8_t { kRunning, kCommitting, kRetired };
 
@@ -34,10 +71,31 @@ struct Txn {
   /// Dirty metadata blocks (inode table LBAs).
   std::set<flash::Lba> buffers;
   /// Data-journaled pages (OptFS selective data journaling): extra log
-  /// blocks in JD.
+  /// blocks in JD. `journaled_data` identifies them; the count mirrors
+  /// journaled_data.size() plus any identity-less legacy additions.
   std::uint32_t journaled_data_blocks = 0;
-  /// Ordered-mode data requests that must transfer before JD.
+  std::vector<blk::Block> journaled_data;
+  /// Ordered-mode data requests that must transfer before JD. Drained (and
+  /// cleared) by the commit loops; OptFS freezes their payload into
+  /// `covered_data` first.
   std::vector<blk::RequestPtr> data_reqs;
+  /// In-place data blocks this transaction's commit checksum covers
+  /// (OptFS: osync's allocating writes — a lost one fails the checksum and
+  /// invalidates the transaction at recovery).
+  std::vector<blk::Block> covered_data;
+
+  /// Frozen content of each metadata buffer at commit close (the journal's
+  /// log-copy payload), captured by the filesystem's close hook. Sorted by
+  /// block (buffers iterate in set order); use find_snapshot().
+  std::vector<std::pair<flash::Lba, MetaSnapshot>> meta_snapshots;
+
+  const MetaSnapshot* find_snapshot(flash::Lba block) const {
+    auto it = std::lower_bound(
+        meta_snapshots.begin(), meta_snapshots.end(), block,
+        [](const auto& e, flash::Lba b) { return e.first < b; });
+    return it != meta_snapshots.end() && it->first == block ? &it->second
+                                                            : nullptr;
+  }
 
   /// Journal records as written (for crash analysis).
   std::vector<std::pair<flash::Lba, flash::Version>> jd_blocks;
@@ -53,6 +111,17 @@ struct Txn {
   bool needs_flush = false;
   /// A flush was actually issued before retirement.
   bool flushed = false;
+
+  // ---- checkpoint lifetime (journal-space release gating) -----------------
+  /// In-place metadata copies issued at retire: (home lba, device version).
+  std::vector<std::pair<flash::Lba, flash::Version>> checkpoint_blocks;
+  /// All checkpoint writes have completed their transfer.
+  bool checkpoint_done = false;
+  /// Device flush sequence observed when the checkpoint writes completed;
+  /// a completed flush with a later entry sequence proves durability.
+  std::uint64_t checkpoint_flush_stamp = 0;
+  /// Journaled data has been copied in place (lazy, on space pressure).
+  bool data_checkpointed = false;
 
   explicit Txn(sim::Simulator& sim, std::uint64_t txn_id)
       : id(txn_id),
@@ -73,6 +142,13 @@ class Journal {
     std::uint64_t journal_blocks_written = 0;
     std::uint64_t checkpoint_writes = 0;
     std::uint64_t journal_wraps = 0;
+    /// reserve_journal_blocks() had to wait for journal space.
+    std::uint64_t journal_stalls = 0;
+    /// Tail-advance flushes the journal issued itself (space pressure with
+    /// no prior flush covering the released checkpoints).
+    std::uint64_t checkpoint_flushes = 0;
+    /// Journal-space releases (tail advances past a txn).
+    std::uint64_t tail_advances = 0;
   };
 
   enum class WaitMode : std::uint8_t {
@@ -103,8 +179,9 @@ class Journal {
   /// (ordered-mode data writeout dependency).
   void attach_data(blk::RequestPtr r);
 
-  /// Adds `pages` selectively-journaled data blocks to the running txn.
-  void add_journaled_data(std::uint32_t pages);
+  /// Adds selectively-journaled data blocks (with payload identity) to the
+  /// running txn.
+  void add_journaled_data(std::span<const blk::Block> pages);
 
   bool running_has_updates() const noexcept { return !running_->empty(); }
   std::uint64_t running_txn_id() const noexcept { return running_->id; }
@@ -121,16 +198,54 @@ class Journal {
 
   const Txn* find_txn(std::uint64_t tid) const;
 
+  // ---- recovery surface ----------------------------------------------------
+
+  /// Content record of the journal block written with `version`, or nullptr
+  /// (fs::Recovery's "read one journal block" primitive).
+  const JournalRecord* find_record(flash::Version version) const;
+
+  /// Resolves an in-place metadata write version to (home lba, txn id) —
+  /// the identity of a checkpoint copy found in the durable image.
+  struct CheckpointId {
+    flash::Lba home_lba = 0;
+    std::uint64_t txn_id = 0;
+  };
+  const CheckpointId* find_checkpoint(flash::Version version) const;
+
+  /// Resolves an in-place *data* checkpoint write version to the page-cache
+  /// version whose content it carries (OptFS journaled-data checkpoints).
+  struct DataCheckpointId {
+    flash::Lba home_lba = 0;
+    flash::Version content = 0;
+  };
+  const DataCheckpointId* find_data_checkpoint(flash::Version version) const;
+
+  /// The on-disk superblock's log-tail pointer: recovery scans from this
+  /// transaction id. Updated (with a durability flush) when the journal
+  /// releases space, like jbd2_update_log_tail.
+  std::uint64_t sb_tail_txn() const noexcept { return sb_tail_txn_; }
+
+  /// Hook the filesystem installs to freeze metadata-buffer content
+  /// (MetaSnapshots) when a transaction closes.
+  using CloseHook = std::function<void(Txn&)>;
+  void set_close_hook(CloseHook hook) { close_hook_ = std::move(hook); }
+
  protected:
   /// Closes the running transaction and opens a new one. Returns nullptr if
   /// the running txn is empty and `allow_empty` is false.
   Txn* close_running(bool allow_empty);
 
-  /// Reserves `n` contiguous journal blocks (wrapping like JBD2 does).
-  std::vector<std::pair<flash::Lba, flash::Version>> reserve_journal_blocks(
-      std::size_t n);
+  /// Reserves the JD blocks (descriptor + per-buffer and per-data-page log
+  /// blocks) for `txn` into txn.jd_blocks and registers their content
+  /// records. May stall on journal-space pressure (tail advance).
+  sim::Task reserve_jd(Txn& txn);
 
-  /// Issues asynchronous in-place metadata writes for a retired txn.
+  /// Reserves the JC block for `txn` into txn.jc_block and registers the
+  /// commit record. May stall like reserve_jd.
+  sim::Task reserve_jc(Txn& txn);
+
+  /// Issues asynchronous in-place metadata writes for a retired txn and
+  /// spawns the completion tracker that eventually allows space release.
   void checkpoint(Txn& txn);
 
   /// Marks the txn retired, fires its events and records commit order.
@@ -150,6 +265,72 @@ class Journal {
   flash::Lba journal_head_ = 0;
   Stats stats_;
   bool started_ = false;
+
+ private:
+  /// One reserved stretch of the journal area (offsets, not LBAs). A txn
+  /// owns up to two: JD and JC (a wrap may separate them). Txn objects are
+  /// owned by txns_ and never freed, so the raw pointer is stable.
+  struct JournalSpan {
+    Txn* txn = nullptr;
+    std::uint32_t start = 0;
+    std::uint32_t len = 0;
+  };
+
+  /// Reserves `n` contiguous journal blocks for `txn` (wrapping like JBD2:
+  /// records never straddle the end). Suspends while the space is still
+  /// owned by committed-but-not-durably-checkpointed transactions.
+  sim::Task reserve_journal_blocks(Txn& txn, std::size_t n,
+                                   std::vector<blk::Block>& out);
+
+  /// True once `txn`'s in-place copies are provably durable (checkpoint
+  /// writes completed + a later full flush, or a PLP device).
+  bool checkpoint_durable(const Txn& txn) const;
+
+  /// Releases every leading span whose txn is retired with a durable
+  /// checkpoint; advances tail and the superblock pointer.
+  void advance_tail();
+
+  /// Tail-advance slow path: copy journaled data in place (lazy OptFS
+  /// checkpoint), then flush so the front transactions' checkpoints become
+  /// durable, then release.
+  sim::Task force_tail_advance();
+
+  /// One persistent tracker instead of a waiter per transaction: drains
+  /// (txn, checkpoint requests) pairs in retire order and marks
+  /// checkpoint_done. Completed events resolve without suspension, so the
+  /// loop adds no simulated latency in the common case.
+  sim::Task checkpoint_tracker();
+
+  CloseHook close_hook_;
+  struct PendingCheckpoint {
+    Txn* txn = nullptr;
+    std::vector<blk::RequestPtr> reqs;
+    /// Copies whose home block had an older copy in flight at submit time;
+    /// the tracker serializes and submits them (buffer-lock rule).
+    std::vector<blk::Block> deferred;
+  };
+  std::deque<PendingCheckpoint> ckpt_queue_;
+  /// Latest in-place copy request per home block (conflict detection).
+  std::unordered_map<flash::Lba, blk::RequestPtr> inflight_ckpt_;
+  /// Blocks with queued-but-unsubmitted deferred copies: later checkpoints
+  /// of the same block must queue behind them, not jump ahead.
+  std::unordered_map<flash::Lba, std::uint32_t> deferred_ckpt_count_;
+  sim::Notify ckpt_wake_;
+  bool ckpt_tracker_started_ = false;
+  /// Capacity-retaining scratch for the 1-block JC reservation.
+  std::vector<blk::Block> scratch_jc_;
+
+  // Content model of the journal area + in-place checkpoint copies.
+  std::unordered_map<flash::Version, JournalRecord> records_;
+  std::unordered_map<flash::Version, CheckpointId> checkpoint_versions_;
+  std::unordered_map<flash::Version, DataCheckpointId> data_checkpoint_versions_;
+
+  // Circular space accounting.
+  std::deque<JournalSpan> live_spans_;
+  std::uint32_t journal_tail_ = 0;  // offset of the oldest live block
+  std::uint32_t journal_used_ = 0;  // blocks between tail and head (+ waste)
+  std::uint64_t sb_tail_txn_ = 1;
+  sim::Notify journal_space_;
 };
 
 }  // namespace bio::fs

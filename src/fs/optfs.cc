@@ -40,20 +40,23 @@ sim::Task OptFsJournal::commit_loop() {
 
     for (const blk::RequestPtr& r : txn->data_reqs)
       co_await r->completion.wait();
+    // Freeze the transferred data payload into the commit checksum's
+    // coverage, then drop the requests (they are pooled and must recycle).
+    for (const blk::RequestPtr& r : txn->data_reqs)
+      txn->covered_data.insert(txn->covered_data.end(), r->blocks.begin(),
+                               r->blocks.end());
+    txn->data_reqs.clear();
 
     // Checksummed JD + JC dispatched together, one combined wait: the
     // flush between them is gone, the transfer wait is not.
-    const std::size_t jd_size =
-        1 + txn->buffers.size() + txn->journaled_data_blocks;
-    auto jd = reserve_journal_blocks(jd_size);
+    co_await reserve_jd(*txn);
     co_await sim_.delay(cfg_.checksum_cpu_per_block *
-                        static_cast<sim::SimTime>(jd_size + 1));
+                        static_cast<sim::SimTime>(txn->jd_blocks.size() + 1));
     blk::RequestPtr jd_req =
-        blk_.pool().make_write(std::span<const blk::Block>(jd));
-    txn->jd_blocks = std::move(jd);
+        blk_.pool().make_write(std::span<const blk::Block>(txn->jd_blocks));
     blk_.submit(jd_req);
-    auto jc = reserve_journal_blocks(1);
-    txn->jc_block = jc[0];
+    co_await reserve_jc(*txn);
+    const blk::Block jc[1] = {txn->jc_block};
     txn->jc_req = blk_.pool().make_write(std::span<const blk::Block>(jc));
     blk_.submit(txn->jc_req);
     co_await jd_req->completion.wait();

@@ -13,11 +13,12 @@ void PageCache::write(std::uint32_t ino, std::uint32_t page, flash::Lba lba,
     st.dirty = true;
     ++dirty_count_;
     index_insert(dirty_index_, key);
-    if (st.writeback != nullptr) index_erase(wb_index_, key);
   }
-  // A newer version supersedes any in-flight writeback: the page is dirty
-  // again and the old request no longer "carries" it.
-  st.writeback = nullptr;
+  // NOTE: an in-flight writeback pointer survives redirtying. The old
+  // request is still physically in the scheduler/device carrying the
+  // previous version; forgetting it would let a sync path submit the new
+  // version concurrently and the two copies could land out of order
+  // (write-after-write hazard). wait_stable_pages()/pdflush consult it.
   dirtied_.notify_all();
 }
 
@@ -147,7 +148,7 @@ bool PageCache::check_index_invariants() const {
     if (st.dirty) ++dirty_seen;
     const auto wit = wb_index_.find(key.ino);
     const bool in_wb = wit != wb_index_.end() && wit->second.contains(key.page);
-    if (in_wb != (!st.dirty && st.writeback != nullptr)) return false;
+    if (in_wb != (st.writeback != nullptr)) return false;
   }
   if (dirty_seen != dirty_count_) return false;
   // No stale index entries pointing at evicted pages.

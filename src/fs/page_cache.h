@@ -41,7 +41,10 @@ class PageCache {
     /// True if the newest buffered write overwrote already-allocated data
     /// (OptFS journals these selectively).
     bool overwrite = false;
-    /// In-flight write carrying this page's newest version (if !dirty).
+    /// In-flight write carrying a version of this page: the newest one if
+    /// !dirty, an older one if the page was redirtied while under
+    /// writeback. Kept until completion so submission paths can enforce
+    /// one-in-flight-copy-per-page (stable writeback).
     blk::RequestPtr writeback;
   };
 
@@ -108,7 +111,7 @@ class PageCache {
   std::map<PageKey, PageState> pages_;
   /// ino -> dirty pages (key.dirty == true exactly when indexed here).
   InoIndex dirty_index_;
-  /// ino -> pages with an in-flight writeback (and dirty == false).
+  /// ino -> pages with a writeback carrier attached (dirty or not).
   InoIndex wb_index_;
   std::size_t dirty_count_ = 0;
   sim::Notify dirtied_;

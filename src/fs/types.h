@@ -11,6 +11,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "flash/types.h"
 #include "sim/time.h"
@@ -86,6 +88,28 @@ struct Layout {
   flash::Lba inode_block(std::uint32_t ino) const noexcept {
     return inode_base() + ino;
   }
+};
+
+/// The logical content of one metadata block as of a given transaction —
+/// what the block's journal log copy (and its later in-place checkpoint
+/// copy) "contain". The simulation stores no bytes, so recovery
+/// reconstructs filesystem state from these snapshots instead of decoding
+/// on-disk structures (DESIGN.md §6.6).
+struct MetaSnapshot {
+  /// Directory-shard block (ino < dir_shards): (name, ino) entries, sorted
+  /// by name (flat vector: snapshots are taken per commit, so node-based
+  /// containers would dominate the journal's allocation profile).
+  bool is_directory = false;
+  std::vector<std::pair<std::string, std::uint32_t>> entries;
+
+  /// Inode block: geometry + size at commit time. `exists` is false once
+  /// the inode has been freed (unlink committed).
+  bool exists = false;
+  std::uint32_t ino = 0;
+  std::string name;
+  flash::Lba extent_base = 0;
+  std::uint32_t extent_blocks = 0;
+  std::uint32_t size_blocks = 0;
 };
 
 /// In-memory inode.

@@ -71,23 +71,32 @@ TEST(PageCacheTest, AllDirtyHonoursLimitAndGlobalOrder) {
   EXPECT_EQ((std::pair{all[2].ino, all[2].page}), (std::pair{2u, 1u}));
 }
 
-TEST(PageCacheTest, RewriteDuringWritebackSupersedesCarrier) {
+TEST(PageCacheTest, RewriteDuringWritebackKeepsCarrierVisible) {
   Fixture x;
   x.cache.write(1, 0, 100, 1, false);
   RequestPtr r = x.wb_request(100);
   x.cache.begin_writeback(PageKey{1, 0}, r);
   EXPECT_EQ(x.cache.dirty_count(), 0u);
 
-  // New version while the old write is in flight: dirty again, and the old
-  // request no longer carries the page.
+  // New version while the old write is in flight: dirty again, but the old
+  // request is still physically in flight and MUST stay visible — a sync
+  // path that cannot see it would submit the new version concurrently and
+  // the two copies could land out of order (the write-after-write hazard
+  // the crash checker caught).
   x.cache.write(1, 0, 100, 9, true);
   EXPECT_EQ(x.cache.dirty_count(), 1u);
-  EXPECT_TRUE(x.cache.writebacks_of(1).empty());
+  {
+    const std::vector<RequestPtr> wb = x.cache.writebacks_of(1);
+    ASSERT_EQ(wb.size(), 1u) << "in-flight carrier must remain tracked";
+    EXPECT_EQ(wb[0], r);
+  }
   EXPECT_TRUE(x.cache.check_index_invariants());
 
   // The stale request completing must not clear the new dirty state.
+  r->completion.trigger();
   x.cache.end_writeback(PageKey{1, 0}, r);
   EXPECT_EQ(x.cache.dirty_count(), 1u);
+  EXPECT_TRUE(x.cache.writebacks_of(1).empty());
   const PageCache::PageState* st = x.cache.find(1, 0);
   ASSERT_NE(st, nullptr);
   EXPECT_TRUE(st->dirty);
