@@ -30,6 +30,7 @@
 #include "api/vfs.h"
 #include "core/stack.h"
 #include "sim/frame_pool.h"
+#include "wl/fxmark.h"
 
 // ---- global allocation counter ---------------------------------------------
 
@@ -66,6 +67,11 @@ struct ScenarioResult {
   double wall_ns = 0.0;
   std::uint64_t global_allocs = 0;
   blk::RequestPool::Stats pool;
+  /// Sharded (multi-volume) scenarios only: per-volume *simulated*
+  /// throughput — the volume-scaling signal, next to the wall-clock cost.
+  std::uint32_t volumes = 0;
+  double sim_ops_per_sec = 0.0;
+  std::vector<double> volume_ops_per_sec;
 
   double ns_per_io() const { return sim_ios ? wall_ns / double(sim_ios) : 0; }
   double ns_per_op() const { return ops ? wall_ns / double(ops) : 0; }
@@ -151,11 +157,70 @@ ScenarioResult run_scenario(const char* name, core::StackKind kind, Mode mode,
   r.events = stack->sim().events_dispatched() - ev0;
   r.global_allocs = g_new_calls - alloc0;
   r.pool = stack->blk().pool().stats();
-  r.pool.acquired -= pool0.acquired;
-  r.pool.recycled -= pool0.recycled;
-  r.pool.fresh_requests -= pool0.fresh_requests;
-  r.pool.ctrl_allocs -= pool0.ctrl_allocs;
-  r.pool.block_heap_allocs -= pool0.block_heap_allocs;
+  r.pool -= pool0;
+  return r;
+}
+
+/// Sharded DWSL over a node of `nvolumes` BFS-DR volumes. Callers pass a
+/// core count that *scales with the volume count* (weak scaling: enough
+/// writers per volume to saturate one journal), so volume_ops_per_sec
+/// isolates per-journal commit saturation while total throughput tracks
+/// the volume count.
+ScenarioResult run_sharded_scenario(const char* name, std::uint32_t nvolumes,
+                                    std::uint32_t cores,
+                                    std::uint32_t writes_per_thread) {
+  const std::vector<core::StackConfig> bases(
+      nvolumes, core::StackConfig::make(core::StackKind::kBfsDR,
+                                        flash::DeviceProfile::plain_ssd()));
+  auto node = std::make_unique<core::Stack>(core::NodeConfig::from(bases));
+
+  ScenarioResult r;
+  r.name = name;
+  r.volumes = nvolumes;
+  // Baselines snapshot at the hook — after the workload's setup phase —
+  // so the sharded rows measure only the striped-writer phase, exactly as
+  // run_scenario excludes its own setup.
+  struct IoTotals {
+    std::uint64_t sim_ios = 0;
+    std::uint64_t requests = 0;
+    blk::RequestPool::Stats pool;
+  };
+  auto node_io_totals = [&node, nvolumes] {
+    IoTotals t;
+    for (std::uint32_t v = 0; v < nvolumes; ++v) {
+      core::Volume& vol = node->volume(v);
+      const auto& d = vol.device().stats();
+      t.sim_ios += d.writes + d.reads + d.flushes;
+      t.requests += vol.blk().stats().submitted;
+      t.pool += vol.blk().pool().stats();
+    }
+    return t;
+  };
+  IoTotals base;
+  std::uint64_t ev0 = 0;
+  std::uint64_t alloc0 = 0;
+  Clock::time_point t0{};
+  const wl::ShardedFxmarkResult res = wl::run_fxmark_dwsl_sharded(
+      *node, {.cores = cores, .writes_per_thread = writes_per_thread}, [&] {
+        base = node_io_totals();
+        ev0 = node->sim().events_dispatched();
+        alloc0 = g_new_calls;
+        t0 = Clock::now();
+      });
+  r.wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
+  r.ops = res.ops_done;
+  r.events = node->sim().events_dispatched() - ev0;
+  r.global_allocs = g_new_calls - alloc0;
+  const IoTotals total = node_io_totals();
+  r.sim_ios = total.sim_ios - base.sim_ios;
+  r.requests = total.requests - base.requests;
+  r.pool = total.pool;
+  r.pool -= base.pool;
+  if (res.elapsed > 0)
+    r.sim_ops_per_sec = res.ops_per_sec;
+  r.volume_ops_per_sec = res.volume_ops_per_sec;
   return r;
 }
 
@@ -209,6 +274,15 @@ bool write_json(const char* path, const std::vector<ScenarioResult>& results,
                  (unsigned long long)r.global_allocs);
     std::fprintf(f, "      \"global_allocs_per_op\": %.3f,\n",
                  r.global_allocs_per_op());
+    if (r.volumes > 0) {
+      std::fprintf(f, "      \"volumes\": %u,\n", r.volumes);
+      std::fprintf(f, "      \"sim_ops_per_sec\": %.0f,\n",
+                   r.sim_ops_per_sec);
+      std::fprintf(f, "      \"volume_ops_per_sec\": [");
+      for (std::size_t v = 0; v < r.volume_ops_per_sec.size(); ++v)
+        std::fprintf(f, "%s%.0f", v ? ", " : "", r.volume_ops_per_sec[v]);
+      std::fprintf(f, "],\n");
+    }
     std::fprintf(
         f,
         "      \"pool\": {\"acquired\": %llu, \"recycled\": %llu, "
@@ -232,13 +306,18 @@ bool write_json(const char* path, const std::vector<ScenarioResult>& results,
 int main(int argc, char** argv) {
   bool smoke = false;
   const char* out = "BENCH_perf.json";
+  const char* sharded_out = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
+    } else if (std::strcmp(argv[i], "--sharded-out") == 0 && i + 1 < argc) {
+      sharded_out = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: perf_suite [--smoke] [--out <path>]\n");
+      std::fprintf(stderr,
+                   "usage: perf_suite [--smoke] [--out <path>] "
+                   "[--sharded-out <path>]\n");
       return 2;
     }
   }
@@ -271,9 +350,35 @@ int main(int argc, char** argv) {
   // writeback. Exercises the per-inode dirty indexes.
   results.push_back(run_scenario("pagecache-churn", K::kExt4DR,
                                  Mode::kBuffered, page_ops, 32, 256));
+  // Sharded DWSL weak scaling: 64 writer threads *per volume* (enough to
+  // saturate one journal's commit pipeline, ~12k commits/s on this
+  // profile) over 1/2/4 BFS-DR volumes of one node. With independent
+  // journals, volume_ops_per_sec holds at saturation while
+  // sim_ops_per_sec scales with the volume count.
+  const std::uint32_t dwsl_writes = smoke ? 25 : 200;
+  results.push_back(
+      run_sharded_scenario("sharded-fxmark-v1", 1, 64, dwsl_writes));
+  results.push_back(
+      run_sharded_scenario("sharded-fxmark-v2", 2, 128, dwsl_writes));
+  results.push_back(
+      run_sharded_scenario("sharded-fxmark-v4", 4, 256, dwsl_writes));
 
   print_table(results);
+  for (const ScenarioResult& r : results) {
+    if (r.volumes == 0) continue;
+    std::printf("%-18s sim ops/s %10.0f | per-volume:", r.name.c_str(),
+                r.sim_ops_per_sec);
+    for (double v : r.volume_ops_per_sec) std::printf(" %10.0f", v);
+    std::printf("\n");
+  }
   if (!write_json(out, results, smoke)) return 1;
   std::printf("\nwrote %s\n", out);
+  if (sharded_out != nullptr) {
+    std::vector<ScenarioResult> sharded;
+    for (const ScenarioResult& r : results)
+      if (r.volumes > 0) sharded.push_back(r);
+    if (!write_json(sharded_out, sharded, smoke)) return 1;
+    std::printf("wrote %s\n", sharded_out);
+  }
   return 0;
 }

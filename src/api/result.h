@@ -20,6 +20,7 @@ enum class Errno : std::uint8_t {
   kNoSpc,   // ENOSPC: out of inodes / write beyond the reserved extent
   kExist,   // EEXIST: exclusive create of an existing file
   kInval,   // EINVAL: zero-length IO and similar misuse
+  kXDev,    // EXDEV: rename across volumes (mount boundaries)
 };
 
 const char* to_string(Errno e) noexcept;
@@ -94,6 +95,7 @@ inline const char* to_string(Errno e) noexcept {
     case Errno::kNoSpc: return "ENOSPC";
     case Errno::kExist: return "EEXIST";
     case Errno::kInval: return "EINVAL";
+    case Errno::kXDev: return "EXDEV";
   }
   return "?";
 }

@@ -10,6 +10,7 @@ const char* to_string(Syscall s) noexcept {
     case Syscall::kFbarrier: return "fbarrier";
     case Syscall::kFdatabarrier: return "fdatabarrier";
     case Syscall::kOsync: return "osync";
+    case Syscall::kDsync: return "dsync";
   }
   return "?";
 }
@@ -66,6 +67,9 @@ sim::Task issue(fs::Filesystem& filesystem, fs::Inode& f, Syscall call) {
       break;
     case Syscall::kOsync:
       co_await filesystem.osync(f, /*wait_transfer=*/true);
+      break;
+    case Syscall::kDsync:
+      co_await filesystem.dsync(f);
       break;
   }
 }

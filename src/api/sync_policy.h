@@ -36,6 +36,7 @@ enum class Syscall : std::uint8_t {
   kFbarrier,
   kFdatabarrier,
   kOsync,         // OptFS osync with Wait-on-Transfer
+  kDsync,         // OptFS dsync: data durable at return, metadata delayed
 };
 
 /// What the application *means* at a call site.
@@ -55,6 +56,16 @@ struct SyncPolicy {
 
   /// The substitution-table row for a paper stack configuration.
   static SyncPolicy for_stack(core::StackKind kind) noexcept;
+
+  /// The OptFS dsync variant (OptFS §5 / PAPER.md §5): ordering stays
+  /// osync, but durability points actually put the *data* on media before
+  /// returning — metadata durability alone stays delayed. A new row, not a
+  /// new branch anywhere in core/.
+  static SyncPolicy optfs_dsync() noexcept {
+    return {.order = Syscall::kOsync,
+            .durability = Syscall::kDsync,
+            .full_sync = Syscall::kDsync};
+  }
 
   Syscall resolve(SyncIntent intent) const noexcept {
     switch (intent) {

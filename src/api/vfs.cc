@@ -5,6 +5,107 @@
 
 namespace bio::api {
 
+namespace {
+/// Which sync syscalls a journal flavour can run — the single capability
+/// matrix behind both the policy-resolved funnel (Vfs::sync) and the
+/// direct barrier syscalls, so a mismatch is a modelled EINVAL instead of
+/// a filesystem assert on a mixed-journal node.
+bool journal_supports(Syscall call, fs::JournalKind journal) {
+  switch (call) {
+    case Syscall::kFdatabarrier:
+      return journal == fs::JournalKind::kBarrierFs;
+    case Syscall::kFbarrier:  // BarrierFS native; OptFS maps it to osync
+      return journal != fs::JournalKind::kJbd2;
+    case Syscall::kOsync:
+    case Syscall::kDsync:
+      return journal == fs::JournalKind::kOptFs;
+    case Syscall::kNone:
+    case Syscall::kFsync:
+    case Syscall::kFdatasync:
+      return true;
+  }
+  return true;
+}
+}  // namespace
+
+// ---- mount table ------------------------------------------------------------
+
+Vfs::Vfs(fs::Filesystem& filesystem, SyncPolicy policy) {
+  must(mount("", filesystem, policy));
+}
+
+Vfs::Vfs(core::Stack& stack) {
+  for (const std::unique_ptr<core::Volume>& v : stack.volumes())
+    must(mount(v->name(), v->fs(), SyncPolicy::for_stack(v->kind())));
+}
+
+Vfs::Mount* Vfs::find_mount(std::string_view name) const noexcept {
+  for (const std::unique_ptr<Mount>& m : mounts_)
+    if (m->name == name) return m.get();
+  return nullptr;
+}
+
+Status Vfs::mount(std::string name, fs::Filesystem& filesystem,
+                  SyncPolicy policy) {
+  // A mount name is one path component; an embedded '/' could never be
+  // routed (resolve() matches only the first component).
+  if (name.find('/') != std::string::npos) return fail(Errno::kInval);
+  if (find_mount(name) != nullptr) return fail(Errno::kExist);
+  auto m = std::make_unique<Mount>();
+  m->name = std::move(name);
+  m->filesystem = &filesystem;
+  m->policy = policy;
+  mounts_.push_back(std::move(m));
+  return {};
+}
+
+Status Vfs::remount(const std::string& name, fs::Filesystem& filesystem) {
+  Mount* m = find_mount(name);
+  if (m == nullptr) return fail(Errno::kNoEnt);
+  m->filesystem = &filesystem;
+  return {};
+}
+
+const Vfs::Stats* Vfs::stats_of(const std::string& name) const noexcept {
+  const Mount* m = find_mount(name);
+  return m == nullptr ? nullptr : &m->stats;
+}
+
+fs::Filesystem* Vfs::filesystem_of(const std::string& name) noexcept {
+  Mount* m = find_mount(name);
+  return m == nullptr ? nullptr : m->filesystem;
+}
+
+const SyncPolicy& Vfs::default_policy() const noexcept {
+  return mounts_.front()->policy;
+}
+
+fs::Filesystem& Vfs::filesystem() noexcept {
+  return *mounts_.front()->filesystem;
+}
+
+Result<Vfs::Target> Vfs::resolve(const std::string& name) const {
+  if (name.empty()) return Errno::kInval;
+  if (name.front() == '/') {
+    const std::size_t sep = name.find('/', 1);
+    if (sep != std::string::npos) {
+      const std::string_view comp(name.data() + 1, sep - 1);
+      if (Mount* m = find_mount(comp); m != nullptr && !comp.empty()) {
+        if (sep + 1 == name.size()) return Errno::kInval;  // "/vol/"
+        return Target{m, name.substr(sep + 1)};
+      }
+    } else {
+      // "/vol" denotes the mount point itself, not a file in it.
+      const std::string_view comp(name.data() + 1, name.size() - 1);
+      if (!comp.empty() && find_mount(comp) != nullptr) return Errno::kInval;
+    }
+  }
+  // No mount component matched: the root mount owns the whole name.
+  if (Mount* root = find_mount(""); root != nullptr)
+    return Target{root, name};
+  return Errno::kNoEnt;
+}
+
 // ---- descriptor-table plumbing ---------------------------------------------
 
 Vfs::FdEntry* Vfs::entry(Fd fd) {
@@ -23,6 +124,11 @@ Errno Vfs::fail(Errno e) const {
   return e;
 }
 
+Errno Vfs::fail(Mount& m, Errno e) const {
+  ++m.stats.errors;
+  return fail(e);
+}
+
 void Vfs::unref(Vnode& vn) {
   --vn.refcount;
   maybe_retire(vn);
@@ -35,25 +141,27 @@ void Vfs::unpin(Vnode& vn) {
 
 void Vfs::maybe_retire(Vnode& vn) {
   if (vn.refcount > 0 || vn.pins > 0) return;
-  if (vn.unlinked) fs_.reclaim(*vn.inode);
+  if (vn.unlinked) vn.fs->reclaim(*vn.inode);
   vnodes_.erase(vn.inode);
 }
 
-Vfs::Vnode& Vfs::vnode_for(fs::Inode& inode) {
+Vfs::Vnode& Vfs::vnode_for(fs::Filesystem& filesystem, fs::Inode& inode) {
   std::unique_ptr<Vnode>& slot = vnodes_[&inode];
   if (slot == nullptr) {
     slot = std::make_unique<Vnode>();
     slot->inode = &inode;
+    slot->fs = &filesystem;
   }
   return *slot;
 }
 
-Fd Vfs::alloc_fd(Vnode& vn) {
+Fd Vfs::alloc_fd(Vnode& vn, Mount& mount) {
   // POSIX semantics: the lowest free descriptor.
   std::size_t slot = 0;
   while (slot < fds_.size() && fds_[slot].vnode != nullptr) ++slot;
   if (slot == fds_.size()) fds_.emplace_back();
   fds_[slot].vnode = &vn;
+  fds_[slot].mount = &mount;
   fds_[slot].offset = 0;
   ++vn.refcount;
   ++open_fds_;
@@ -63,24 +171,33 @@ Fd Vfs::alloc_fd(Vnode& vn) {
 // ---- namespace --------------------------------------------------------------
 
 sim::TaskOf<Result<File>> Vfs::open(std::string name, OpenOptions opts) {
-  fs::Inode* inode = fs_.lookup(name);
+  Result<Target> t = resolve(name);
+  if (!t.ok()) co_return fail(t.error());
+  Mount& m = *t.value().mount;
+  fs::Filesystem& filesystem = *m.filesystem;
+  fs::Inode* inode = filesystem.lookup(t.value().rel);
   if (inode != nullptr) {
-    if (opts.create && opts.exclusive) co_return fail(Errno::kExist);
+    if (opts.create && opts.exclusive) co_return fail(m, Errno::kExist);
   } else {
-    if (!opts.create) co_return fail(Errno::kNoEnt);
-    if (!fs_.has_free_inode()) co_return fail(Errno::kNoSpc);
-    co_await fs_.create(std::move(name), inode, opts.extent_blocks);
+    if (!opts.create) co_return fail(m, Errno::kNoEnt);
+    if (!filesystem.has_free_inode()) co_return fail(m, Errno::kNoSpc);
+    co_await filesystem.create(std::move(t.value().rel), inode,
+                               opts.extent_blocks);
     ++stats_.creates;
+    ++m.stats.creates;
   }
   ++stats_.opens;
-  co_return File(this, alloc_fd(vnode_for(*inode)));
+  ++m.stats.opens;
+  co_return File(this, alloc_fd(vnode_for(filesystem, *inode), m));
 }
 
 Status Vfs::close(Fd fd) {
   FdEntry* e = entry(fd);
   if (e == nullptr) return fail(Errno::kBadF);
   Vnode* vn = e->vnode;
+  ++e->mount->stats.closes;
   e->vnode = nullptr;
+  e->mount = nullptr;
   e->offset = 0;
   ++e->generation;
   --open_fds_;
@@ -90,18 +207,66 @@ Status Vfs::close(Fd fd) {
 }
 
 sim::TaskOf<Status> Vfs::unlink(const std::string& name) {
-  fs::Inode* inode = fs_.lookup(name);
-  if (inode == nullptr) co_return fail(Errno::kNoEnt);
+  Result<Target> t = resolve(name);
+  if (!t.ok()) co_return fail(t.error());
+  Mount& m = *t.value().mount;
+  fs::Filesystem& filesystem = *m.filesystem;
+  fs::Inode* inode = filesystem.lookup(t.value().rel);
+  if (inode == nullptr) co_return fail(m, Errno::kNoEnt);
   ++stats_.unlinks;
+  ++m.stats.unlinks;
   auto it = vnodes_.find(inode);
   if (it != vnodes_.end()) {
     // Descriptors are still open: remove the name only; the extent/ino
     // recycle on the last close, so surviving fds never alias a new file.
     it->second->unlinked = true;
-    co_await fs_.unlink_deferred(name);
+    co_await filesystem.unlink_deferred(t.value().rel);
   } else {
-    co_await fs_.unlink(name);
+    co_await filesystem.unlink(t.value().rel);
   }
+  co_return Status{};
+}
+
+sim::TaskOf<Status> Vfs::rename(const std::string& from,
+                                const std::string& to) {
+  Result<Target> tf = resolve(from);
+  if (!tf.ok()) co_return fail(tf.error());
+  Result<Target> tt = resolve(to);
+  if (!tt.ok()) co_return fail(tt.error());
+  Mount& m = *tf.value().mount;
+  if (&m != tt.value().mount) co_return fail(m, Errno::kXDev);
+  fs::Filesystem& filesystem = *m.filesystem;
+  const std::string& rel_from = tf.value().rel;
+  const std::string& rel_to = tt.value().rel;
+  if (filesystem.lookup(rel_from) == nullptr)
+    co_return fail(m, Errno::kNoEnt);
+  if (rel_from == rel_to) co_return Status{};
+  // POSIX: an existing target is displaced by the rename itself — inside
+  // ONE journal transaction, so no crash instant ever shows the
+  // destination name missing. The displaced file stays alive through its
+  // open descriptors (deferred reclamation, as with unlink).
+  fs::Inode* dst = nullptr;
+  for (;;) {
+    dst = filesystem.lookup(rel_to);
+    if (co_await filesystem.rename(rel_from, rel_to)) break;
+    // A namespace op raced the rename's own journal reservations and won:
+    // a vanished source is ENOENT; a changed target is re-resolved and
+    // displaced on the next pass (rename(2) never fails with EEXIST — the
+    // kernel wins the same race by holding locks the model doesn't have).
+    if (filesystem.lookup(rel_from) == nullptr)
+      co_return fail(m, Errno::kNoEnt);
+  }
+  if (dst != nullptr) {
+    // The displaced inode lost its name; route its storage like unlink():
+    // reclaim at last close while descriptors are open, now otherwise.
+    auto it = vnodes_.find(dst);
+    if (it != vnodes_.end())
+      it->second->unlinked = true;
+    else
+      filesystem.reclaim(*dst);
+  }
+  ++stats_.renames;
+  ++m.stats.renames;
   co_return Status{};
 }
 
@@ -111,13 +276,13 @@ sim::TaskOf<Result<std::uint32_t>> Vfs::pread(Fd fd, std::uint32_t page,
                                               std::uint32_t npages) {
   FdEntry* e = entry(fd);
   if (e == nullptr) co_return fail(Errno::kBadF);
-  if (npages == 0) co_return fail(Errno::kInval);
+  if (npages == 0) co_return fail(*e->mount, Errno::kInval);
   Vnode& vn = *e->vnode;
   fs::Inode& inode = *vn.inode;
   if (page >= inode.size_blocks) co_return std::uint32_t{0};  // at/past EOF
   const std::uint32_t n = std::min(npages, inode.size_blocks - page);
   pin(vn);
-  co_await fs_.read(inode, page, n);
+  co_await vn.fs->read(inode, page, n);
   unpin(vn);
   co_return n;
 }
@@ -126,14 +291,14 @@ sim::TaskOf<Result<std::uint32_t>> Vfs::pwrite(Fd fd, std::uint32_t page,
                                                std::uint32_t npages) {
   FdEntry* e = entry(fd);
   if (e == nullptr) co_return fail(Errno::kBadF);
-  if (npages == 0) co_return fail(Errno::kInval);
+  if (npages == 0) co_return fail(*e->mount, Errno::kInval);
   Vnode& vn = *e->vnode;
   fs::Inode& inode = *vn.inode;
   // 64-bit sum: page + npages must not wrap past the extent check.
   if (std::uint64_t{page} + npages > inode.extent_blocks)
-    co_return fail(Errno::kNoSpc);
+    co_return fail(*e->mount, Errno::kNoSpc);
   pin(vn);
-  co_await fs_.write(inode, page, npages);
+  co_await vn.fs->write(inode, page, npages);
   unpin(vn);
   co_return npages;
 }
@@ -158,7 +323,8 @@ sim::TaskOf<Result<std::uint32_t>> Vfs::write(Fd fd, std::uint32_t npages) {
   FdEntry* e = entry(fd);
   if (e == nullptr) co_return fail(Errno::kBadF);
   const fs::Inode* inode = e->vnode->inode;
-  if (e->offset + npages > inode->extent_blocks) co_return fail(Errno::kNoSpc);
+  if (e->offset + npages > inode->extent_blocks)
+    co_return fail(*e->mount, Errno::kNoSpc);
   const std::uint64_t gen = e->generation;
   const std::uint32_t page = static_cast<std::uint32_t>(e->offset);
   Result<std::uint32_t> r = co_await pwrite(fd, page, npages);
@@ -170,7 +336,7 @@ sim::TaskOf<Result<std::uint32_t>> Vfs::write(Fd fd, std::uint32_t npages) {
 sim::TaskOf<Result<std::uint32_t>> Vfs::append(Fd fd, std::uint32_t npages) {
   FdEntry* e = entry(fd);
   if (e == nullptr) co_return fail(Errno::kBadF);
-  if (npages == 0) co_return fail(Errno::kInval);
+  if (npages == 0) co_return fail(*e->mount, Errno::kInval);
   Vnode* vn = e->vnode;
   const fs::Inode* inode = vn->inode;
   // Reserve the target range before the first suspension (the write itself
@@ -179,7 +345,7 @@ sim::TaskOf<Result<std::uint32_t>> Vfs::append(Fd fd, std::uint32_t npages) {
   // atomicity. EOF is the max of i_size and outstanding reservations.
   const std::uint32_t page = std::max(inode->size_blocks, vn->append_cursor);
   if (std::uint64_t{page} + npages > inode->extent_blocks)
-    co_return fail(Errno::kNoSpc);
+    co_return fail(*e->mount, Errno::kNoSpc);
   vn->append_cursor = page + npages;
   const std::uint64_t gen = e->generation;
   Result<std::uint32_t> r = co_await pwrite(fd, page, npages);
@@ -195,7 +361,7 @@ sim::TaskOf<Status> Vfs::fsync(Fd fd) {
   if (e == nullptr) co_return fail(Errno::kBadF);
   Vnode& vn = *e->vnode;
   pin(vn);
-  co_await fs_.fsync(*vn.inode);
+  co_await vn.fs->fsync(*vn.inode);
   unpin(vn);
   co_return Status{};
 }
@@ -205,7 +371,7 @@ sim::TaskOf<Status> Vfs::fdatasync(Fd fd) {
   if (e == nullptr) co_return fail(Errno::kBadF);
   Vnode& vn = *e->vnode;
   pin(vn);
-  co_await fs_.fdatasync(*vn.inode);
+  co_await vn.fs->fdatasync(*vn.inode);
   unpin(vn);
   co_return Status{};
 }
@@ -214,8 +380,10 @@ sim::TaskOf<Status> Vfs::fbarrier(Fd fd) {
   FdEntry* e = entry(fd);
   if (e == nullptr) co_return fail(Errno::kBadF);
   Vnode& vn = *e->vnode;
+  if (!journal_supports(Syscall::kFbarrier, vn.fs->config().journal))
+    co_return fail(*e->mount, Errno::kInval);
   pin(vn);
-  co_await fs_.fbarrier(*vn.inode);
+  co_await vn.fs->fbarrier(*vn.inode);
   unpin(vn);
   co_return Status{};
 }
@@ -224,8 +392,10 @@ sim::TaskOf<Status> Vfs::fdatabarrier(Fd fd) {
   FdEntry* e = entry(fd);
   if (e == nullptr) co_return fail(Errno::kBadF);
   Vnode& vn = *e->vnode;
+  if (!journal_supports(Syscall::kFdatabarrier, vn.fs->config().journal))
+    co_return fail(*e->mount, Errno::kInval);
   pin(vn);
-  co_await fs_.fdatabarrier(*vn.inode);
+  co_await vn.fs->fdatabarrier(*vn.inode);
   unpin(vn);
   co_return Status{};
 }
@@ -235,9 +405,16 @@ sim::TaskOf<Status> Vfs::sync(Fd fd, SyncIntent intent) {
   if (e == nullptr) co_return fail(Errno::kBadF);
   Vnode& vn = *e->vnode;
   const Syscall call =
-      (vn.policy.has_value() ? *vn.policy : policy_).resolve(intent);
+      (vn.policy.has_value() ? *vn.policy : e->mount->policy)
+          .resolve(intent);
+  // A (per-file-overridable) policy row may name a syscall this
+  // descriptor's filesystem cannot run — dsync/osync outside OptFS,
+  // barrier calls outside BarrierFS. Surface the mismatch as a modelled
+  // EINVAL rather than letting the filesystem assert.
+  if (!journal_supports(call, vn.fs->config().journal))
+    co_return fail(*e->mount, Errno::kInval);
   pin(vn);
-  co_await issue(fs_, *vn.inode, call);
+  co_await issue(*vn.fs, *vn.inode, call);
   unpin(vn);
   co_return Status{};
 }
@@ -279,7 +456,8 @@ Status Vfs::set_policy(Fd fd, SyncPolicy policy) {
 Result<SyncPolicy> Vfs::policy_of(Fd fd) const {
   const FdEntry* e = entry(fd);
   if (e == nullptr) return fail(Errno::kBadF);
-  return e->vnode->policy.has_value() ? *e->vnode->policy : policy_;
+  return e->vnode->policy.has_value() ? *e->vnode->policy
+                                      : e->mount->policy;
 }
 
 }  // namespace bio::api

@@ -1,20 +1,35 @@
 // Handle-based VFS: the POSIX-shaped syscall surface applications use.
 //
-// A Vfs owns a file-descriptor table over one fs::Filesystem. Each open()
-// returns a descriptor with its own file offset; descriptors referencing
-// the same file share a vnode whose refcount keeps the file usable after
-// unlink() until the last close(), like the kernel's struct file /
-// inode split. All syscalls return typed errno-style outcomes
-// (sim::TaskOf<Result<..>> / TaskOf<Status>) instead of void, so workloads
-// can exercise ENOENT/EBADF/ENOSPC paths without crashing the simulation.
+// A Vfs owns a file-descriptor table over one *or more* mounted
+// fs::Filesystems (the volumes of a core::Stack node). Each open() returns
+// a descriptor with its own file offset; descriptors referencing the same
+// file share a vnode whose refcount keeps the file usable after unlink()
+// until the last close(), like the kernel's struct file / inode split. All
+// syscalls return typed errno-style outcomes (sim::TaskOf<Result<..>> /
+// TaskOf<Status>) instead of void, so workloads can exercise
+// ENOENT/EBADF/ENOSPC paths without crashing the simulation.
+//
+// Mount table and path routing: a volume mounted as "data" owns every name
+// of the form "/data/<file>"; an unnamed (root) mount owns every other
+// name — including "/not-a-mount/..." paths, which it takes verbatim, the
+// way a root filesystem owns any path below no other mount point. That is
+// how the historical single-filesystem constructors keep every existing
+// workload running unchanged. Without a root mount, a name whose first
+// "/" component matches no mount fails with ENOENT; rename() across two
+// mounts fails with EXDEV — a file never silently migrates between
+// volumes. Each mount carries its own SyncPolicy row (per-volume
+// resolution) and its own Stats; remount() swaps a mount's filesystem for
+// new opens while descriptors opened earlier keep addressing the
+// filesystem they were opened on.
 //
 // Synchronization intents (order point vs durability point vs full sync)
 // are resolved through a pluggable SyncPolicy — by default the paper's
-// substitution-table row for the stack kind, overridable per file — so a
-// workload written against Vfs runs unchanged on every StackKind.
+// substitution-table row for each volume's stack kind, overridable per
+// file — so a workload written against Vfs runs unchanged on every
+// StackKind (and on every mix of kinds behind one node).
 //
-//   api::Vfs vfs(stack);
-//   api::File f = (co_await vfs.open("app.db", {.create = true})).value();
+//   api::Vfs vfs(node);  // mounts every volume: "/db/...", "/log/..."
+//   api::File f = (co_await vfs.open("/db/app.db", {.create = true})).value();
 //   co_await f.pwrite(/*page=*/0, /*npages=*/4);
 //   co_await f.order_point();       // fdatabarrier on BarrierFS, fdatasync
 //                                   // on EXT4, osync on OptFS
@@ -28,6 +43,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -103,18 +119,37 @@ class Vfs {
     std::uint64_t closes = 0;
     std::uint64_t creates = 0;
     std::uint64_t unlinks = 0;
+    std::uint64_t renames = 0;
     /// Syscalls that returned an error (EBADF, ENOENT, ENOSPC, ...).
     std::uint64_t errors = 0;
   };
 
-  Vfs(fs::Filesystem& filesystem, SyncPolicy policy)
-      : fs_(filesystem), policy_(policy) {}
-  /// Policy defaults to the substitution-table row for the stack's kind.
-  explicit Vfs(core::Stack& stack)
-      : Vfs(stack.fs(), SyncPolicy::for_stack(stack.kind())) {}
+  /// Single-filesystem Vfs: one root mount owning every name.
+  Vfs(fs::Filesystem& filesystem, SyncPolicy policy);
+  /// Mounts every volume of the node: an unnamed volume becomes the root
+  /// mount, a named volume owns "/<name>/...". Policies default to the
+  /// substitution-table row for each volume's kind.
+  explicit Vfs(core::Stack& stack);
 
   Vfs(const Vfs&) = delete;
   Vfs& operator=(const Vfs&) = delete;
+
+  // ---- mount table -------------------------------------------------------
+
+  /// Adds a mount: `name` empty for the root mount, else the "/name/..."
+  /// prefix. kExist if the name (or a second root) is already mounted.
+  Status mount(std::string name, fs::Filesystem& filesystem,
+               SyncPolicy policy);
+  /// Swaps the mount's filesystem: new opens resolve against `filesystem`,
+  /// while descriptors opened earlier keep addressing the filesystem they
+  /// were opened on (their vnodes pin it). kNoEnt for an unknown mount.
+  Status remount(const std::string& name, fs::Filesystem& filesystem);
+  std::size_t mount_count() const noexcept { return mounts_.size(); }
+  /// Per-mount statistics (namespace ops and errors attributed to the
+  /// mount), or nullptr for an unknown mount name.
+  const Stats* stats_of(const std::string& name) const noexcept;
+  /// The mount's current filesystem, or nullptr for an unknown name.
+  fs::Filesystem* filesystem_of(const std::string& name) noexcept;
 
   // ---- namespace ---------------------------------------------------------
 
@@ -127,6 +162,10 @@ class Vfs {
   /// Removes the name. Open descriptors keep the file — and its extent —
   /// alive until the last close (deferred reclamation).
   sim::TaskOf<Status> unlink(const std::string& name);
+  /// Renames within one volume; replaces an existing target (whose open
+  /// descriptors, if any, keep the displaced file alive until last close).
+  /// kXDev when `from` and `to` resolve to different mounts.
+  sim::TaskOf<Status> rename(const std::string& from, const std::string& to);
 
   // ---- data path ---------------------------------------------------------
 
@@ -151,7 +190,7 @@ class Vfs {
   sim::TaskOf<Status> fbarrier(Fd fd);
   sim::TaskOf<Status> fdatabarrier(Fd fd);
   /// Resolves `intent` through the file's policy (per-file override if
-  /// set, else the Vfs default) and issues the concrete syscall.
+  /// set, else the file's mount's policy) and issues the concrete syscall.
   sim::TaskOf<Status> sync(Fd fd, SyncIntent intent);
 
   // ---- descriptor metadata ----------------------------------------------
@@ -164,16 +203,37 @@ class Vfs {
   /// Per-file policy override; applies to every fd sharing the vnode.
   Status set_policy(Fd fd, SyncPolicy policy);
   Result<SyncPolicy> policy_of(Fd fd) const;
-  const SyncPolicy& default_policy() const noexcept { return policy_; }
+  /// The first mount's policy (the Vfs-wide default of the single-volume
+  /// configuration).
+  const SyncPolicy& default_policy() const noexcept;
 
   std::size_t open_fds() const noexcept { return open_fds_; }
+  /// Node-wide statistics (every mount plus unroutable-name errors).
   const Stats& stats() const noexcept { return stats_; }
-  fs::Filesystem& filesystem() noexcept { return fs_; }
+  /// The first mount's current filesystem (single-volume compat accessor).
+  fs::Filesystem& filesystem() noexcept;
 
  private:
+  /// One mount-table row. `filesystem` is what new opens resolve against
+  /// (remount swaps it); vnodes capture the filesystem at open time.
+  struct Mount {
+    std::string name;  // "" = root mount
+    fs::Filesystem* filesystem = nullptr;
+    SyncPolicy policy;
+    Stats stats;
+  };
+  /// A routed name: the owning mount and the volume-relative file name.
+  struct Target {
+    Mount* mount = nullptr;
+    std::string rel;
+  };
+
   /// In-core open-file object: one per file with >= 1 open descriptor.
   struct Vnode {
     fs::Inode* inode = nullptr;
+    /// The filesystem the file was opened on — NOT mount->filesystem,
+    /// which remount() may have swapped since.
+    fs::Filesystem* fs = nullptr;
     std::uint32_t refcount = 0;
     /// In-flight syscalls currently suspended against this vnode; blocks
     /// retirement/reclamation the way in-flight kernel IO pins the file.
@@ -188,6 +248,11 @@ class Vfs {
   };
   struct FdEntry {
     Vnode* vnode = nullptr;  // nullptr = free slot
+    /// The mount the descriptor was opened through — the kernel's
+    /// struct file -> vfsmount edge. Policy resolution and stats
+    /// attribution live here, so one file reached through two mounts of
+    /// the same filesystem keeps per-mount semantics.
+    Mount* mount = nullptr;
     std::uint64_t offset = 0;
     /// Bumped on every close: an IO that suspended against an earlier
     /// incarnation of this slot must not touch the offset of a descriptor
@@ -195,13 +260,24 @@ class Vfs {
     std::uint64_t generation = 0;
   };
 
+  /// Routes `name` through the mount table: a matching "/component" wins;
+  /// anything else goes to the root mount verbatim. kNoEnt when nothing
+  /// matches and no root mount exists, kInval for names that denote a
+  /// mount point itself rather than a file in it.
+  Result<Target> resolve(const std::string& name) const;
+
   /// Maps fd to its table entry; nullptr (and an errors++ tick) if the
   /// descriptor is not open — the EBADF funnel for every syscall.
   FdEntry* entry(Fd fd);
   const FdEntry* entry(Fd fd) const;
-  Vnode& vnode_for(fs::Inode& inode);
-  Fd alloc_fd(Vnode& vn);
+  Mount* find_mount(std::string_view name) const noexcept;
+  /// `filesystem` is the one the caller resolved *before* any suspension —
+  /// not mount->filesystem, which a concurrent remount may have swapped.
+  Vnode& vnode_for(fs::Filesystem& filesystem, fs::Inode& inode);
+  Fd alloc_fd(Vnode& vn, Mount& mount);
+  /// Error funnel: ticks node-wide errors, and the mount's when known.
   Errno fail(Errno e) const;
+  Errno fail(Mount& m, Errno e) const;
   /// Drops one descriptor reference (close path).
   void unref(Vnode& vn);
   /// Marks a syscall in flight against `vn` across its suspension points:
@@ -217,12 +293,14 @@ class Vfs {
   /// reclaims storage if the file was unlinked meanwhile.
   void maybe_retire(Vnode& vn);
 
-  fs::Filesystem& fs_;
-  SyncPolicy policy_;
+  /// Mount rows are stable (unique_ptr) so vnodes can point at them.
+  std::vector<std::unique_ptr<Mount>> mounts_;
   std::vector<FdEntry> fds_;
-  /// Live vnodes keyed by inode *pointer*, not ino: the filesystem recycles
+  /// Live vnodes keyed by inode *pointer*, not ino: a filesystem recycles
   /// inos on unlink while open descriptors still pin the old (stable,
-  /// never-freed) Inode object, so the pointer is the only safe identity.
+  /// never-freed) Inode object, so the pointer is the only safe identity —
+  /// and distinct volumes' inodes are distinct objects, so one map serves
+  /// every mount.
   std::unordered_map<const fs::Inode*, std::unique_ptr<Vnode>> vnodes_;
   std::size_t open_fds_ = 0;
   mutable Stats stats_;  // mutable: error ticks happen in const accessors

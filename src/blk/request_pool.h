@@ -44,6 +44,23 @@ class RequestPool {
     std::uint64_t ctrl_allocs = 0;
     std::uint64_t block_heap_allocs = 0;
 
+    Stats& operator+=(const Stats& o) noexcept {
+      acquired += o.acquired;
+      recycled += o.recycled;
+      fresh_requests += o.fresh_requests;
+      ctrl_allocs += o.ctrl_allocs;
+      block_heap_allocs += o.block_heap_allocs;
+      return *this;
+    }
+    Stats& operator-=(const Stats& o) noexcept {
+      acquired -= o.acquired;
+      recycled -= o.recycled;
+      fresh_requests -= o.fresh_requests;
+      ctrl_allocs -= o.ctrl_allocs;
+      block_heap_allocs -= o.block_heap_allocs;
+      return *this;
+    }
+
     /// Heap allocations per request handed out (→ 0 after warm-up; the
     /// legacy unpooled path paid ≥ 3 per request).
     double allocs_per_request() const noexcept {

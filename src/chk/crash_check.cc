@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <sstream>
+#include <unordered_map>
 
 #include "api/vfs.h"
 #include "fs/recovery.h"
@@ -77,7 +78,10 @@ struct PageWrite {
 };
 
 struct FileOracle {
-  std::string name;
+  /// Volume-relative name history: [0] is the create name, back() the
+  /// current one; rename() appends. Recovery may legitimately surface any
+  /// name at/after the last durably-synced index, and nothing else.
+  std::vector<std::string> rel_names;
   api::File handle;
   fs::Inode* inode = nullptr;
   std::uint64_t epoch = 0;
@@ -94,28 +98,42 @@ struct FileOracle {
   /// sync_file() returned: the file (and this size) must survive.
   bool full_synced = false;
   std::uint32_t full_synced_size = 0;
+  /// Name index as of the last returned sync_file(): that sync committed
+  /// every rename before it, so older names are durably gone.
+  std::size_t synced_name_idx = 0;
+  /// The name was unlink()ed (the open handle keeps the file writable).
+  bool unlinked = false;
+  /// sync_file() returned after the unlink: the removal is committed.
+  bool synced_after_unlink = false;
+
+  const std::string& rel_name() const { return rel_names.back(); }
 };
 
 struct Oracle {
   std::vector<FileOracle> files;
   bool finished = false;
+  std::uint32_t renames = 0;
+  std::uint32_t unlinks = 0;
 };
 
-sim::Task workload(core::Stack& stack, api::Vfs& vfs, Oracle& oracle,
-                   const CrashCheckOptions& opt, const Guarantees& g,
-                   std::uint64_t seed) {
+/// The randomized workload, running against one volume of the node through
+/// the shared Vfs. `prefix` is the mount prefix ("" on a single-volume
+/// root mount, "/v0/" on a mounted volume).
+sim::Task workload(core::Volume& vol, api::Vfs& vfs, std::string prefix,
+                   Oracle& oracle, const CrashCheckOptions& opt,
+                   const Guarantees& g, std::uint64_t seed) {
   sim::Rng rng(seed);
   oracle.files.resize(static_cast<std::size_t>(opt.files));
   for (int i = 0; i < opt.files; ++i) {
     FileOracle& f = oracle.files[static_cast<std::size_t>(i)];
-    f.name = "f" + std::to_string(i);
+    f.rel_names.push_back("f" + std::to_string(i));
     api::OpenOptions oo;
     oo.create = true;
     oo.extent_blocks = opt.extent_blocks;
-    api::Result<api::File> r = co_await vfs.open(f.name, oo);
+    api::Result<api::File> r = co_await vfs.open(prefix + f.rel_name(), oo);
     BIO_CHECK_MSG(r.ok(), "checker workload: open failed");
     f.handle = r.value();
-    f.inode = stack.fs().lookup(f.name);
+    f.inode = vol.fs().lookup(f.rel_name());
     BIO_CHECK(f.inode != nullptr);
   }
   // Settle the creates so every later crash point has the namespace.
@@ -137,7 +155,7 @@ sim::Task workload(core::Stack& stack, api::Vfs& vfs, Oracle& oracle,
                           std::uint32_t n) {
     for (std::uint32_t p = page; p < page + n; ++p) {
       const fs::PageCache::PageState* st =
-          stack.fs().page_cache().find(f.inode->ino, p);
+          vol.fs().page_cache().find(f.inode->ino, p);
       BIO_CHECK(st != nullptr);
       const PageWrite w{f.inode->lba_of_page(p), st->version, f.epoch};
       f.pages[p] = w;
@@ -149,13 +167,13 @@ sim::Task workload(core::Stack& stack, api::Vfs& vfs, Oracle& oracle,
     FileOracle& f = oracle.files[static_cast<std::size_t>(
         rng.uniform(0, opt.files - 1))];
     const int dice = static_cast<int>(rng.uniform(0, 99));
-    if (dice < 55) {
+    if (dice < 48) {
       const std::uint32_t n = static_cast<std::uint32_t>(rng.uniform(1, 3));
       const std::uint32_t page = static_cast<std::uint32_t>(
           rng.uniform(0, opt.extent_blocks - n));
       api::Result<std::uint32_t> r = co_await f.handle.pwrite(page, n);
       if (r.ok()) record_write(f, page, r.value());
-    } else if (dice < 65) {
+    } else if (dice < 58) {
       const std::uint32_t room = opt.extent_blocks - f.inode->size_blocks;
       if (room > 0) {
         const std::uint32_t n = std::min<std::uint32_t>(
@@ -164,11 +182,11 @@ sim::Task workload(core::Stack& stack, api::Vfs& vfs, Oracle& oracle,
         api::Result<std::uint32_t> r = co_await f.handle.append(n);
         if (r.ok()) record_write(f, at, r.value());
       }
-    } else if (dice < 80) {
+    } else if (dice < 72) {
       must(co_await f.handle.order_point());
       ++f.epoch;
       f.synced_upto = f.writes.size();
-    } else if (dice < 92) {
+    } else if (dice < 84) {
       must(co_await f.handle.durability_point());
       ++f.epoch;
       f.synced_upto = f.writes.size();
@@ -176,21 +194,64 @@ sim::Task workload(core::Stack& stack, api::Vfs& vfs, Oracle& oracle,
         f.acked = f.pages;
         f.has_acks = true;
       }
-    } else {
+    } else if (dice < 93) {
       must(co_await f.handle.sync_file());
       ++f.epoch;
       f.synced_upto = f.writes.size();
-      f.full_synced = true;
-      f.full_synced_size = f.inode->size_blocks;
+      f.synced_name_idx = f.rel_names.size() - 1;
+      if (f.unlinked) {
+        f.synced_after_unlink = true;
+      } else {
+        f.full_synced = true;
+        f.full_synced_size = f.inode->size_blocks;
+      }
       if (g.durable_acks) {
         f.acked = f.pages;
         f.has_acks = true;
       }
+    } else if (dice < 97) {
+      // Namespace churn: rename — mostly to a fresh name, sometimes a
+      // POSIX replace-rename onto another live file's name (the displaced
+      // file becomes nameless in the same transaction).
+      if (!f.unlinked) {
+        FileOracle* victim = nullptr;
+        if (rng.chance(0.3) &&
+            oracle.unlinks < static_cast<std::uint32_t>(opt.files) / 2) {
+          FileOracle& v = oracle.files[static_cast<std::size_t>(
+              rng.uniform(0, opt.files - 1))];
+          if (&v != &f && !v.unlinked) victim = &v;
+        }
+        const std::string next =
+            victim != nullptr
+                ? victim->rel_name()
+                : f.rel_names.front() + ".r" +
+                      std::to_string(f.rel_names.size());
+        must(co_await vfs.rename(prefix + f.rel_name(), prefix + next));
+        f.rel_names.push_back(next);
+        ++oracle.renames;
+        if (victim != nullptr) {
+          victim->unlinked = true;
+          victim->full_synced = false;
+          ++oracle.unlinks;
+        }
+      }
+    } else {
+      // Namespace churn: unlink; the open handle keeps the file writable
+      // (and its extent alive) for the rest of the run.
+      if (!f.unlinked &&
+          oracle.unlinks < static_cast<std::uint32_t>(opt.files) / 2) {
+        must(co_await vfs.unlink(prefix + f.rel_name()));
+        f.unlinked = true;
+        // The earlier "fsynced => exists" fact is void: any later commit
+        // (group commit included) may durably remove the name.
+        f.full_synced = false;
+        ++oracle.unlinks;
+      }
     }
     if (rng.chance(0.3))
-      co_await stack.sim().delay(rng.uniform(1, 400) * 1_us);
+      co_await vol.sim().delay(rng.uniform(1, 400) * 1_us);
     if (rng.chance(0.08))
-      co_await stack.sim().delay(rng.uniform(2'000, 6'000) * 1_us);
+      co_await vol.sim().delay(rng.uniform(2'000, 6'000) * 1_us);
   }
   oracle.finished = true;
 }
@@ -207,58 +268,47 @@ std::string describe(const PageWrite& w) {
 /// down the stack.
 void debug_dump_write(const char* what, const PageWrite& w,
                       const flash::StorageDevice::DurableImage& image,
-                      core::Stack& stack) {
+                      core::Volume& vol) {
   if (std::getenv("BIO_CHK_DEBUG") == nullptr) return;
   auto img = image.blocks.find(w.lba);
-  const auto mapped = stack.device().log().mapped_version(w.lba);
+  const auto mapped = vol.device().log().mapped_version(w.lba);
   std::fprintf(stderr, "DBG %s lba=%llu v=%llu image=%lld mapped=%lld\n",
                what, (unsigned long long)w.lba, (unsigned long long)w.version,
                img == image.blocks.end() ? -1 : (long long)img->second,
                mapped.has_value() ? (long long)*mapped : -1);
-  for (const auto& e : stack.device().transfer_history())
+  for (const auto& e : vol.device().transfer_history())
     if (e.lba == w.lba)
       std::fprintf(stderr, "  xfer v=%llu epoch=%llu order=%llu\n",
                    (unsigned long long)e.version, (unsigned long long)e.epoch,
                    (unsigned long long)e.order);
   std::fprintf(stderr, "  log prefix=%llu appends=%llu cache_dirty=%zu\n",
-               (unsigned long long)stack.device().log().programmed_prefix(),
-               (unsigned long long)stack.device().log().append_count(),
-               stack.device().cache().dirty_count());
+               (unsigned long long)vol.device().log().programmed_prefix(),
+               (unsigned long long)vol.device().log().append_count(),
+               vol.device().cache().dirty_count());
 }
 
-}  // namespace
-
-CrashCheckResult run_crash_check(StackKind kind, std::uint64_t seed,
-                                 sim::SimTime crash_at,
-                                 const CrashCheckOptions& opt) {
-  CrashCheckResult res;
-  res.seed = seed;
-  res.crash_at = crash_at;
-  const Guarantees g = guarantees_of(kind);
-  const core::StackConfig cfg = checker_config(kind, opt);
-
-  auto stack = std::make_unique<core::Stack>(cfg);
-  stack->start();
-  api::Vfs vfs(*stack);
-  Oracle oracle;
-  stack->sim().spawn("chk:wl",
-                     workload(*stack, vfs, oracle, opt, g, seed));
-  stack->sim().run_until(crash_at);  // power cut
-
+/// Captures the volume's durable image at the cut instant, recovers it
+/// from the volume's own journal (and nothing else), and verifies the
+/// volume's contract against its oracle. Fills `res`; returns the report
+/// for the remount phase.
+fs::RecoveryReport verify_volume(CrashCheckResult& res, core::Volume& vol,
+                                 const Oracle& oracle, const Guarantees& g) {
   res.workload_finished = oracle.finished;
   res.quiesced = oracle.finished &&
-                 stack->device().cache().dirty_count() == 0 &&
-                 stack->device().queue_depth() == 0;
-  res.journal_wraps = stack->fs().journal().stats().journal_wraps;
-  res.journal_stalls = stack->fs().journal().stats().journal_stalls;
-  res.checkpoint_flushes = stack->fs().journal().stats().checkpoint_flushes;
+                 vol.device().cache().dirty_count() == 0 &&
+                 vol.device().queue_depth() == 0;
+  res.journal_wraps = vol.fs().journal().stats().journal_wraps;
+  res.journal_stalls = vol.fs().journal().stats().journal_stalls;
+  res.checkpoint_flushes = vol.fs().journal().stats().checkpoint_flushes;
+  res.renames_done = oracle.renames;
+  res.unlinks_done = oracle.unlinks;
 
   // ---- recover the durable image -----------------------------------------
   const flash::StorageDevice::DurableImage image =
-      stack->device().capture_durable_image();
-  const fs::Recovery recovery(stack->fs().journal(), stack->fs().layout(),
-                              stack->fs().config());
-  const fs::RecoveryReport report = recovery.recover(image.blocks);
+      vol.device().capture_durable_image();
+  const fs::Recovery recovery(vol.fs().journal(), vol.fs().layout(),
+                              vol.fs().config());
+  fs::RecoveryReport report = recovery.recover(image.blocks);
   res.files_recovered = static_cast<std::uint32_t>(report.files.size());
   res.txns_replayed = report.txns_replayed;
   res.txns_discarded = report.txns_discarded;
@@ -280,24 +330,67 @@ CrashCheckResult run_crash_check(StackKind kind, std::uint64_t seed,
     return it != report.data.end() && it->second >= w.version;
   };
 
-  auto recovered_file =
-      [&report](const std::string& name)
-      -> const fs::RecoveryReport::RecoveredFile* {
-    for (const auto& f : report.files)
-      if (f.name == name) return &f;
-    return nullptr;
-  };
+  // Recovered files indexed by extent base — the stable file identity
+  // (handles stay open all run, so no extent is ever recycled), immune to
+  // the very renames the namespace checks reason about.
+  std::unordered_map<Lba, const fs::RecoveryReport::RecoveredFile*>
+      by_extent;
+  std::map<std::string, int> name_count;
+  const Lba data_base = vol.fs().layout().data_base();
+  const Lba data_end = vol.device().profile().geometry.physical_pages();
+  for (const fs::RecoveryReport::RecoveredFile& rf : report.files) {
+    ++res.namespace_facts_checked;
+    if (++name_count[rf.name] > 1)
+      violation("namespace: name " + rf.name + " recovered twice");
+    // Every volume has its own LBA space starting at 0, so a *foreign*
+    // volume's extent can be numerically in range — cross-volume leakage
+    // is caught by the per-volume oracle below (ownership + name history
+    // + data versions), not by this range check, which catches extents
+    // corrupted into the journal/inode region or past the device.
+    if (rf.extent_base < data_base ||
+        rf.extent_base + rf.extent_blocks > data_end)
+      violation("namespace: " + rf.name +
+                " recovered with an extent outside this volume's data "
+                "region");
+    if (const auto [pos, inserted] = by_extent.emplace(rf.extent_base, &rf);
+        !inserted)
+      violation("namespace: extent of " + rf.name +
+                " also recovered as " + pos->second->name +
+                " — one file under two names");
+    const FileOracle* owner = nullptr;
+    for (const FileOracle& f : oracle.files)
+      if (f.inode != nullptr && f.inode->extent_base == rf.extent_base) {
+        owner = &f;
+        break;
+      }
+    if (owner == nullptr) {
+      violation("namespace: recovered file " + rf.name +
+                " maps to no extent the workload created");
+      continue;
+    }
+    if (std::find(owner->rel_names.begin(), owner->rel_names.end(),
+                  rf.name) == owner->rel_names.end())
+      violation("namespace: " + rf.name +
+                " recovered over an extent that never carried that name");
+  }
 
+  const bool facts_apply_base = res.quiesced;
   for (const FileOracle& f : oracle.files) {
+    const bool facts_apply = g.durable_acks || facts_apply_base;
+    const fs::RecoveryReport::RecoveredFile* rf = nullptr;
+    if (f.inode != nullptr) {
+      auto it = by_extent.find(f.inode->extent_base);
+      if (it != by_extent.end()) rf = it->second;
+    }
     // 1. Acknowledged durability: every page covered by a returned
     //    durability_point()/sync_file() must have survived.
     if (g.durable_acks && f.has_acks) {
       for (const auto& [page, w] : f.acked) {
         ++res.acked_pages_checked;
         if (!present(w)) {
-          violation(f.name + " page " + std::to_string(page) + " (" +
+          violation(f.rel_name() + " page " + std::to_string(page) + " (" +
                     describe(w) + ") was acked durable but did not survive");
-          debug_dump_write("acked", w, image, *stack);
+          debug_dump_write("acked", w, image, vol);
         }
       }
     }
@@ -313,11 +406,11 @@ CrashCheckResult run_crash_check(StackKind kind, std::uint64_t seed,
     for (const PageWrite& w : f.writes) {
       ++res.order_writes_checked;
       if (any_present && w.epoch < max_present_epoch && !present(w)) {
-        violation(f.name + " write (" + describe(w) +
+        violation(f.rel_name() + " write (" + describe(w) +
                   ") lost although epoch " +
                   std::to_string(max_present_epoch) +
                   " survived — ordering broken");
-        debug_dump_write("order", w, image, *stack);
+        debug_dump_write("order", w, image, vol);
       }
     }
     // 3. Delayed durability: once the device has quiesced, everything any
@@ -327,23 +420,121 @@ CrashCheckResult run_crash_check(StackKind kind, std::uint64_t seed,
       for (std::size_t i = 0; i < f.synced_upto; ++i) {
         const PageWrite& w = f.writes[i];
         if (!present(w))
-          violation(f.name + " write (" + describe(w) +
+          violation(f.rel_name() + " write (" + describe(w) +
                     ") not durable after quiescence");
       }
     }
-    // 4. Namespace: a file whose sync_file() returned must be recovered
-    //    with at least the synced size. Without durable acks this only
-    //    holds after quiescence.
-    if (f.full_synced && (g.durable_acks || res.quiesced)) {
-      const fs::RecoveryReport::RecoveredFile* rf = recovered_file(f.name);
+    // 4. Namespace existence: a (still-named) file whose sync_file()
+    //    returned must be recovered with at least the synced size. Without
+    //    durable acks this only holds after quiescence.
+    if (f.full_synced && facts_apply) {
+      ++res.namespace_facts_checked;
       if (rf == nullptr)
-        violation(f.name + " was fsynced but does not exist after recovery");
+        violation(f.rel_name() +
+                  " was fsynced but does not exist after recovery");
       else if (rf->size_blocks < f.full_synced_size)
-        violation(f.name + " recovered with size " +
+        violation(f.rel_name() + " recovered with size " +
                   std::to_string(rf->size_blocks) + " < synced size " +
                   std::to_string(f.full_synced_size));
     }
+    // 5. Rename durability: sync_file() committed every rename before it,
+    //    so the file may only recover under the synced name or a newer
+    //    one (a later rename may have ridden a group commit).
+    if (facts_apply && f.synced_name_idx > 0 && rf != nullptr) {
+      ++res.namespace_facts_checked;
+      const auto it = std::find(f.rel_names.begin(), f.rel_names.end(),
+                                rf->name);
+      if (it != f.rel_names.end() &&
+          static_cast<std::size_t>(it - f.rel_names.begin()) <
+              f.synced_name_idx)
+        violation("namespace: " + rf->name +
+                  " recovered although the rename to " +
+                  f.rel_names[f.synced_name_idx] + " was durably synced");
+    }
+    // 6. Unlink durability: a sync_file() that returned after the unlink
+    //    committed the removal — the file must not reappear.
+    if (facts_apply && f.synced_after_unlink) {
+      ++res.namespace_facts_checked;
+      if (rf != nullptr)
+        violation("namespace: " + rf->name +
+                  " recovered although its unlink was durably synced");
+    }
   }
+  return report;
+}
+
+/// Sweep crash-instant stream: mostly mid-workload cuts, with a slice of
+/// late cuts exercising the quiesced (delayed-durability) contract. One
+/// generator shared by both sweep flavours so they always test the same
+/// crash-point population.
+class CrashPointGen {
+ public:
+  explicit CrashPointGen(std::uint64_t base_seed)
+      : rng_(base_seed * 7919 + 17) {}
+
+  sim::SimTime next() {
+    return rng_.chance(0.2) ? rng_.uniform(60'000, 300'000) * 1_us
+                            : rng_.uniform(100, 60'000) * 1_us;
+  }
+
+ private:
+  sim::Rng rng_;
+};
+
+/// Remount-phase verification: the recovered image must yield a fully
+/// usable volume behind the (possibly multi-volume) fresh node's Vfs.
+sim::Task remount_verify(api::Vfs& vfs, std::string prefix,
+                         const fs::RecoveryReport& report,
+                         std::string& err) {
+  for (const auto& rf : report.files) {
+    api::Result<api::File> r = co_await vfs.open(prefix + rf.name, {});
+    if (!r.ok()) {
+      err = "open(" + prefix + rf.name + ") failed on remount";
+      co_return;
+    }
+    api::File h = r.value();
+    if (h.size_blocks().value() != rf.size_blocks) {
+      err = prefix + rf.name + " remounted with wrong size";
+      co_return;
+    }
+    must(h.close());
+  }
+  // The recovered filesystem must be fully usable: write + full sync.
+  api::OpenOptions oo;
+  oo.create = true;
+  api::Result<api::File> r = co_await vfs.open(prefix + "post-crash", oo);
+  if (!r.ok()) {
+    err = "create failed on remounted stack";
+    co_return;
+  }
+  api::File h = r.value();
+  api::Result<std::uint32_t> w = co_await h.pwrite(0, 2);
+  api::Status s = co_await h.sync_file();
+  if (!w.ok() || !s.ok()) err = "write+sync failed on remounted stack";
+  must(h.close());
+}
+
+}  // namespace
+
+CrashCheckResult run_crash_check(StackKind kind, std::uint64_t seed,
+                                 sim::SimTime crash_at,
+                                 const CrashCheckOptions& opt) {
+  CrashCheckResult res;
+  res.seed = seed;
+  res.crash_at = crash_at;
+  const Guarantees g = guarantees_of(kind);
+  const core::StackConfig cfg = checker_config(kind, opt);
+
+  auto stack = std::make_unique<core::Stack>(cfg);
+  stack->start();
+  api::Vfs vfs(*stack);
+  Oracle oracle;
+  stack->sim().spawn(
+      "chk:wl", workload(stack->volume(0), vfs, "", oracle, opt, g, seed));
+  stack->sim().run_until(crash_at);  // power cut
+
+  const fs::RecoveryReport report =
+      verify_volume(res, stack->volume(0), oracle, g);
 
   // ---- remount a fresh stack over the recovered image --------------------
   if (opt.remount) {
@@ -351,70 +542,39 @@ CrashCheckResult run_crash_check(StackKind kind, std::uint64_t seed,
     stack2->fs().mount(report);
     stack2->start();
     api::Vfs vfs2(*stack2);
-    bool remount_ok = true;
-    std::string remount_err;
-    auto verify = [&]() -> sim::Task {
-      for (const auto& rf : report.files) {
-        api::Result<api::File> r = co_await vfs2.open(rf.name, {});
-        if (!r.ok()) {
-          remount_ok = false;
-          remount_err = "open(" + rf.name + ") failed on remount";
-          co_return;
-        }
-        api::File h = r.value();
-        if (h.size_blocks().value() != rf.size_blocks) {
-          remount_ok = false;
-          remount_err = rf.name + " remounted with wrong size";
-          co_return;
-        }
-        must(h.close());
-      }
-      // The recovered filesystem must be fully usable: write + full sync.
-      api::OpenOptions oo;
-      oo.create = true;
-      api::Result<api::File> r = co_await vfs2.open("post-crash", oo);
-      if (!r.ok()) {
-        remount_ok = false;
-        remount_err = "create failed on remounted stack";
-        co_return;
-      }
-      api::File h = r.value();
-      api::Result<std::uint32_t> w = co_await h.pwrite(0, 2);
-      api::Status s = co_await h.sync_file();
-      if (!w.ok() || !s.ok()) {
-        remount_ok = false;
-        remount_err = "write+sync failed on remounted stack";
-      }
-      must(h.close());
-    };
-    stack2->sim().spawn("chk:verify", verify());
+    std::string err;
+    stack2->sim().spawn("chk:verify",
+                        remount_verify(vfs2, "", report, err));
     stack2->sim().run();
-    if (!remount_ok) violation("remount: " + remount_err);
+    if (!err.empty()) res.violations.push_back("remount: " + err);
   }
 
   return res;
+}
+
+void CrashSweepResult::accumulate(const CrashCheckResult& r) {
+  ++points;
+  if (r.quiesced) ++quiesced_points;
+  acked_pages_checked += r.acked_pages_checked;
+  order_writes_checked += r.order_writes_checked;
+  namespace_facts_checked += r.namespace_facts_checked;
+  renames_done += r.renames_done;
+  unlinks_done += r.unlinks_done;
+  journal_wraps += r.journal_wraps;
+  journal_stalls += r.journal_stalls;
+  files_recovered += r.files_recovered;
 }
 
 CrashSweepResult run_crash_sweep(StackKind kind, int points,
                                  std::uint64_t base_seed,
                                  const CrashCheckOptions& opt) {
   CrashSweepResult sweep;
-  sim::Rng rng(base_seed * 7919 + 17);
+  CrashPointGen crash_points(base_seed);
   for (int i = 0; i < points; ++i) {
     const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
-    // Mostly mid-workload cuts; a slice of late cuts exercises the
-    // quiesced (delayed-durability) contract.
-    const sim::SimTime crash_at =
-        rng.chance(0.2) ? rng.uniform(60'000, 300'000) * 1_us
-                        : rng.uniform(100, 60'000) * 1_us;
+    const sim::SimTime crash_at = crash_points.next();
     const CrashCheckResult res = run_crash_check(kind, seed, crash_at, opt);
-    ++sweep.points;
-    if (res.quiesced) ++sweep.quiesced_points;
-    sweep.acked_pages_checked += res.acked_pages_checked;
-    sweep.order_writes_checked += res.order_writes_checked;
-    sweep.journal_wraps += res.journal_wraps;
-    sweep.journal_stalls += res.journal_stalls;
-    sweep.files_recovered += res.files_recovered;
+    sweep.accumulate(res);
     if (!res.ok()) {
       ++sweep.failed_points;
       if (sweep.sample_violations.size() < 8) {
@@ -424,6 +584,104 @@ CrashSweepResult run_crash_sweep(StackKind kind, int points,
         sweep.sample_violations.push_back(os.str());
       }
     }
+  }
+  return sweep;
+}
+
+// ---- multi-volume node ------------------------------------------------------
+
+MultiVolumeCrashResult run_multi_volume_crash_check(
+    const std::vector<StackKind>& kinds, std::uint64_t seed,
+    sim::SimTime crash_at, const CrashCheckOptions& opt) {
+  BIO_CHECK_MSG(!kinds.empty(), "multi-volume check with zero volumes");
+  MultiVolumeCrashResult res;
+  res.seed = seed;
+  res.crash_at = crash_at;
+
+  auto make_node_cfg = [&]() {
+    std::vector<core::StackConfig> bases;
+    for (StackKind kind : kinds) bases.push_back(checker_config(kind, opt));
+    return core::NodeConfig::from(bases);
+  };
+  auto prefix_of = [](std::size_t i) {
+    return "/v" + std::to_string(i) + "/";
+  };
+
+  auto node = std::make_unique<core::Stack>(make_node_cfg());
+  node->start();
+  api::Vfs vfs(*node);
+  std::vector<Oracle> oracles(kinds.size());
+  std::vector<Guarantees> gs(kinds.size());
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    gs[i] = guarantees_of(kinds[i]);
+    // Distinct per-volume streams derived from the point seed.
+    const std::uint64_t vseed =
+        seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+    node->sim().spawn("chk:wl:v" + std::to_string(i),
+                      workload(node->volume(i), vfs, prefix_of(i),
+                               oracles[i], opt, gs[i], vseed));
+  }
+  node->sim().run_until(crash_at);  // one power cut hits every volume
+
+  std::vector<fs::RecoveryReport> reports;
+  reports.reserve(kinds.size());
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    CrashCheckResult r;
+    r.seed = seed;
+    r.crash_at = crash_at;
+    reports.push_back(verify_volume(r, node->volume(i), oracles[i], gs[i]));
+    res.volumes.push_back(std::move(r));
+  }
+
+  // ---- remount a fresh node over the recovered images --------------------
+  if (opt.remount) {
+    auto node2 = std::make_unique<core::Stack>(make_node_cfg());
+    for (std::size_t i = 0; i < kinds.size(); ++i)
+      node2->volume(i).fs().mount(reports[i]);
+    node2->start();
+    api::Vfs vfs2(*node2);
+    std::vector<std::string> errs(kinds.size());
+    for (std::size_t i = 0; i < kinds.size(); ++i)
+      node2->sim().spawn(
+          "chk:verify:v" + std::to_string(i),
+          remount_verify(vfs2, prefix_of(i), reports[i], errs[i]));
+    node2->sim().run();
+    for (std::size_t i = 0; i < kinds.size(); ++i)
+      if (!errs[i].empty())
+        res.volumes[i].violations.push_back("remount: " + errs[i]);
+  }
+  return res;
+}
+
+MultiVolumeSweepResult run_multi_volume_crash_sweep(
+    const std::vector<StackKind>& kinds, int points, std::uint64_t base_seed,
+    const CrashCheckOptions& opt) {
+  MultiVolumeSweepResult sweep;
+  sweep.volumes.resize(kinds.size());
+  CrashPointGen crash_points(base_seed);
+  for (int i = 0; i < points; ++i) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    const sim::SimTime crash_at = crash_points.next();
+    const MultiVolumeCrashResult res =
+        run_multi_volume_crash_check(kinds, seed, crash_at, opt);
+    ++sweep.points;
+    bool failed = false;
+    for (std::size_t v = 0; v < kinds.size(); ++v) {
+      const CrashCheckResult& r = res.volumes[v];
+      CrashSweepResult& agg = sweep.volumes[v];
+      agg.accumulate(r);
+      if (!r.ok()) {
+        ++agg.failed_points;
+        failed = true;
+        if (sweep.sample_violations.size() < 8) {
+          std::ostringstream os;
+          os << core::to_string(kinds[v]) << "@v" << v << " seed=" << r.seed
+             << " crash=" << r.crash_at << "ns: " << r.violations.front();
+          sweep.sample_violations.push_back(os.str());
+        }
+      }
+    }
+    if (failed) ++sweep.failed_points;
   }
   return sweep;
 }

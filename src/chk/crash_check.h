@@ -18,11 +18,19 @@
 //           | violating (the paper's Fig 1 motivation)
 //
 // plus, on every stack with a working journal, that recovery never has to
-// replay a stale log copy (RecoveryReport::clean()).
+// replay a stale log copy (RecoveryReport::clean()), and — since the
+// workload churns the namespace with unlink()/rename() — that the
+// recovered namespace is consistent: no duplicate or fabricated names, a
+// durably-renamed file only ever recovers under the new (or a newer) name,
+// a durably-unlinked file never reappears.
 //
 // run_crash_sweep() repeats this over many (seed, crash instant) points;
-// tests/crash_recovery_test.cc drives >= 200 points per stack and
-// examples/crash_consistency.cpp is the CLI for it.
+// run_multi_volume_crash_check() runs the same oracle per volume of a
+// heterogeneous multi-volume node (one shared simulator, one api::Vfs
+// mount table, N independent journals) and verifies each volume's
+// contract independently — one volume's recovery reads only its own
+// journal. tests/crash_recovery_test.cc drives >= 200 points per stack
+// and examples/crash_consistency.cpp is the CLI for both sweeps.
 #pragma once
 
 #include <cstdint>
@@ -70,6 +78,12 @@ struct CrashCheckResult {
   std::uint64_t checkpoint_flushes = 0;
   std::uint32_t acked_pages_checked = 0;
   std::uint32_t order_writes_checked = 0;
+  /// Namespace-churn facts verified (rename/unlink durability and
+  /// recovered-namespace consistency).
+  std::uint32_t namespace_facts_checked = 0;
+  /// Namespace ops the workload actually performed.
+  std::uint32_t renames_done = 0;
+  std::uint32_t unlinks_done = 0;
 };
 
 /// One workload + power cut + recovery + remount + verification pass.
@@ -83,6 +97,9 @@ struct CrashSweepResult {
   int quiesced_points = 0;
   std::uint64_t acked_pages_checked = 0;
   std::uint64_t order_writes_checked = 0;
+  std::uint64_t namespace_facts_checked = 0;
+  std::uint64_t renames_done = 0;
+  std::uint64_t unlinks_done = 0;
   std::uint64_t journal_wraps = 0;
   std::uint64_t journal_stalls = 0;
   std::uint32_t files_recovered = 0;
@@ -90,6 +107,11 @@ struct CrashSweepResult {
   std::vector<std::string> sample_violations;
 
   bool ok() const noexcept { return failed_points == 0; }
+
+  /// Folds one crash point's result into the aggregate (points, quiesced
+  /// and every checked-facts counter; failure accounting stays with the
+  /// caller). The single funnel both sweep flavours use.
+  void accumulate(const CrashCheckResult& r);
 };
 
 /// Sweeps `points` random (seed, crash instant) combinations derived from
@@ -98,5 +120,43 @@ struct CrashSweepResult {
 CrashSweepResult run_crash_sweep(core::StackKind kind, int points,
                                  std::uint64_t base_seed = 1,
                                  const CrashCheckOptions& opt = {});
+
+// ---- multi-volume node ------------------------------------------------------
+
+/// One power cut on a node running `kinds.size()` volumes behind one Vfs
+/// mount table ("/v0/...", "/v1/...): each volume runs its own randomized
+/// workload (distinct seed), the cut hits all of them at once, and every
+/// volume is recovered from its own journal and verified against its own
+/// kind's contract.
+struct MultiVolumeCrashResult {
+  std::uint64_t seed = 0;
+  sim::SimTime crash_at = 0;
+  /// Per-volume results, index-aligned with the `kinds` argument.
+  std::vector<CrashCheckResult> volumes;
+
+  bool ok() const noexcept {
+    for (const CrashCheckResult& v : volumes)
+      if (!v.ok()) return false;
+    return true;
+  }
+};
+
+MultiVolumeCrashResult run_multi_volume_crash_check(
+    const std::vector<core::StackKind>& kinds, std::uint64_t seed,
+    sim::SimTime crash_at, const CrashCheckOptions& opt = {});
+
+/// Sweep aggregate with per-volume breakdown (index-aligned with `kinds`).
+struct MultiVolumeSweepResult {
+  int points = 0;
+  int failed_points = 0;
+  std::vector<CrashSweepResult> volumes;
+  std::vector<std::string> sample_violations;
+
+  bool ok() const noexcept { return failed_points == 0; }
+};
+
+MultiVolumeSweepResult run_multi_volume_crash_sweep(
+    const std::vector<core::StackKind>& kinds, int points,
+    std::uint64_t base_seed = 1, const CrashCheckOptions& opt = {});
 
 }  // namespace bio::chk

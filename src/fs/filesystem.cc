@@ -176,6 +176,95 @@ sim::Task Filesystem::remove_name(const std::string& name, bool reclaim_now) {
   std::uint64_t tid = 0;
   co_await journal_->dirty_metadata(dir_block_of(name), tid);
   co_await journal_->dirty_metadata(layout_.inode_block(dead_ino), tid);
+  // Tie the (still-open-somewhere) inode to the transaction that removes
+  // it, so an fsync through a surviving descriptor commits the unlink —
+  // ext4 keeps the same inode/transaction linkage.
+  f.txn_id = tid;
+  f.meta_dirty = true;
+}
+
+sim::TaskOf<bool> Filesystem::rename(const std::string& from,
+                                     const std::string& to) {
+  auto it = files_.find(from);
+  BIO_CHECK_MSG(it != files_.end(), "rename of missing file: " + from);
+  Inode& f = *it->second;
+  auto tgt_it = files_.find(to);
+  Inode* target = tgt_it == files_.end() ? nullptr : tgt_it->second.get();
+  const flash::Lba old_shard = dir_block_of(from);
+  const flash::Lba new_shard = dir_block_of(to);
+  const flash::Lba ino_block = layout_.inode_block(f.ino);
+
+  // Reserve every touched block in the journal BEFORE mutating the
+  // in-memory namespace, and retry until all of them land in ONE still-
+  // running transaction. A transaction closing mid-pass freezes the
+  // consistent pre-rename state (its memberships from the failed pass are
+  // harmless); equal tids prove no close interleaved, so the single
+  // transaction holding all blocks is still running when the mutation
+  // below lands and its eventual close snapshots the whole rename
+  // atomically — jbd2 reaches the same end through frozen buffer copies
+  // under the handle. Anything weaker lets a crash commit the old name's
+  // removal without the new name (a durably nameless file); displacing
+  // the target in the same transaction keeps POSIX's promise that the
+  // destination name never vanishes across a crash.
+  std::uint64_t tid = 0;
+  for (;;) {
+    std::uint64_t tid_new = 0, tid_ino = 0, tid_tgt = 0, tid_old = 0;
+    if (new_shard != old_shard)
+      co_await journal_->dirty_metadata(new_shard, tid_new);
+    co_await journal_->dirty_metadata(ino_block, tid_ino);
+    if (target != nullptr)
+      co_await journal_->dirty_metadata(layout_.inode_block(target->ino),
+                                        tid_tgt);
+    co_await journal_->dirty_metadata(old_shard, tid_old);
+    if (new_shard == old_shard) tid_new = tid_old;
+    if (target == nullptr) tid_tgt = tid_old;
+
+    // The reservations may suspend; a concurrent namespace op may have
+    // changed either name meanwhile. Back out (the reservations are just
+    // journal membership — harmless) and let the caller re-resolve.
+    auto now = files_.find(from);
+    if (now == files_.end() || now->second.get() != &f) co_return false;
+    it = now;
+    auto tgt_now = files_.find(to);
+    if ((tgt_now == files_.end() ? nullptr : tgt_now->second.get()) !=
+        target)
+      co_return false;
+    tgt_it = tgt_now;
+
+    if (tid_new == tid_old && tid_ino == tid_old && tid_tgt == tid_old) {
+      tid = tid_old;
+      break;  // one running transaction owns every block
+    }
+    // A commit interleaved and split the blocks; those closes all predate
+    // any mutation, so nothing inconsistent can replay — try again.
+  }
+  if (target != nullptr) {
+    // Displace the target: the name slot switches to `f` below; the old
+    // inode lives on for open descriptors (caller reclaims its storage).
+    by_ino_.erase(target->ino);
+    unlinked_.push_back(std::move(tgt_it->second));
+    files_.erase(tgt_it);  // erasing one node leaves `it` valid
+    ++stats_.unlinks;
+  }
+  shard_entries_[static_cast<std::size_t>(old_shard - layout_.inode_base())]
+      .erase(from);
+  shard_entries_[static_cast<std::size_t>(new_shard - layout_.inode_base())]
+      [to] = f.ino;
+  f.name = to;
+  auto node = files_.extract(it);  // rekey in place; no rehash hazards
+  node.key() = to;
+  files_.insert(std::move(node));
+  ++stats_.renames;
+
+  f.txn_id = tid;
+  f.meta_dirty = true;
+  if (target != nullptr) {
+    // Tie the displaced inode to the transaction too, so an fsync through
+    // a surviving descriptor commits the displacement (unlink parity).
+    target->txn_id = tid;
+    target->meta_dirty = true;
+  }
+  co_return true;
 }
 
 // ---- data path --------------------------------------------------------------
@@ -500,6 +589,10 @@ sim::Task Filesystem::fdatabarrier(Inode& f) {
 
 sim::Task Filesystem::osync(Inode& f, bool wait_transfer) {
   ++stats_.osyncs;
+  co_await osync_impl(f, wait_transfer);
+}
+
+sim::Task Filesystem::osync_impl(Inode& f, bool wait_transfer) {
   // OptFS: osync is filesystem-wide — it scans the *global* dirty list
   // (selective data journaling keeps that list long on overwrite-heavy
   // workloads), journals overwrites, writes allocating pages in place,
@@ -527,6 +620,18 @@ sim::Task Filesystem::osync(Inode& f, bool wait_transfer) {
     co_await journal_->commit(journal_->running_txn_id(),
                               Journal::WaitMode::kDurable);
   }
+}
+
+sim::Task Filesystem::dsync(Inode& f) {
+  ++stats_.dsyncs;
+  BIO_CHECK_MSG(cfg_.journal == JournalKind::kOptFs,
+                "dsync() requires OptFS");
+  // OptFS dsync (§5 substitution, OptFS paper): the osync protocol — the
+  // journal commit itself never waits on a flush — followed by one cache
+  // flush, so the data this call covered is on media at return while
+  // metadata durability still arrives on the journal's own schedule.
+  co_await osync_impl(f, /*wait_transfer=*/true);
+  co_await blk_.flush_and_wait();
 }
 
 // ---- pdflush -----------------------------------------------------------------

@@ -45,8 +45,10 @@ class Filesystem {
     std::uint64_t fbarriers = 0;
     std::uint64_t fdatabarriers = 0;
     std::uint64_t osyncs = 0;
+    std::uint64_t dsyncs = 0;
     std::uint64_t creates = 0;
     std::uint64_t unlinks = 0;
+    std::uint64_t renames = 0;
     std::uint64_t writeback_pages = 0;
   };
 
@@ -74,6 +76,16 @@ class Filesystem {
   /// open descriptors (api::Vfs) keep writing to the inode's storage and
   /// call reclaim() on the last close, as the kernel does at iput().
   sim::Task unlink_deferred(const std::string& name);
+  /// Moves a file to a new name. `from` must exist; an existing `to` is
+  /// displaced *in the same transaction* (POSIX: the destination name
+  /// atomically switches files, and a crash never exposes a state where
+  /// it vanished). The displaced inode keeps living (open descriptors);
+  /// the caller owns its storage reclamation, as with unlink_deferred().
+  /// Journal reservations happen before the namespace mutation so the
+  /// rename replays atomically under crash recovery; returns false —
+  /// with nothing changed — when a concurrent namespace operation won
+  /// the race during those (suspending) reservations.
+  sim::TaskOf<bool> rename(const std::string& from, const std::string& to);
   /// Recycles an unlinked inode's extent and ino (deferred reclamation).
   void reclaim(Inode& f);
   /// True while create() can still allocate an inode (the fd-visible
@@ -103,6 +115,12 @@ class Filesystem {
   /// OptFS osync(): ordering commit with Wait-on-Transfer, no flush.
   sim::Task osync(Inode& f, bool wait_transfer);
 
+  /// OptFS dsync(): osync plus a cache flush — the caller's *data* is on
+  /// media at return, while the metadata commit itself keeps osync's
+  /// asynchronous-durability protocol (no Wait-on-Flush inside the
+  /// journal; the trailing flush is what makes the data stick).
+  sim::Task dsync(Inode& f);
+
   Journal& journal() noexcept { return *journal_; }
   const Stats& stats() const noexcept { return stats_; }
   const FsConfig& config() const noexcept { return cfg_; }
@@ -119,6 +137,10 @@ class Filesystem {
   bool barrier_capable() const noexcept {
     return cfg_.journal == JournalKind::kBarrierFs;
   }
+
+  /// The osync protocol body, shared by osync() and dsync() (which counts
+  /// under its own stat instead of osyncs).
+  sim::Task osync_impl(Inode& f, bool wait_transfer);
 
   /// Waits until no dirty page of `f` still has an in-flight writeback
   /// copy (stable resubmission; see the definition). Every sync path calls

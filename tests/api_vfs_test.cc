@@ -464,6 +464,125 @@ TEST(SyncPolicyTest, VfsIntentsMatchDirectPolicyIssuance) {
   }
 }
 
+// ---- the OptFS dsync row ----------------------------------------------------
+
+TEST(SyncPolicyTest, DsyncRowMatchesOptFsSubstitution) {
+  const SyncPolicy dsync = SyncPolicy::optfs_dsync();
+  EXPECT_EQ(dsync.order, Syscall::kOsync)
+      << "ordering stays the optimistic osync";
+  EXPECT_EQ(dsync.durability, Syscall::kDsync);
+  EXPECT_EQ(dsync.full_sync, Syscall::kDsync);
+}
+
+TEST(SyncPolicyTest, DsyncVfsIntentsMatchDirectPolicyIssuance) {
+  // Parity between direct row issuance and Vfs-resolved intents, as the
+  // main table's parity test does — for the dsync row on the OptFS stack.
+  auto direct = []() {
+    StackFixture x(StackKind::kOptFs);
+    const SyncPolicy policy = SyncPolicy::optfs_dsync();
+    auto body = [&]() -> Task {
+      fs::Inode* f = nullptr;
+      co_await x.fs().create("a", f, 64);
+      co_await x.fs().write(*f, 0, 1);
+      co_await api::issue(x.fs(), *f, policy.order);
+      co_await x.fs().write(*f, 1, 1);
+      co_await api::issue(x.fs(), *f, policy.durability);
+      co_await x.fs().write(*f, 2, 1);
+      co_await api::issue(x.fs(), *f, policy.full_sync);
+    };
+    x.sim().spawn("t", body());
+    x.sim().run();
+    return x.fs().stats();
+  }();
+  auto via_vfs = []() {
+    StackFixture x(StackKind::kOptFs);
+    Vfs vfs(x.fs(), SyncPolicy::optfs_dsync());
+    auto body = [&]() -> Task {
+      File f = must(
+          co_await vfs.open("a", {.create = true, .extent_blocks = 64}));
+      must(co_await f.pwrite(0, 1));
+      must(co_await f.order_point());
+      must(co_await f.pwrite(1, 1));
+      must(co_await f.durability_point());
+      must(co_await f.pwrite(2, 1));
+      must(co_await f.sync_file());
+    };
+    x.sim().spawn("t", body());
+    x.sim().run();
+    return x.fs().stats();
+  }();
+  EXPECT_EQ(direct.osyncs, via_vfs.osyncs);
+  EXPECT_EQ(direct.dsyncs, via_vfs.dsyncs);
+  EXPECT_EQ(via_vfs.dsyncs, 2u) << "durability and full-sync use dsync";
+  EXPECT_EQ(direct.writes, via_vfs.writes);
+  EXPECT_EQ(direct.fsyncs, 0u);
+  EXPECT_EQ(via_vfs.fsyncs, 0u);
+}
+
+TEST(SyncPolicyTest, DsyncMakesDataDurableAtReturnWhereOsyncDoesNot) {
+  // The row's point: osync's durability is delayed (data may sit in the
+  // device cache at return), dsync's data is on media at return while
+  // metadata keeps the optimistic protocol.
+  auto durable_after_durability_point = [](SyncPolicy policy,
+                                           bool& cache_dirty) {
+    StackFixture x(StackKind::kOptFs);
+    Vfs vfs(x.fs(), policy);
+    bool durable = false;
+    auto body = [&]() -> Task {
+      File f = must(
+          co_await vfs.open("a", {.create = true, .extent_blocks = 16}));
+      must(co_await f.pwrite(0, 4));
+      must(co_await f.durability_point());
+      const fs::Inode* inode = x.fs().lookup("a");
+      durable = true;
+      for (std::uint32_t p = 0; p < 4; ++p)
+        durable = durable &&
+                  x.dev().durable_state().contains(inode->lba_of_page(p));
+      cache_dirty = x.dev().cache().dirty_count() > 0;
+      must(f.close());
+    };
+    x.sim().spawn("t", body());
+    x.sim().run();
+    return durable;
+  };
+  bool osync_cache_dirty = false;
+  bool dsync_cache_dirty = false;
+  EXPECT_FALSE(durable_after_durability_point(
+      SyncPolicy::for_stack(StackKind::kOptFs), osync_cache_dirty))
+      << "osync must not flush — durability is delayed by design";
+  EXPECT_TRUE(osync_cache_dirty);
+  EXPECT_TRUE(durable_after_durability_point(SyncPolicy::optfs_dsync(),
+                                             dsync_cache_dirty))
+      << "dsync data must be on media at return";
+}
+
+TEST(SyncPolicyTest, IncompatiblePolicyRowIsEinvalNotAbort) {
+  // The dsync row on a non-OptFS stack: policy-resolved intents must
+  // surface the mismatch as a modelled errno, not a simulation abort.
+  StackFixture x(StackKind::kExt4DR);
+  Vfs vfs(*x.stack);
+  auto body = [&]() -> Task {
+    File f = must(
+        co_await vfs.open("a", {.create = true, .extent_blocks = 8}));
+    must(f.set_policy(SyncPolicy::optfs_dsync()));
+    must(co_await f.pwrite(0, 1));
+    EXPECT_EQ((co_await f.durability_point()).error(), Errno::kInval);
+    EXPECT_EQ((co_await f.sync_file()).error(), Errno::kInval);
+    // The osync order point is equally foreign to JBD2.
+    EXPECT_EQ((co_await f.order_point()).error(), Errno::kInval);
+    // Direct barrier syscalls hit the same capability matrix.
+    EXPECT_EQ((co_await f.fbarrier()).error(), Errno::kInval);
+    EXPECT_EQ((co_await f.fdatabarrier()).error(), Errno::kInval);
+    // Restoring the stack's own row makes the file syncable again.
+    must(f.set_policy(SyncPolicy::for_stack(StackKind::kExt4DR)));
+    must(co_await f.durability_point());
+    must(f.close());
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+  EXPECT_EQ(x.fs().stats().dsyncs, 0u);
+}
+
 TEST(SyncPolicyTest, PerFileOverrideBeatsVfsDefault) {
   StackFixture x(StackKind::kBfsDR);
   Vfs vfs(*x.stack);

@@ -76,6 +76,66 @@ TEST(StackConfigTest, ToStringCoversAllKinds) {
   EXPECT_STREQ(to_string(StackKind::kOptFs), "OptFS");
 }
 
+TEST(NodeTest, MultiVolumeNodeSharesOneSimulator) {
+  core::NodeConfig cfg = fs::testutil::test_node_config(
+      {StackKind::kBfsDR, StackKind::kExt4DR, StackKind::kOptFs});
+  Stack node(cfg);
+  ASSERT_EQ(node.volume_count(), 3u);
+  EXPECT_EQ(node.volume(0).kind(), StackKind::kBfsDR);
+  EXPECT_EQ(node.volume(1).kind(), StackKind::kExt4DR);
+  EXPECT_EQ(node.volume(2).kind(), StackKind::kOptFs);
+  // One simulator drives every volume; devices/journals stay per-volume.
+  EXPECT_EQ(&node.volume(0).sim(), &node.sim());
+  EXPECT_EQ(&node.volume(2).sim(), &node.sim());
+  EXPECT_NE(&node.volume(0).device(), &node.volume(1).device());
+  EXPECT_NE(&node.volume(0).fs(), &node.volume(1).fs());
+  // Heterogeneous wiring per volume.
+  EXPECT_TRUE(node.volume(0).config().blk.epoch_scheduling);
+  EXPECT_FALSE(node.volume(1).config().blk.epoch_scheduling);
+  EXPECT_EQ(node.volume(2).config().fs.journal, fs::JournalKind::kOptFs);
+  // Name lookup and the volume-0 compat accessors.
+  EXPECT_EQ(node.find_volume("v1"), &node.volume(1));
+  EXPECT_EQ(node.find_volume("nope"), nullptr);
+  EXPECT_EQ(node.kind(), StackKind::kBfsDR);
+  EXPECT_EQ(&node.fs(), &node.volume(0).fs());
+}
+
+TEST(NodeTest, VolumesRunIndependentWorkloadsOnOneClock) {
+  fs::testutil::NodeFixture x({StackKind::kBfsDR, StackKind::kExt4DR});
+  auto writer = [&](std::size_t v) -> Task {
+    fs::Inode* f = nullptr;
+    co_await x.fs(v).create("a", f);
+    for (int i = 0; i < 4; ++i) {
+      co_await x.fs(v).write(*f, static_cast<std::uint32_t>(i), 1);
+      co_await x.fs(v).fsync(*f);
+    }
+    EXPECT_TRUE(x.vol(v).device().durable_state().contains(
+        f->lba_of_page(3)));
+  };
+  x.sim().spawn("w0", writer(0));
+  x.sim().spawn("w1", writer(1));
+  x.sim().run();
+  EXPECT_EQ(x.fs(0).stats().fsyncs, 4u);
+  EXPECT_EQ(x.fs(1).stats().fsyncs, 4u);
+  EXPECT_GT(x.vol(0).device().stats().writes, 0u);
+  EXPECT_GT(x.vol(1).device().stats().writes, 0u);
+}
+
+TEST(StackConfigTest, VolumeConfigRoundTripsStackConfig) {
+  const StackConfig c =
+      StackConfig::make(StackKind::kBfsOD, flash::DeviceProfile::ufs());
+  const VolumeConfig v = c.volume("logs");
+  EXPECT_EQ(v.kind, c.kind);
+  EXPECT_EQ(v.name, "logs");
+  EXPECT_EQ(v.device.barrier_mode, c.device.barrier_mode);
+  EXPECT_EQ(v.blk.epoch_scheduling, c.blk.epoch_scheduling);
+  EXPECT_EQ(v.fs.journal, c.fs.journal);
+  const VolumeConfig direct =
+      VolumeConfig::make(StackKind::kBfsOD, flash::DeviceProfile::ufs());
+  EXPECT_EQ(direct.kind, v.kind);
+  EXPECT_EQ(direct.fs.journal, v.fs.journal);
+}
+
 TEST(StackTest, OrderPointMapsToFdatabarrierOnBfs) {
   StackFixture x(StackKind::kBfsDR);
   auto body = [&]() -> Task {

@@ -10,7 +10,9 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
+#include "api/vfs.h"
 #include "chk/crash_check.h"
 #include "fs/recovery.h"
 #include "fs_test_util.h"
@@ -45,6 +47,12 @@ TEST_P(CrashSweepTest, GuaranteesHoldAcross200CrashPoints) {
   if (GetParam() == StackKind::kExt4DR || GetParam() == StackKind::kBfsDR) {
     EXPECT_GT(r.acked_pages_checked, 1000u);
   }
+  // The namespace-churn half of the workload must really run and be
+  // verified: rename/unlink ops happened and their facts were checked.
+  EXPECT_GT(r.renames_done, 100u) << "workload stopped renaming";
+  EXPECT_GT(r.unlinks_done, 50u) << "workload stopped unlinking";
+  EXPECT_GT(r.namespace_facts_checked, 400u)
+      << "namespace consistency checks went dark";
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -57,6 +65,34 @@ INSTANTIATE_TEST_SUITE_P(
         if (c == '-') c = '_';
       return name;
     });
+
+// ---- 1b. the same contracts on a heterogeneous multi-volume node -----------
+
+TEST(MultiVolumeCrashTest, HeterogeneousNodeKeepsPerVolumeContracts) {
+  // BFS-DR and EXT4-DR side by side behind one Vfs: one power cut hits
+  // both; each volume recovers from its own journal and must keep its own
+  // contract — >= 200 crash points per volume.
+  const std::vector<StackKind> kinds = {StackKind::kBfsDR,
+                                        StackKind::kExt4DR};
+  const chk::MultiVolumeSweepResult r =
+      chk::run_multi_volume_crash_sweep(kinds, 200);
+  EXPECT_EQ(r.points, 200);
+  EXPECT_EQ(r.failed_points, 0) << join(r.sample_violations);
+  ASSERT_EQ(r.volumes.size(), 2u);
+  for (std::size_t v = 0; v < r.volumes.size(); ++v) {
+    const chk::CrashSweepResult& agg = r.volumes[v];
+    EXPECT_EQ(agg.points, 200) << "volume " << v;
+    EXPECT_EQ(agg.failed_points, 0) << "volume " << v;
+    EXPECT_GT(agg.quiesced_points, 0) << "volume " << v;
+    EXPECT_LT(agg.quiesced_points, agg.points) << "volume " << v;
+    // Both kinds promise durable acks; both must have been exercised.
+    EXPECT_GT(agg.acked_pages_checked, 1000u) << "volume " << v;
+    EXPECT_GT(agg.order_writes_checked, 1000u) << "volume " << v;
+    EXPECT_GT(agg.namespace_facts_checked, 400u) << "volume " << v;
+    EXPECT_GT(agg.renames_done, 100u) << "volume " << v;
+    EXPECT_GT(agg.unlinks_done, 50u) << "volume " << v;
+  }
+}
 
 // ---- 2. the legacy stack must fail -----------------------------------------
 
@@ -133,6 +169,93 @@ TEST(OptFsOsyncCrashTest, DelayedDurabilityPrefixSemantics) {
   }
   EXPECT_GT(mid_points, 5) << "mid-workload crash points all missed";
   EXPECT_GT(quiesced_points, 35) << "late crash points did not quiesce";
+}
+
+// ---- 4b. directed namespace-churn recovery ---------------------------------
+
+TEST(NamespaceChurnRecoveryTest, DurableRenameRecoversUnderNewName) {
+  fs::testutil::StackFixture x(StackKind::kBfsDR);
+  api::Vfs vfs(*x.stack);
+  auto body = [&]() -> sim::Task {
+    api::File f = api::must(
+        co_await vfs.open("a", {.create = true, .extent_blocks = 32}));
+    api::must(co_await f.pwrite(0, 4));
+    api::must(co_await f.sync_file());
+    api::must(co_await vfs.rename("a", "b"));
+    api::must(co_await f.sync_file());  // commits the rename durably
+    api::must(f.close());
+  };
+  x.sim().spawn("app", body());
+  x.sim().run_until(500'000'000);  // quiesce
+
+  const fs::Recovery recovery(x.fs().journal(), x.fs().layout(),
+                              x.fs().config());
+  const fs::RecoveryReport report =
+      recovery.recover(x.dev().durable_state());
+  EXPECT_TRUE(report.clean());
+  ASSERT_EQ(report.files.size(), 1u);
+  EXPECT_EQ(report.files.front().name, "b")
+      << "the durably-synced rename must stick";
+  EXPECT_EQ(report.files.front().size_blocks, 4u);
+}
+
+TEST(NamespaceChurnRecoveryTest, ReplaceRenameIsCrashAtomicAndRecovers) {
+  // POSIX: renaming onto an existing name displaces it atomically — after
+  // a durable sync, recovery must show exactly the renamed file under the
+  // target name, never a vanished or doubled name.
+  fs::testutil::StackFixture x(StackKind::kExt4DR);
+  api::Vfs vfs(*x.stack);
+  auto body = [&]() -> sim::Task {
+    api::File a = api::must(
+        co_await vfs.open("a", {.create = true, .extent_blocks = 32}));
+    api::must(co_await a.pwrite(0, 2));
+    api::must(co_await a.sync_file());
+    api::File b = api::must(
+        co_await vfs.open("b", {.create = true, .extent_blocks = 32}));
+    api::must(co_await b.pwrite(0, 4));
+    api::must(co_await b.sync_file());
+    api::must(co_await vfs.rename("a", "b"));  // displaces the old "b"
+    api::must(co_await a.sync_file());
+    api::must(a.close());
+    api::must(b.close());
+  };
+  x.sim().spawn("app", body());
+  x.sim().run_until(500'000'000);  // quiesce
+
+  const fs::Recovery recovery(x.fs().journal(), x.fs().layout(),
+                              x.fs().config());
+  const fs::RecoveryReport report =
+      recovery.recover(x.dev().durable_state());
+  EXPECT_TRUE(report.clean());
+  ASSERT_EQ(report.files.size(), 1u)
+      << "exactly the renamed file must survive under the target name";
+  EXPECT_EQ(report.files.front().name, "b");
+  EXPECT_EQ(report.files.front().size_blocks, 2u)
+      << "the name must resolve to the renamed file's content";
+}
+
+TEST(NamespaceChurnRecoveryTest, DurableUnlinkStaysGone) {
+  fs::testutil::StackFixture x(StackKind::kExt4DR);
+  api::Vfs vfs(*x.stack);
+  auto body = [&]() -> sim::Task {
+    api::File f = api::must(
+        co_await vfs.open("victim", {.create = true, .extent_blocks = 32}));
+    api::must(co_await f.pwrite(0, 2));
+    api::must(co_await f.sync_file());
+    api::must(co_await vfs.unlink("victim"));
+    api::must(co_await f.fsync());  // commits the unlink durably
+    api::must(f.close());
+  };
+  x.sim().spawn("app", body());
+  x.sim().run_until(500'000'000);  // quiesce
+
+  const fs::Recovery recovery(x.fs().journal(), x.fs().layout(),
+                              x.fs().config());
+  const fs::RecoveryReport report =
+      recovery.recover(x.dev().durable_state());
+  EXPECT_TRUE(report.clean());
+  EXPECT_TRUE(report.files.empty())
+      << "a durably-committed unlink must not resurrect the file";
 }
 
 // ---- 5. recovery against a live quiesced stack -----------------------------

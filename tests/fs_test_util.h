@@ -2,6 +2,8 @@
 #pragma once
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/stack.h"
 #include "flash_test_util.h"
@@ -37,6 +39,30 @@ struct StackFixture {
   sim::Simulator& sim() { return stack->sim(); }
   fs::Filesystem& fs() { return stack->fs(); }
   flash::StorageDevice& dev() { return stack->device(); }
+};
+
+/// NodeConfig with one test-sized volume per kind, named "v0", "v1", ...
+inline core::NodeConfig test_node_config(
+    const std::vector<core::StackKind>& kinds) {
+  std::vector<core::StackConfig> bases;
+  for (core::StackKind kind : kinds) bases.push_back(test_stack_config(kind));
+  return core::NodeConfig::from(bases);
+}
+
+/// A started multi-volume node (volumes "v0", "v1", ... per `kinds`).
+struct NodeFixture {
+  std::unique_ptr<core::Stack> node;
+
+  explicit NodeFixture(const std::vector<core::StackKind>& kinds,
+                       const core::NodeConfig* custom = nullptr) {
+    node = std::make_unique<core::Stack>(custom ? *custom
+                                                : test_node_config(kinds));
+    node->start();
+  }
+
+  sim::Simulator& sim() { return node->sim(); }
+  core::Volume& vol(std::size_t i) { return node->volume(i); }
+  fs::Filesystem& fs(std::size_t i) { return node->volume(i).fs(); }
 };
 
 }  // namespace bio::fs::testutil
