@@ -30,6 +30,7 @@
 #include "api/vfs.h"
 #include "core/stack.h"
 #include "sim/frame_pool.h"
+#include "wl/concurrent_writers.h"
 #include "wl/fxmark.h"
 
 // ---- global allocation counter ---------------------------------------------
@@ -224,6 +225,38 @@ ScenarioResult run_sharded_scenario(const char* name, std::uint32_t nvolumes,
   return r;
 }
 
+/// Shared-inode multi-writer workload (wl::run_concurrent_writers) on one
+/// BFS-DR volume: N coroutine writers over independent fds interleaving
+/// writes with the sync matrix plus namespace and fd churn — the host-side
+/// cost of the path the concurrent crash sweep exercises.
+ScenarioResult run_concurrent_scenario(const char* name,
+                                       std::uint32_t writers,
+                                       std::uint32_t ops_per_writer) {
+  auto stack = std::make_unique<core::Stack>(
+      core::StackConfig::make(core::StackKind::kBfsDR,
+                              flash::DeviceProfile::plain_ssd()));
+  ScenarioResult r;
+  r.name = name;
+  const std::uint64_t ev0 = stack->sim().events_dispatched();
+  const std::uint64_t alloc0 = g_new_calls;
+  const auto t0 = Clock::now();
+  wl::ConcurrentWritersParams p;
+  p.writers = writers;
+  p.ops_per_writer = ops_per_writer;
+  const wl::ConcurrentWritersResult res =
+      wl::run_concurrent_writers(*stack, p);
+  r.wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
+  r.ops = res.ops_done + res.syncs_done;
+  r.sim_ios = dev_ios(*stack);
+  r.requests = stack->blk().stats().submitted;
+  r.events = stack->sim().events_dispatched() - ev0;
+  r.global_allocs = g_new_calls - alloc0;
+  r.pool = stack->blk().pool().stats();
+  return r;
+}
+
 void print_table(const std::vector<ScenarioResult>& results) {
   std::printf(
       "%-18s %9s %9s %9s %10s %11s %11s %11s %10s\n", "scenario", "ops",
@@ -350,6 +383,12 @@ int main(int argc, char** argv) {
   // writeback. Exercises the per-inode dirty indexes.
   results.push_back(run_scenario("pagecache-churn", K::kExt4DR,
                                  Mode::kBuffered, page_ops, 32, 256));
+  // Concurrent shared-inode writers: the multi-writer path the concurrent
+  // crash sweep exercises (independent fds, sync matrix, namespace + fd
+  // churn), measured for host-side cost on one BFS-DR volume.
+  results.push_back(run_concurrent_scenario("concurrent-writers",
+                                            smoke ? 8 : 16,
+                                            smoke ? 60 : 400));
   // Sharded DWSL weak scaling: 64 writer threads *per volume* (enough to
   // saturate one journal's commit pipeline, ~12k commits/s on this
   // profile) over 1/2/4 BFS-DR volumes of one node. With independent

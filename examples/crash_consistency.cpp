@@ -1,4 +1,4 @@
-// Example / CLI: the full-stack crash-recovery sweep.
+// Example / CLI: the full-stack crash-recovery sweeps.
 //
 // For each IO stack, run many randomized api::Vfs workloads (with
 // unlink/rename namespace churn), cut power at random simulated instants,
@@ -16,18 +16,111 @@
 //                        *claims* the EXT4-DR contract and the sweep is
 //                        expected to catch it violating (Fig 1).
 //
-// A final sweep cuts power on a heterogeneous two-volume node (BFS-DR +
-// EXT4-DR behind one Vfs mount table) and verifies each volume's contract
-// independently — one volume's recovery reads only its own journal.
+// The concurrent sweep (chk::run_concurrent_crash_sweep) runs the same
+// per-kind verdicts with N writer coroutines sharing files through
+// independent fds — the cross-writer contract of DESIGN.md §9; a final
+// sweep cuts power on a heterogeneous two-volume node (BFS-DR + EXT4-DR
+// behind one Vfs mount table) and verifies each volume's contract
+// independently.
+//
+// Reproducing a failed point: every sweep failure prints its seed, crash
+// instant, point index and an exact `--repro` spec; `--repro <spec>`
+// replays just that case with full violation output. Specs:
+//   --repro <stack>:<base_seed>:<point>        single-writer sweep point
+//   --repro conc:<stack>:<base_seed>:<point>   concurrent sweep point
+//   --repro node:<base_seed>:<point>           multi-volume sweep point
+// The CLI replays with DEFAULT sweep options (which is what the CLI
+// sweeps run); a failure from a library sweep with custom options must be
+// replayed through run_crash_check / run_concurrent_crash_check using the
+// same options and the seed/crash pair from CrashSweepResult::failures.
 //
 // Build: cmake --build build && ./build/examples/crash_consistency
 // CI:    ./build/examples/crash_consistency --smoke
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "chk/crash_check.h"
 
 using namespace bio;
+
+namespace {
+
+bool parse_kind(const std::string& name, core::StackKind& out) {
+  for (core::StackKind k :
+       {core::StackKind::kExt4DR, core::StackKind::kExt4OD,
+        core::StackKind::kBfsDR, core::StackKind::kBfsOD,
+        core::StackKind::kOptFs}) {
+    if (name == core::to_string(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+void print_violations(const std::vector<std::string>& violations) {
+  for (const std::string& v : violations) std::printf("  ! %s\n", v.c_str());
+  if (violations.empty()) std::printf("  (no violations — case is clean)\n");
+}
+
+/// Replays one sweep point from a `--repro` spec; returns the process exit
+/// code (0 = the case is clean now).
+int run_repro(const std::string& spec) {
+  // Split on ':' — [conc:]<stack>:<base>:<point> or node:<base>:<point>.
+  std::vector<std::string> parts;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t next = spec.find(':', pos);
+    parts.push_back(spec.substr(pos, next - pos));
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  auto fail = [&] {
+    std::fprintf(stderr,
+                 "bad --repro spec '%s' (want <stack>:<base>:<point>, "
+                 "conc:<stack>:<base>:<point> or node:<base>:<point>)\n",
+                 spec.c_str());
+    return 2;
+  };
+  const bool conc = parts.size() == 4 && parts[0] == "conc";
+  const bool node = parts.size() == 3 && parts[0] == "node";
+  if (!conc && !node && parts.size() != 3) return fail();
+
+  const std::string& base_s = parts[conc ? 2 : 1];
+  const std::string& point_s = parts[conc ? 3 : 2];
+  const std::uint64_t base = std::strtoull(base_s.c_str(), nullptr, 10);
+  const int point = std::atoi(point_s.c_str());
+  const std::uint64_t seed = base + static_cast<std::uint64_t>(point);
+  const sim::SimTime crash_at = chk::sweep_crash_at(base, point);
+
+  if (node) {
+    const std::vector<core::StackKind> kinds = {core::StackKind::kBfsDR,
+                                                core::StackKind::kExt4DR};
+    std::printf("replaying node point %d: seed=%llu crash=%lluns\n", point,
+                (unsigned long long)seed, (unsigned long long)crash_at);
+    const chk::MultiVolumeCrashResult r =
+        chk::run_multi_volume_crash_check(kinds, seed, crash_at);
+    for (std::size_t v = 0; v < r.volumes.size(); ++v) {
+      std::printf("volume %zu (%s):\n", v, core::to_string(kinds[v]));
+      print_violations(r.volumes[v].violations);
+    }
+    return r.ok() ? 0 : 1;
+  }
+
+  core::StackKind kind;
+  if (!parse_kind(parts[conc ? 1 : 0], kind)) return fail();
+  std::printf("replaying %s%s point %d: seed=%llu crash=%lluns\n",
+              conc ? "concurrent " : "", core::to_string(kind), point,
+              (unsigned long long)seed, (unsigned long long)crash_at);
+  const chk::CrashCheckResult r =
+      conc ? chk::run_concurrent_crash_check(kind, seed, crash_at)
+           : chk::run_crash_check(kind, seed, crash_at);
+  print_violations(r.violations);
+  return r.ok() ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   int points = 200;
@@ -37,6 +130,8 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--smoke") == 0) points = 120;
     if (std::strcmp(argv[i], "--points") == 0 && i + 1 < argc)
       points = std::atoi(argv[++i]);
+    if (std::strcmp(argv[i], "--repro") == 0 && i + 1 < argc)
+      return run_repro(argv[i + 1]);
   }
 
   const core::StackKind kinds[] = {
@@ -89,6 +184,38 @@ int main(int argc, char** argv) {
         std::printf("        ! %s\n", v.c_str());
   }
 
+  // ---- concurrent multi-writer sweep (DESIGN.md §9) ------------------------
+  std::printf(
+      "\nconcurrent sweep: %d crash points per stack, %u writers over "
+      "shared fds\n",
+      points, chk::ConcurrentCrashOptions{}.wl.writers);
+  std::printf(
+      "stack   | failed | acked pgs | order wrs | syncs | fd-cyc | "
+      "close-in-sync | verdict\n");
+  for (core::StackKind kind : kinds) {
+    const bool expect_violations = kind == core::StackKind::kExt4OD;
+    const chk::CrashSweepResult r =
+        chk::run_concurrent_crash_sweep(kind, points);
+    const bool stack_ok = expect_violations ? !r.ok() : r.ok();
+    ok = ok && stack_ok;
+    std::printf(
+        "%-7s | %6d | %9llu | %9llu | %5llu | %6llu | %13llu | %s\n",
+        core::to_string(kind), r.failed_points,
+        static_cast<unsigned long long>(r.acked_pages_checked),
+        static_cast<unsigned long long>(r.order_writes_checked),
+        static_cast<unsigned long long>(r.syncs_recorded),
+        static_cast<unsigned long long>(r.fd_cycles),
+        static_cast<unsigned long long>(r.closes_during_sync),
+        stack_ok ? (expect_violations ? "BROKEN (as the paper predicts)"
+                                      : "ok")
+                 : (expect_violations
+                        ? "UNEXPECTEDLY CLEAN (checker too weak?)"
+                        : "VIOLATED"));
+    if (!stack_ok || expect_violations)
+      for (const std::string& v : r.sample_violations)
+        std::printf("        ! %s\n", v.c_str());
+  }
+
   // ---- multi-volume node: two independent journals, one power cut ----------
   const std::vector<core::StackKind> node_kinds = {core::StackKind::kBfsDR,
                                                    core::StackKind::kExt4DR};
@@ -115,8 +242,9 @@ int main(int argc, char** argv) {
 
   std::printf(
       "\nThe four barrier/durability stacks keep their guarantees across "
-      "every\npower cut — per volume, even several heterogeneous volumes to "
-      "a node;\nthe legacy nobarrier stack demonstrably does not, which is "
-      "the problem\nthe barrier-enabled IO stack exists to fix.\n");
+      "every\npower cut — single-writer and concurrent, per volume, even "
+      "several\nheterogeneous volumes to a node; the legacy nobarrier stack "
+      "demonstrably\ndoes not, which is the problem the barrier-enabled IO "
+      "stack exists to fix.\n");
   return ok ? 0 : 1;
 }

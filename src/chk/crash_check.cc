@@ -40,8 +40,8 @@ Guarantees guarantees_of(StackKind kind) {
   return {};
 }
 
-core::StackConfig checker_config(StackKind kind,
-                                 const CrashCheckOptions& opt) {
+core::StackConfig checker_config(StackKind kind, std::uint32_t journal_blocks,
+                                 std::uint32_t extent_blocks) {
   flash::DeviceProfile dev;
   dev.name = "chk";
   dev.geometry = flash::Geometry{.channels = 2,
@@ -60,11 +60,16 @@ core::StackConfig checker_config(StackKind kind,
   dev.plp_flush_latency = 15_us;
   dev.read_hit_latency = 5_us;
   core::StackConfig cfg = core::StackConfig::make(kind, dev);
-  if (opt.journal_blocks != 0) cfg.fs.journal_blocks = opt.journal_blocks;
+  if (journal_blocks != 0) cfg.fs.journal_blocks = journal_blocks;
   cfg.fs.max_inodes = 64;
-  cfg.fs.default_extent_blocks = opt.extent_blocks;
+  cfg.fs.default_extent_blocks = extent_blocks;
   cfg.fs.writeback_high_watermark = 1u << 20;  // pdflush off: explicit syncs
   return cfg;
+}
+
+core::StackConfig checker_config(StackKind kind,
+                                 const CrashCheckOptions& opt) {
+  return checker_config(kind, opt.journal_blocks, opt.extent_blocks);
 }
 
 /// One buffered write as the oracle remembers it.
@@ -287,52 +292,55 @@ void debug_dump_write(const char* what, const PageWrite& w,
                vol.device().cache().dirty_count());
 }
 
-/// Captures the volume's durable image at the cut instant, recovers it
-/// from the volume's own journal (and nothing else), and verifies the
-/// volume's contract against its oracle. Fills `res`; returns the report
-/// for the remount phase.
-fs::RecoveryReport verify_volume(CrashCheckResult& res, core::Volume& vol,
-                                 const Oracle& oracle, const Guarantees& g) {
-  res.workload_finished = oracle.finished;
-  res.quiesced = oracle.finished &&
-                 vol.device().cache().dirty_count() == 0 &&
-                 vol.device().queue_depth() == 0;
+/// A workload file as the shared namespace checks see it: its name history
+/// and its inode — the common shape of FileOracle and wl::FileTrace.
+struct NamespaceView {
+  const std::vector<std::string>* names = nullptr;
+  const fs::Inode* inode = nullptr;
+};
+
+/// Captures the durable image, recovers it from the volume's own journal
+/// and fills the recovery facts of `res` — the boilerplate every verify
+/// flavour shares.
+struct Recovered {
+  flash::StorageDevice::DurableImage image;
+  fs::RecoveryReport report;
+};
+
+Recovered recover_volume(CrashCheckResult& res, core::Volume& vol) {
   res.journal_wraps = vol.fs().journal().stats().journal_wraps;
   res.journal_stalls = vol.fs().journal().stats().journal_stalls;
   res.checkpoint_flushes = vol.fs().journal().stats().checkpoint_flushes;
-  res.renames_done = oracle.renames;
-  res.unlinks_done = oracle.unlinks;
-
-  // ---- recover the durable image -----------------------------------------
-  const flash::StorageDevice::DurableImage image =
-      vol.device().capture_durable_image();
+  Recovered r;
+  r.image = vol.device().capture_durable_image();
   const fs::Recovery recovery(vol.fs().journal(), vol.fs().layout(),
                               vol.fs().config());
-  fs::RecoveryReport report = recovery.recover(image.blocks);
-  res.files_recovered = static_cast<std::uint32_t>(report.files.size());
-  res.txns_replayed = report.txns_replayed;
-  res.txns_discarded = report.txns_discarded;
-  res.tail_truncated = report.tail_truncated;
-  res.recovery_clean = report.clean();
+  r.report = recovery.recover(r.image.blocks);
+  res.files_recovered = static_cast<std::uint32_t>(r.report.files.size());
+  res.txns_replayed = r.report.txns_replayed;
+  res.txns_discarded = r.report.txns_discarded;
+  res.tail_truncated = r.report.tail_truncated;
+  res.recovery_clean = r.report.clean();
+  if (!r.report.clean())
+    res.violations.push_back(
+        "recovery silently corrupted " +
+        std::to_string(r.report.corrupted_blocks.size()) +
+        " home block(s) (stale log replay under a surviving commit)");
+  return r;
+}
 
+/// Global recovered-namespace consistency — no duplicate or fabricated
+/// names, extents inside the volume's data region, each recovered file over
+/// an extent some workload file owns and under a name that extent actually
+/// carried. Returns the recovered files indexed by extent base (the stable
+/// file identity: handles stay open all run, so no extent ever recycles).
+std::unordered_map<Lba, const fs::RecoveryReport::RecoveredFile*>
+check_recovered_namespace(CrashCheckResult& res, core::Volume& vol,
+                          const fs::RecoveryReport& report,
+                          const std::vector<NamespaceView>& views) {
   auto violation = [&res](const std::string& what) {
     res.violations.push_back(what);
   };
-
-  // A working journal never forces recovery to replay a stale log copy.
-  if (!report.clean())
-    violation("recovery silently corrupted " +
-              std::to_string(report.corrupted_blocks.size()) +
-              " home block(s) (stale log replay under a surviving commit)");
-
-  auto present = [&report](const PageWrite& w) {
-    auto it = report.data.find(w.lba);
-    return it != report.data.end() && it->second >= w.version;
-  };
-
-  // Recovered files indexed by extent base — the stable file identity
-  // (handles stay open all run, so no extent is ever recycled), immune to
-  // the very renames the namespace checks reason about.
   std::unordered_map<Lba, const fs::RecoveryReport::RecoveredFile*>
       by_extent;
   std::map<std::string, int> name_count;
@@ -344,9 +352,9 @@ fs::RecoveryReport verify_volume(CrashCheckResult& res, core::Volume& vol,
       violation("namespace: name " + rf.name + " recovered twice");
     // Every volume has its own LBA space starting at 0, so a *foreign*
     // volume's extent can be numerically in range — cross-volume leakage
-    // is caught by the per-volume oracle below (ownership + name history
-    // + data versions), not by this range check, which catches extents
-    // corrupted into the journal/inode region or past the device.
+    // is caught by the per-volume oracle (ownership + name history + data
+    // versions), not by this range check, which catches extents corrupted
+    // into the journal/inode region or past the device.
     if (rf.extent_base < data_base ||
         rf.extent_base + rf.extent_blocks > data_end)
       violation("namespace: " + rf.name +
@@ -357,10 +365,10 @@ fs::RecoveryReport verify_volume(CrashCheckResult& res, core::Volume& vol,
       violation("namespace: extent of " + rf.name +
                 " also recovered as " + pos->second->name +
                 " — one file under two names");
-    const FileOracle* owner = nullptr;
-    for (const FileOracle& f : oracle.files)
-      if (f.inode != nullptr && f.inode->extent_base == rf.extent_base) {
-        owner = &f;
+    const NamespaceView* owner = nullptr;
+    for (const NamespaceView& v : views)
+      if (v.inode != nullptr && v.inode->extent_base == rf.extent_base) {
+        owner = &v;
         break;
       }
     if (owner == nullptr) {
@@ -368,11 +376,46 @@ fs::RecoveryReport verify_volume(CrashCheckResult& res, core::Volume& vol,
                 " maps to no extent the workload created");
       continue;
     }
-    if (std::find(owner->rel_names.begin(), owner->rel_names.end(),
-                  rf.name) == owner->rel_names.end())
+    if (std::find(owner->names->begin(), owner->names->end(), rf.name) ==
+        owner->names->end())
       violation("namespace: " + rf.name +
                 " recovered over an extent that never carried that name");
   }
+  return by_extent;
+}
+
+/// Captures the volume's durable image at the cut instant, recovers it
+/// from the volume's own journal (and nothing else), and verifies the
+/// volume's contract against its oracle. Fills `res`; returns the report
+/// for the remount phase.
+fs::RecoveryReport verify_volume(CrashCheckResult& res, core::Volume& vol,
+                                 const Oracle& oracle, const Guarantees& g) {
+  res.workload_finished = oracle.finished;
+  res.quiesced = oracle.finished &&
+                 vol.device().cache().dirty_count() == 0 &&
+                 vol.device().queue_depth() == 0;
+  res.renames_done = oracle.renames;
+  res.unlinks_done = oracle.unlinks;
+
+  Recovered rec = recover_volume(res, vol);
+  fs::RecoveryReport& report = rec.report;
+  const flash::StorageDevice::DurableImage& image = rec.image;
+
+  auto violation = [&res](const std::string& what) {
+    res.violations.push_back(what);
+  };
+
+  auto present = [&report](const PageWrite& w) {
+    auto it = report.data.find(w.lba);
+    return it != report.data.end() && it->second >= w.version;
+  };
+
+  std::vector<NamespaceView> views;
+  views.reserve(oracle.files.size());
+  for (const FileOracle& f : oracle.files)
+    views.push_back({&f.rel_names, f.inode});
+  const std::unordered_map<Lba, const fs::RecoveryReport::RecoveredFile*>
+      by_extent = check_recovered_namespace(res, vol, report, views);
 
   const bool facts_apply_base = res.quiesced;
   for (const FileOracle& f : oracle.files) {
@@ -481,6 +524,26 @@ class CrashPointGen {
   sim::Rng rng_;
 };
 
+/// Records a failed point in both human-readable and machine-replayable
+/// form. `repro` is the examples/crash_consistency --repro spec prefix
+/// ("EXT4-DR", "conc:EXT4-DR", "node"); every failure line ends with the
+/// exact flag that replays just that case.
+void note_failure(CrashSweepResult& sweep, const std::string& repro,
+                  const char* kind_tag, int point, std::uint64_t base_seed,
+                  const CrashCheckResult& r) {
+  if (sweep.failures.size() < 32)
+    sweep.failures.push_back(
+        {point, r.seed, r.crash_at, r.violations.front()});
+  if (sweep.sample_violations.size() < 8) {
+    std::ostringstream os;
+    os << kind_tag << " seed=" << r.seed << " crash=" << r.crash_at
+       << "ns point=" << point << ": " << r.violations.front()
+       << " (replay: --repro " << repro << ":" << base_seed << ":" << point
+       << ")";
+    sweep.sample_violations.push_back(os.str());
+  }
+}
+
 /// Remount-phase verification: the recovered image must yield a fully
 /// usable volume behind the (possibly multi-volume) fresh node's Vfs.
 sim::Task remount_verify(api::Vfs& vfs, std::string prefix,
@@ -563,6 +626,16 @@ void CrashSweepResult::accumulate(const CrashCheckResult& r) {
   journal_wraps += r.journal_wraps;
   journal_stalls += r.journal_stalls;
   files_recovered += r.files_recovered;
+  syncs_recorded += r.syncs_recorded;
+  fd_cycles += r.fd_cycles;
+  closes_during_sync += r.closes_during_sync;
+}
+
+sim::SimTime sweep_crash_at(std::uint64_t base_seed, int point) {
+  CrashPointGen gen(base_seed);
+  sim::SimTime t = 0;
+  for (int i = 0; i <= point; ++i) t = gen.next();
+  return t;
 }
 
 CrashSweepResult run_crash_sweep(StackKind kind, int points,
@@ -577,12 +650,8 @@ CrashSweepResult run_crash_sweep(StackKind kind, int points,
     sweep.accumulate(res);
     if (!res.ok()) {
       ++sweep.failed_points;
-      if (sweep.sample_violations.size() < 8) {
-        std::ostringstream os;
-        os << core::to_string(kind) << " seed=" << res.seed
-           << " crash=" << res.crash_at << "ns: " << res.violations.front();
-        sweep.sample_violations.push_back(os.str());
-      }
+      note_failure(sweep, core::to_string(kind), core::to_string(kind), i,
+                   base_seed, res);
     }
   }
   return sweep;
@@ -653,6 +722,278 @@ MultiVolumeCrashResult run_multi_volume_crash_check(
   return res;
 }
 
+// ---- concurrent multi-writer checker ---------------------------------------
+
+namespace {
+
+// Syscall-semantics classification per stack kind — the *claimed* contract
+// (EXT4-OD claims the same acks as EXT4-DR and is expected to break them).
+
+/// Every sync syscall is an order point on its file.
+bool call_orders(api::Syscall c) { return c != api::Syscall::kNone; }
+
+/// Data covered by the call is on media when it returns.
+bool call_acks_data(StackKind kind, api::Syscall c) {
+  if (kind == StackKind::kOptFs) return c == api::Syscall::kDsync;
+  return c == api::Syscall::kFsync || c == api::Syscall::kFdatasync;
+}
+
+/// i_size as of the call's start is durable when it returns (fdatasync
+/// journals size changes — the metadata needed to retrieve the data).
+bool call_acks_size(StackKind kind, api::Syscall c) {
+  if (kind == StackKind::kOptFs) return false;  // metadata stays delayed
+  return c == api::Syscall::kFsync || c == api::Syscall::kFdatasync;
+}
+
+/// Namespace ops (rename/unlink) completed before the call are durable
+/// when it returns.
+bool call_acks_name(StackKind kind, api::Syscall c) {
+  if (kind == StackKind::kOptFs) return false;
+  return c == api::Syscall::kFsync;
+}
+
+/// The call commits the inode's metadata transaction whenever it is dirty;
+/// quiescence then makes that commit durable on every stack — the gate for
+/// delayed namespace/size facts on the ordering-only stacks.
+bool call_commits_meta(api::Syscall c) {
+  return c == api::Syscall::kFsync || c == api::Syscall::kFbarrier ||
+         c == api::Syscall::kOsync || c == api::Syscall::kDsync;
+}
+
+std::string describe(const wl::TraceWrite& w) {
+  std::ostringstream os;
+  os << "lba=" << w.lba << " v=" << w.version << " page=" << w.page
+     << " writer=" << w.writer << " [" << w.start_tick << "," << w.done_tick
+     << "]";
+  return os.str();
+}
+
+/// Verifies the merged cross-writer contract of one volume against its
+/// ConcurrentTrace; fills `res` and returns the report for remount.
+fs::RecoveryReport verify_concurrent_volume(CrashCheckResult& res,
+                                            core::Volume& vol,
+                                            const wl::ConcurrentTrace& trace,
+                                            StackKind kind) {
+  res.workload_finished = trace.finished();
+  res.quiesced = trace.finished() &&
+                 vol.device().cache().dirty_count() == 0 &&
+                 vol.device().queue_depth() == 0;
+  res.renames_done = trace.renames;
+  res.unlinks_done = trace.unlinks;
+  res.fd_cycles = trace.fd_cycles;
+  res.closes_during_sync = trace.closes_during_sync;
+
+  Recovered rec = recover_volume(res, vol);
+  fs::RecoveryReport& report = rec.report;
+
+  auto violation = [&res](const std::string& what) {
+    res.violations.push_back(what);
+  };
+  auto present = [&report](const wl::TraceWrite& w) {
+    auto it = report.data.find(w.lba);
+    return it != report.data.end() && it->second >= w.version;
+  };
+  auto dump = [&](const char* what, const wl::TraceWrite& w) {
+    debug_dump_write(what, PageWrite{w.lba, w.version, 0}, rec.image, vol);
+  };
+
+  std::vector<NamespaceView> views;
+  views.reserve(trace.files.size());
+  for (const wl::FileTrace& f : trace.files)
+    views.push_back({&f.rel_names, f.inode});
+  const std::unordered_map<Lba, const fs::RecoveryReport::RecoveredFile*>
+      by_extent = check_recovered_namespace(res, vol, report, views);
+
+  constexpr std::uint64_t kNever = ~std::uint64_t{0};
+  for (const wl::FileTrace& f : trace.files) {
+    res.syncs_recorded += static_cast<std::uint32_t>(f.syncs.size());
+    const fs::RecoveryReport::RecoveredFile* rf = nullptr;
+    if (f.inode != nullptr) {
+      auto it = by_extent.find(f.inode->extent_base);
+      if (it != by_extent.end()) rf = it->second;
+    }
+
+    // Aggregate the returned syncs' promises. Only strictly-ordered pairs
+    // count: a sync covers writes that *completed* before it *started*, and
+    // constrains writes that *started* after it *returned* — operations
+    // racing the sync on either side are promised nothing.
+    std::uint64_t max_ack_start = 0;
+    std::uint32_t size_floor = 0;
+    std::size_t name_idx_floor = 0;
+    bool any_exist_fact = false;
+    bool unlink_committed = false;
+    for (const wl::TraceSync& s : f.syncs) {
+      if (call_acks_data(kind, s.call))
+        max_ack_start = std::max(max_ack_start, s.start_tick);
+      if (call_acks_size(kind, s.call) ||
+          (res.quiesced && call_orders(s.call)))
+        size_floor = std::max(size_floor, s.settled_size_at_start);
+      if (call_acks_name(kind, s.call) ||
+          (res.quiesced && call_commits_meta(s.call))) {
+        name_idx_floor = std::max(name_idx_floor, s.name_idx_at_start);
+        if (s.unlinked_at_start)
+          unlink_committed = true;
+        else
+          any_exist_fact = true;
+      }
+    }
+
+    // 1. Acked durability across writers and fds: a write (any writer)
+    //    that completed before a durable-ack sync (any fd of the file)
+    //    started must have survived.
+    for (const wl::TraceWrite& w : f.writes) {
+      if (w.done_tick < max_ack_start) {
+        ++res.acked_pages_checked;
+        if (!present(w)) {
+          violation(f.rel_name() + " write (" + describe(w) +
+                    ") was acked durable but did not survive");
+          dump("conc-acked", w);
+          if (std::getenv("BIO_CHK_DEBUG") != nullptr)
+            for (const wl::TraceSync& s : f.syncs)
+              std::fprintf(stderr,
+                           "  sync call=%d writer=%u [%llu,%llu] acks=%d\n",
+                           int(s.call), s.writer,
+                           (unsigned long long)s.start_tick,
+                           (unsigned long long)s.done_tick,
+                           int(call_acks_data(kind, s.call)));
+        }
+      }
+    }
+
+    // 2. Cross-writer epoch prefix: if any write that started after a
+    //    returned order point survives, every write that completed before
+    //    that order point started must have survived. ready_at(w) is the
+    //    earliest return among order points that started after w
+    //    completed; a surviving write with a later start proves w.
+    // 3. Delayed durability: once the device quiesced, every write some
+    //    returned sync covered must be on media.
+    std::uint64_t max_surviving_start = 0;
+    for (const wl::TraceWrite& w : f.writes)
+      if (present(w))
+        max_surviving_start = std::max(max_surviving_start, w.start_tick);
+    for (const wl::TraceWrite& w : f.writes) {
+      ++res.order_writes_checked;
+      std::uint64_t ready_at = kNever;
+      for (const wl::TraceSync& s : f.syncs)
+        if (call_orders(s.call) && s.start_tick > w.done_tick)
+          ready_at = std::min(ready_at, s.done_tick);
+      if (present(w)) continue;
+      if (ready_at < max_surviving_start) {
+        violation(f.rel_name() + " write (" + describe(w) +
+                  ") lost although a later write survived past the order "
+                  "point covering it — cross-writer ordering broken");
+        dump("conc-order", w);
+      } else if (res.quiesced && ready_at != kNever) {
+        violation(f.rel_name() + " write (" + describe(w) +
+                  ") not durable after quiescence");
+        dump("conc-quiesce", w);
+      }
+    }
+
+    // 4. Existence + size floor: a never-unlinked file with a durable
+    //    full-sync fact must exist, with at least the size the syncs
+    //    settled.
+    if (!f.unlinked && any_exist_fact) {
+      ++res.namespace_facts_checked;
+      if (rf == nullptr)
+        violation(f.rel_name() +
+                  " was durably synced but does not exist after recovery");
+    }
+    if (rf != nullptr && size_floor > 0) {
+      ++res.namespace_facts_checked;
+      if (rf->size_blocks < size_floor)
+        violation(f.rel_name() + " recovered with size " +
+                  std::to_string(rf->size_blocks) + " < synced size " +
+                  std::to_string(size_floor));
+    }
+
+    // 5. Rename durability under contention: once a sync committed the
+    //    rename history up to name_idx_floor, only that or a newer name
+    //    may recover.
+    if (name_idx_floor > 0 && rf != nullptr) {
+      ++res.namespace_facts_checked;
+      const auto it =
+          std::find(f.rel_names.begin(), f.rel_names.end(), rf->name);
+      if (it != f.rel_names.end() &&
+          static_cast<std::size_t>(it - f.rel_names.begin()) <
+              name_idx_floor)
+        violation("namespace: " + rf->name +
+                  " recovered although the rename to " +
+                  f.rel_names[name_idx_floor] + " was durably synced");
+    }
+
+    // 6. Unlink durability: a sync that returned after the unlink
+    //    completed committed the removal.
+    if (unlink_committed) {
+      ++res.namespace_facts_checked;
+      if (rf != nullptr)
+        violation("namespace: " + rf->name +
+                  " recovered although its unlink was durably synced");
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+CrashCheckResult run_concurrent_crash_check(StackKind kind,
+                                            std::uint64_t seed,
+                                            sim::SimTime crash_at,
+                                            const ConcurrentCrashOptions& opt) {
+  CrashCheckResult res;
+  res.seed = seed;
+  res.crash_at = crash_at;
+  const core::StackConfig cfg =
+      checker_config(kind, opt.journal_blocks, opt.wl.extent_blocks);
+
+  // The trace outlives the stack: suspended writer frames destroyed at
+  // simulator teardown may still name it (they never touch it then, but
+  // the ordering keeps the invariant obvious).
+  wl::ConcurrentTrace trace;
+  auto stack = std::make_unique<core::Stack>(cfg);
+  stack->start();
+  api::Vfs vfs(*stack);
+  wl::ConcurrentWritersParams params = opt.wl;
+  params.seed = seed;
+  wl::spawn_concurrent_writers(stack->volume(0), vfs, "", params, trace);
+  stack->sim().run_until(crash_at);  // power cut
+
+  const fs::RecoveryReport report =
+      verify_concurrent_volume(res, stack->volume(0), trace, kind);
+
+  if (opt.remount) {
+    auto stack2 = std::make_unique<core::Stack>(cfg);
+    stack2->fs().mount(report);
+    stack2->start();
+    api::Vfs vfs2(*stack2);
+    std::string err;
+    stack2->sim().spawn("chk:verify", remount_verify(vfs2, "", report, err));
+    stack2->sim().run();
+    if (!err.empty()) res.violations.push_back("remount: " + err);
+  }
+  return res;
+}
+
+CrashSweepResult run_concurrent_crash_sweep(StackKind kind, int points,
+                                            std::uint64_t base_seed,
+                                            const ConcurrentCrashOptions& opt) {
+  CrashSweepResult sweep;
+  CrashPointGen crash_points(base_seed);
+  const std::string repro = std::string("conc:") + core::to_string(kind);
+  for (int i = 0; i < points; ++i) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    const sim::SimTime crash_at = crash_points.next();
+    const CrashCheckResult res =
+        run_concurrent_crash_check(kind, seed, crash_at, opt);
+    sweep.accumulate(res);
+    if (!res.ok()) {
+      ++sweep.failed_points;
+      note_failure(sweep, repro, core::to_string(kind), i, base_seed, res);
+    }
+  }
+  return sweep;
+}
+
 MultiVolumeSweepResult run_multi_volume_crash_sweep(
     const std::vector<StackKind>& kinds, int points, std::uint64_t base_seed,
     const CrashCheckOptions& opt) {
@@ -673,10 +1014,13 @@ MultiVolumeSweepResult run_multi_volume_crash_sweep(
       if (!r.ok()) {
         ++agg.failed_points;
         failed = true;
+        const std::string tag =
+            std::string(core::to_string(kinds[v])) + "@v" + std::to_string(v);
         if (sweep.sample_violations.size() < 8) {
           std::ostringstream os;
-          os << core::to_string(kinds[v]) << "@v" << v << " seed=" << r.seed
-             << " crash=" << r.crash_at << "ns: " << r.violations.front();
+          os << tag << " seed=" << r.seed << " crash=" << r.crash_at
+             << "ns point=" << i << ": " << r.violations.front()
+             << " (replay: --repro node:" << base_seed << ":" << i << ")";
           sweep.sample_violations.push_back(os.str());
         }
       }

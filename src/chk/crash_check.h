@@ -39,6 +39,7 @@
 
 #include "core/stack.h"
 #include "sim/time.h"
+#include "wl/concurrent_writers.h"
 
 namespace bio::chk {
 
@@ -84,6 +85,13 @@ struct CrashCheckResult {
   /// Namespace ops the workload actually performed.
   std::uint32_t renames_done = 0;
   std::uint32_t unlinks_done = 0;
+  // Concurrent-sweep facts (zero on single-writer checks).
+  /// Returned sync syscalls whose promises were verified.
+  std::uint32_t syncs_recorded = 0;
+  /// Descriptor close/reopen cycles the workload performed.
+  std::uint32_t fd_cycles = 0;
+  /// close() calls issued while that fd's sync was still suspended.
+  std::uint32_t closes_during_sync = 0;
 };
 
 /// One workload + power cut + recovery + remount + verification pass.
@@ -103,16 +111,40 @@ struct CrashSweepResult {
   std::uint64_t journal_wraps = 0;
   std::uint64_t journal_stalls = 0;
   std::uint32_t files_recovered = 0;
-  /// First few violations, with their (seed, crash) context.
+  std::uint64_t syncs_recorded = 0;
+  std::uint64_t fd_cycles = 0;
+  std::uint64_t closes_during_sync = 0;
+  /// First few violations, with their (seed, crash) context and a
+  /// `--repro` spec (see examples/crash_consistency). The CLI spec replays
+  /// with DEFAULT sweep options; a sweep run with custom options must be
+  /// replayed through run_crash_check / run_concurrent_crash_check with
+  /// the same options and the Failure coordinates below.
   std::vector<std::string> sample_violations;
+
+  /// Replay coordinates of the first 32 failed points: point index plus
+  /// the derived seed and crash instant. run_crash_check(kind, seed,
+  /// crash_at, <the sweep's options>) — or the concurrent flavour —
+  /// replays exactly that case; `failed_points` holds the true total.
+  struct Failure {
+    int point = 0;
+    std::uint64_t seed = 0;
+    sim::SimTime crash_at = 0;
+    std::string first_violation;
+  };
+  std::vector<Failure> failures;
 
   bool ok() const noexcept { return failed_points == 0; }
 
   /// Folds one crash point's result into the aggregate (points, quiesced
   /// and every checked-facts counter; failure accounting stays with the
-  /// caller). The single funnel both sweep flavours use.
+  /// caller). The single funnel every sweep flavour uses.
   void accumulate(const CrashCheckResult& r);
 };
+
+/// The crash instant the sweeps derive for `point` under `base_seed` —
+/// exposed so a single failed sweep point can be replayed in isolation
+/// (every sweep flavour draws from this same generator stream).
+sim::SimTime sweep_crash_at(std::uint64_t base_seed, int point);
 
 /// Sweeps `points` random (seed, crash instant) combinations derived from
 /// `base_seed`. Crash instants mix mid-workload cuts with post-quiescence
@@ -158,5 +190,38 @@ struct MultiVolumeSweepResult {
 MultiVolumeSweepResult run_multi_volume_crash_sweep(
     const std::vector<core::StackKind>& kinds, int points,
     std::uint64_t base_seed = 1, const CrashCheckOptions& opt = {});
+
+// ---- concurrent multi-writer sweep ------------------------------------------
+
+/// Options for the shared-inode concurrent sweep: N writer coroutines over
+/// one volume through independent fds (wl::spawn_concurrent_writers), with
+/// the per-writer observations merged into one cross-writer contract.
+struct ConcurrentCrashOptions {
+  wl::ConcurrentWritersParams wl;
+  /// Journal size (small values force wraps under the churn). 0 = default.
+  std::uint32_t journal_blocks = 256;
+  bool remount = true;
+};
+
+/// One concurrent workload + power cut + recovery + remount + cross-writer
+/// verification pass. The verified contract, per stack kind:
+///   * acked durability per syncing fd: a write that completed before a
+///     durable-ack sync (fsync/fdatasync on EXT4/BFS, dsync's data on
+///     OptFS) started must survive once that sync returned — regardless of
+///     which writer wrote and which fd synced;
+///   * cross-writer epoch prefix: if a write that started after a returned
+///     sync survives, every write (any writer) that completed before that
+///     sync started survives — racing writes are constrained by neither
+///     side;
+///   * delayed durability at quiescence, and the PR 4 namespace facts
+///     (durable renames stick, durable unlinks stay gone, nothing
+///     fabricated) under rename/unlink contention.
+CrashCheckResult run_concurrent_crash_check(
+    core::StackKind kind, std::uint64_t seed, sim::SimTime crash_at,
+    const ConcurrentCrashOptions& opt = {});
+
+CrashSweepResult run_concurrent_crash_sweep(
+    core::StackKind kind, int points, std::uint64_t base_seed = 1,
+    const ConcurrentCrashOptions& opt = {});
 
 }  // namespace bio::chk

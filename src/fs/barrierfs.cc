@@ -13,6 +13,7 @@ void BarrierFsJournal::start() {
 
 sim::Task BarrierFsJournal::dirty_metadata(flash::Lba block,
                                            std::uint64_t& txn_out) {
+  co_await throttle_running_txn(1);
   txn_out = running_->id;
   if (running_->buffers.contains(block)) co_return;
   if (conflict_blocks_.contains(block)) co_return;  // already queued

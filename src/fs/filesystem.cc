@@ -136,6 +136,7 @@ sim::Task Filesystem::create(std::string name, Inode*& out,
   co_await journal_->dirty_metadata(dir_block_of(f.name), tid);
   co_await journal_->dirty_metadata(layout_.inode_block(f.ino), tid);
   f.txn_id = tid;
+  f.datasync_txn_id = tid;
   f.meta_dirty = true;
   f.size_dirty = true;
 }
@@ -298,16 +299,22 @@ sim::Task Filesystem::write(Inode& f, std::uint32_t page,
     const bool overwrite = p < old_size;
     cache_.write(f.ino, p, f.lba_of_page(p), blk_.next_version(), overwrite);
   }
-  if (page + npages > f.size_blocks) {
-    f.size_blocks = page + npages;
-    f.size_dirty = true;
-    newly_dirty_meta = true;
-  }
-  if (newly_dirty_meta || f.size_dirty) {
+  const bool grew = page + npages > f.size_blocks;
+  if (grew) f.size_blocks = page + npages;
+  if (newly_dirty_meta || grew || f.size_dirty) {
     std::uint64_t tid = 0;
     co_await journal_->dirty_metadata(layout_.inode_block(f.ino), tid);
+    // Flag updates land in the SAME synchronous stretch as the transaction
+    // registration. Setting size_dirty before the (suspending) reservation
+    // above let a concurrent syscall's commit_metadata() clear it in
+    // between — the size change then belonged to no transaction any sync
+    // would commit, and a later fdatasync could skip the commit entirely.
     f.txn_id = tid;
     f.meta_dirty = true;
+    if (grew) {
+      f.size_dirty = true;
+      f.datasync_txn_id = tid;
+    }
   }
 }
 
@@ -388,10 +395,12 @@ std::vector<blk::RequestPtr> Filesystem::submit_data(Inode& f, bool ordered,
   return reqs;
 }
 
-std::uint32_t Filesystem::journal_overwrites(Inode& f) {
+std::uint32_t Filesystem::journal_overwrites(Inode& f,
+                                             std::size_t max_pages) {
   cache_.dirty_pages_of(f.ino, scratch_keys_);
   scratch_blocks_.clear();
   for (const PageCache::PageKey& key : scratch_keys_) {
+    if (scratch_blocks_.size() >= max_pages) break;
     const PageCache::PageState* st = cache_.find(key.ino, key.page);
     if (st->overwrite) {
       scratch_blocks_.emplace_back(st->lba, st->version);
@@ -407,19 +416,22 @@ sim::Task Filesystem::wait_requests(const std::vector<blk::RequestPtr>& reqs) {
 }
 
 sim::Task Filesystem::ensure_data_durable(
-    const std::vector<blk::RequestPtr>& reqs) {
-  if (cfg_.nobarrier || reqs.empty()) co_return;
+    const Inode& f, const std::vector<blk::RequestPtr>& reqs) {
+  if (cfg_.nobarrier) co_return;
   for (const blk::RequestPtr& r : reqs) co_await r->completion.wait();
   const flash::StorageDevice& dev = blk_.device();
-  bool proven = true;
+  // The inode's persist floor covers writeback carriers that completed and
+  // were swept before this syscall could wait on them: their data
+  // *transferred*, but may have entered the cache after whatever flush the
+  // group commit already counted.
+  bool proven = dev.persisted_through(f.persist_floor);
   for (const blk::RequestPtr& r : reqs) {
+    if (!proven) break;
     // persist_through == 0: the request was absorbed into a foreign carrier
     // and never stamped — not provably persisted either.
     if (r->cmd.persist_through == 0 ||
-        !dev.persisted_through(r->cmd.persist_through)) {
+        !dev.persisted_through(r->cmd.persist_through))
       proven = false;
-      break;
-    }
   }
   if (!proven) co_await blk_.flush_and_wait();
 }
@@ -431,24 +443,52 @@ sim::Task Filesystem::request_backpressure() {
   co_await blk_.throttle();
 }
 
-sim::Task Filesystem::wait_file_writebacks(
-    Inode& f, const std::vector<blk::RequestPtr>& exclude) {
+sim::Task Filesystem::wait_file_writebacks(Inode& f,
+                                           std::vector<blk::RequestPtr>& reqs) {
   // Waits for pages of `f` already under writeback by someone else
-  // (pdflush), skipping the requests this syscall itself just submitted.
-  std::vector<blk::RequestPtr> wb = cache_.writebacks_of(f.ino);
-  for (const blk::RequestPtr& r : wb) {
-    if (std::find(exclude.begin(), exclude.end(), r) != exclude.end())
-      continue;
+  // (pdflush, a concurrent writer's sync), skipping the requests this
+  // syscall itself just submitted — and FOLDS the foreign carriers into
+  // `reqs`, so the caller's durability proof (ensure_data_durable) covers
+  // them. Waiting their transfer alone is not enough: a concurrent sync's
+  // commit flush may have entered the device before these carriers
+  // transferred, leaving their data in the volatile cache when this
+  // syscall acks durability.
+  bool swept = false;
+  std::vector<blk::RequestPtr> wb = cache_.writebacks_of(f.ino, &swept);
+  if (swept) {
+    // Completed carriers were dropped before we could wait on them; their
+    // data transferred no later than the cache's current order. Raise the
+    // floor the durability proof must clear.
+    f.persist_floor =
+        std::max(f.persist_floor, blk_.device().cache().next_order());
+  }
+  for (blk::RequestPtr& r : wb) {
+    if (std::find(reqs.begin(), reqs.end(), r) != reqs.end()) continue;
     co_await r->completion.wait();
+    reqs.push_back(std::move(r));
   }
 }
 
 sim::Task Filesystem::commit_metadata(Inode& f, Journal::WaitMode mode) {
+  // The newer of the metadata txn and the journaled-data txn: on OptFS a
+  // concurrent osync may have journaled this file's pages into a LATER
+  // transaction than the one holding the inode block, and a durability
+  // commit must cover both (commits retire in order, so the max covers
+  // the min). On EXT4/BarrierFS datasync_txn_id never exceeds txn_id.
+  const std::uint64_t inode_tid = std::max(f.txn_id, f.datasync_txn_id);
   const std::uint64_t tid =
-      f.txn_id != 0 ? f.txn_id : journal_->running_txn_id();
+      inode_tid != 0 ? inode_tid : journal_->running_txn_id();
   f.meta_dirty = false;
   f.size_dirty = false;
   co_await journal_->commit(tid, mode);
+}
+
+bool Filesystem::txn_in_flight(std::uint64_t tid) const {
+  return tid != 0 && !journal_->is_retired(tid);
+}
+
+sim::Task Filesystem::wait_txn_durable(std::uint64_t tid) {
+  co_await journal_->commit(tid, Journal::WaitMode::kDurable);
 }
 
 // ---- synchronization ---------------------------------------------------------
@@ -469,7 +509,14 @@ sim::Task Filesystem::fsync(Inode& f) {
         // If the inode's transaction had already committed (group commit),
         // the wait above returned without a flush covering this call's
         // data — issue it (ext4_sync_file's needs-barrier path).
-        co_await ensure_data_durable(reqs);
+        co_await ensure_data_durable(f, reqs);
+      } else if (txn_in_flight(f.txn_id)) {
+        // A concurrent syscall's commit_metadata() cleared the flags but
+        // its commit — the one holding this inode's metadata — is still
+        // in flight: fsync may not return before it is durable (ext4's
+        // jbd2_log_wait_commit on i_sync_tid).
+        co_await wait_txn_durable(f.txn_id);
+        co_await ensure_data_durable(f, reqs);
       } else if (!cfg_.nobarrier) {
         co_await blk_.flush_and_wait();  // fdatasync-degenerate path
       }
@@ -484,7 +531,10 @@ sim::Task Filesystem::fsync(Inode& f) {
       co_await wait_file_writebacks(f, reqs);
       if (f.meta_dirty || f.size_dirty) {
         co_await commit_metadata(f, Journal::WaitMode::kDurable);
-        co_await ensure_data_durable(reqs);  // already-committed case
+        co_await ensure_data_durable(f, reqs);  // already-committed case
+      } else if (txn_in_flight(f.txn_id)) {
+        co_await wait_txn_durable(f.txn_id);  // i_sync_tid parity
+        co_await ensure_data_durable(f, reqs);
       } else {
         co_await wait_requests(reqs);
         co_await blk_.flush_and_wait();
@@ -510,7 +560,14 @@ sim::Task Filesystem::fdatasync(Inode& f) {
       co_await wait_requests(reqs);
       if (f.size_dirty) {
         co_await commit_metadata(f, Journal::WaitMode::kDurable);
-        co_await ensure_data_durable(reqs);  // already-committed case
+        co_await ensure_data_durable(f, reqs);  // already-committed case
+      } else if (txn_in_flight(f.datasync_txn_id)) {
+        // The transaction holding the latest i_size change is still in
+        // flight (a concurrent sync cleared size_dirty mid-commit):
+        // fdatasync waits it durable — ext4's i_datasync_tid — while
+        // mtime-only dirt keeps skipping the commit (Fig 11).
+        co_await wait_txn_durable(f.datasync_txn_id);
+        co_await ensure_data_durable(f, reqs);
       } else if (!cfg_.nobarrier) {
         co_await blk_.flush_and_wait();
       }
@@ -523,7 +580,10 @@ sim::Task Filesystem::fdatasync(Inode& f) {
       co_await wait_file_writebacks(f, reqs);
       if (f.size_dirty) {
         co_await commit_metadata(f, Journal::WaitMode::kDurable);
-        co_await ensure_data_durable(reqs);  // already-committed case
+        co_await ensure_data_durable(f, reqs);  // already-committed case
+      } else if (txn_in_flight(f.datasync_txn_id)) {
+        co_await wait_txn_durable(f.datasync_txn_id);  // i_datasync_tid
+        co_await ensure_data_durable(f, reqs);
       } else {
         co_await wait_requests(reqs);
         co_await blk_.flush_and_wait();
@@ -601,24 +661,62 @@ sim::Task Filesystem::osync_impl(Inode& f, bool wait_transfer) {
   co_await sim_.delay(cfg_.osync_scan_cpu_per_page *
                       static_cast<sim::SimTime>(dirty_pages + 1));
   co_await wait_stable_pages(f);
-  const std::uint32_t journaled = journal_overwrites(f);
+  // Selective data journaling adds one log block per overwrite page. The
+  // batch is bounded to the journal's per-transaction payload limit and
+  // split across transactions when a file carries more dirty overwrites
+  // than one transaction may hold (a 48-page extent over a 48-block
+  // journal is a legal configuration); each full batch commits before the
+  // next is journaled, and the running transaction is throttled first so
+  // concurrent writers' buffers do not push the batch past the limit.
+  std::uint32_t journaled = 0;
+  std::uint64_t journaled_tid = 0;
+  for (;;) {
+    const std::size_t limit = journal_->max_txn_payload();
+    std::size_t pending = 0;
+    cache_.dirty_pages_of(f.ino, scratch_keys_);
+    for (const PageCache::PageKey& key : scratch_keys_)
+      if (cache_.find(key.ino, key.page)->overwrite) ++pending;
+    if (pending == 0) break;
+    co_await journal_->throttle_running_txn(std::min(pending, limit));
+    // Concurrent writers may have refilled the running transaction during
+    // the throttle's commit-wait: cap the batch at the headroom actually
+    // left, read in this same synchronous stretch as the add.
+    const std::size_t payload = journal_->running_payload();
+    if (payload >= limit) continue;  // no room — throttle again
+    const std::size_t room = limit - payload;
+    const std::uint32_t batch = journal_overwrites(f, room);
+    if (batch == 0) break;
+    journaled += batch;
+    // The journaled pages joined the transaction running NOW. Record it on
+    // the inode in this same synchronous stretch: a concurrent durability
+    // syscall (dsync) must know which transaction carries this file's
+    // data — and the commits below must name exactly this id, because the
+    // waits in between can outlive the transaction's close.
+    journaled_tid = journal_->running_txn_id();
+    f.datasync_txn_id = std::max(f.datasync_txn_id, journaled_tid);
+    if (batch < room) break;  // the file's overwrites all fit
+    co_await journal_->commit(journaled_tid, Journal::WaitMode::kDurable);
+  }
   std::vector<blk::RequestPtr> reqs = submit_data(f, false, false);
   // The osync transaction's commit checksum covers the allocating writes
   // going in place: attach them so recovery can validate atomicity.
   for (const blk::RequestPtr& r : reqs) journal_->attach_data(r);
   if (wait_transfer) co_await wait_requests(reqs);
   if (journaled > 0) {
-    // The journaled pages live in the *running* transaction; commit that
-    // one (the inode's recorded txn may be long retired).
     f.meta_dirty = false;
     f.size_dirty = false;
-    co_await journal_->commit(journal_->running_txn_id(),
-                              Journal::WaitMode::kDurable);
+    co_await journal_->commit(journaled_tid, Journal::WaitMode::kDurable);
   } else if (f.meta_dirty || f.size_dirty) {
     co_await commit_metadata(f, Journal::WaitMode::kDurable);
   } else if (journal_->running_has_updates()) {
     co_await journal_->commit(journal_->running_txn_id(),
                               Journal::WaitMode::kDurable);
+  } else if (txn_in_flight(f.txn_id) || txn_in_flight(f.datasync_txn_id)) {
+    // Nothing new to commit, but a concurrent syscall's transaction still
+    // holds this file's metadata or journaled data (it may be stalled on
+    // journal space): this osync orders after it — and dsync's trailing
+    // flush must cover its records, so wait its transfer here.
+    co_await wait_txn_durable(std::max(f.txn_id, f.datasync_txn_id));
   }
 }
 
@@ -631,6 +729,11 @@ sim::Task Filesystem::dsync(Inode& f) {
   // flush, so the data this call covered is on media at return while
   // metadata durability still arrives on the journal's own schedule.
   co_await osync_impl(f, /*wait_transfer=*/true);
+  // Writebacks of this file still in flight from concurrent order points
+  // must transfer before the flush below, or their (covered) data sits in
+  // the volatile cache past this call's durable return.
+  std::vector<blk::RequestPtr> wb = cache_.writebacks_of(f.ino);
+  for (const blk::RequestPtr& r : wb) co_await r->completion.wait();
   co_await blk_.flush_and_wait();
 }
 
@@ -670,6 +773,7 @@ sim::Task Filesystem::pdflush_loop() {
       };
       journaled_blocks.clear();
       blk::RequestPtr skipped_carrier;
+      bool journal_batch_full = false;
       for (const PageCache::PageKey& key : keys) {
         if (reqs.size() >= cfg_.writeback_batch) break;
         const PageCache::PageState* st = cache_.find(key.ino, key.page);
@@ -680,8 +784,18 @@ sim::Task Filesystem::pdflush_loop() {
         }
         if (cfg_.journal == JournalKind::kOptFs && st->overwrite) {
           // OptFS: overwrite writeback goes through the journal (selective
-          // data journaling), not in place.
+          // data journaling), not in place. The page's inode remembers the
+          // carrying transaction, as osync does (dsync attribution). The
+          // batch stays within one transaction's payload — the remainder
+          // keeps its dirty bit for the next pdflush pass.
+          if (journal_->running_payload() + journaled_blocks.size() >=
+              journal_->max_txn_payload()) {
+            journal_batch_full = true;
+            continue;
+          }
           journaled_blocks.emplace_back(st->lba, st->version);
+          if (auto fit = by_ino_.find(key.ino); fit != by_ino_.end())
+            fit->second->datasync_txn_id = journal_->running_txn_id();
           cache_.mark_clean(key);
           continue;
         }
@@ -699,11 +813,16 @@ sim::Task Filesystem::pdflush_loop() {
         co_await journal_->commit(journal_->running_txn_id(),
                                   Journal::WaitMode::kDurable);
       } else if (reqs.empty()) {
-        // Every collected page was skipped (in-flight copies): this pass
-        // made no progress, so suspend on one of the carriers or the loop
-        // would spin forever in the cooperative simulator.
+        // Every collected page was skipped: this pass made no progress, so
+        // suspend on whatever blocks it — an in-flight carrier, or a full
+        // running transaction (commit it so the next pass has payload
+        // room) — or the loop would spin forever in the cooperative
+        // simulator.
         if (skipped_carrier != nullptr)
           co_await skipped_carrier->completion.wait();
+        else if (journal_batch_full)
+          co_await journal_->commit(journal_->running_txn_id(),
+                                    Journal::WaitMode::kDurable);
         else
           break;
       }

@@ -153,9 +153,11 @@ class Filesystem {
   std::vector<blk::RequestPtr> submit_data(Inode& f, bool ordered,
                                            bool barrier_last);
 
-  /// OptFS: strips overwrite pages out of the dirty set into the journal
-  /// (selective data journaling); returns the count journaled.
-  std::uint32_t journal_overwrites(Inode& f);
+  /// OptFS: strips up to `max_pages` overwrite pages out of the dirty set
+  /// into the journal (selective data journaling); returns the count
+  /// journaled. Batches are bounded so one transaction's JD record always
+  /// fits the journal (osync_impl splits larger payloads across commits).
+  std::uint32_t journal_overwrites(Inode& f, std::size_t max_pages);
 
   /// Journal close hook: freezes each dirtied metadata block's logical
   /// content (MetaSnapshot) into the closing transaction.
@@ -170,9 +172,18 @@ class Filesystem {
   /// the requests' transfers, then flushes unless every request provably
   /// persisted (its cache watermark drained — e.g. under the commit's own
   /// flush).
-  sim::Task ensure_data_durable(const std::vector<blk::RequestPtr>& reqs);
+  sim::Task ensure_data_durable(const Inode& f,
+                                const std::vector<blk::RequestPtr>& reqs);
+  /// Waits out in-flight writeback carriers of `f` not already in `reqs`
+  /// and appends them to `reqs`, so the caller's later durability proof
+  /// (ensure_data_durable) covers foreign writebacks too.
   sim::Task wait_file_writebacks(Inode& f,
-                                 const std::vector<blk::RequestPtr>& exclude);
+                                 std::vector<blk::RequestPtr>& reqs);
+  /// True while `tid` names a transaction not yet durably retired — the
+  /// "a concurrent syscall's commit still holds this inode's metadata"
+  /// test behind the i_sync_tid / i_datasync_tid waits in fsync/fdatasync.
+  bool txn_in_flight(std::uint64_t tid) const;
+  sim::Task wait_txn_durable(std::uint64_t tid);
   sim::Task remove_name(const std::string& name, bool reclaim_now);
   sim::Task pdflush_loop();
   sim::Task throttle_writer();

@@ -10,6 +10,7 @@ void Jbd2Journal::start() {
 
 sim::Task Jbd2Journal::dirty_metadata(flash::Lba block,
                                       std::uint64_t& txn_out) {
+  co_await throttle_running_txn(1);
   // EXT4 page-conflict rule: a buffer held by the committing transaction
   // may not join the running one; the application blocks until the commit
   // retires (§4.3).

@@ -34,6 +34,14 @@ void Journal::add_journaled_data(std::span<const blk::Block> pages) {
                                   pages.begin(), pages.end());
 }
 
+sim::Task Journal::throttle_running_txn(std::size_t adding) {
+  while (!running_->empty() &&
+         1 + running_->buffers.size() + running_->journaled_data_blocks +
+                 adding >
+             max_txn_payload())
+    co_await commit(running_->id, WaitMode::kDispatched);
+}
+
 bool Journal::is_retired(std::uint64_t tid) const {
   const Txn* t = find_txn(tid);
   return t != nullptr && t->state == Txn::State::kRetired;
@@ -199,10 +207,22 @@ sim::Task Journal::reserve_journal_blocks(Txn& txn, std::size_t n,
       stats_.journal_blocks_written += n;
       co_return;
     }
+    // No live spans but still no fit: the whole area is free, yet the head
+    // sits so close to the end that the wrap waste plus this record exceed
+    // the capacity (a group commit over many concurrent writers can carry
+    // dozens of buffers, so a single JD approaches the journal size).
+    // Nothing lives anywhere — restart the lap at offset 0, which is what
+    // jbd2's separate head/tail free-space arithmetic achieves.
+    if (live_spans_.empty()) {
+      BIO_CHECK_MSG(journal_used_ == 0, "journal accounting corrupt");
+      journal_head_ = 0;
+      journal_tail_ = 0;
+      ++stats_.journal_wraps;
+      continue;
+    }
     // Journal full: the head would run into records still owned by an
     // un-checkpointed transaction (pre-fix this silently clobbered them).
     ++stats_.journal_stalls;
-    BIO_CHECK_MSG(!live_spans_.empty(), "journal accounting corrupt");
     BIO_CHECK_MSG(live_spans_.front().txn != &txn,
                   "transaction larger than the journal");
     Txn& oldest = *live_spans_.front().txn;

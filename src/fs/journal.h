@@ -179,6 +179,32 @@ class Journal {
   /// (ordered-mode data writeout dependency).
   void attach_data(blk::RequestPtr r);
 
+  /// jbd2-style transaction-size bound: while the running transaction's
+  /// projected JD record (descriptor + per-buffer/per-page log blocks)
+  /// plus `adding` more would outgrow max_txn_payload(), commit it and
+  /// wait for the swap. Without this, a group commit over many concurrent
+  /// writers can build a descriptor too large to ever fit next to its own
+  /// commit record in a small journal. No-op while the running txn is
+  /// empty (an atomically-oversized batch is a config error the reserve
+  /// path still asserts on).
+  sim::Task throttle_running_txn(std::size_t adding);
+
+  /// Log blocks one transaction may carry (jbd2's j_max_transaction_buffers
+  /// analogue): half the journal area, so a JD and its JC always fit in one
+  /// lap even with wrap waste. Batch producers (OptFS selective data
+  /// journaling) must split larger payloads across transactions.
+  std::size_t max_txn_payload() const noexcept {
+    return std::max<std::size_t>(4, (cfg_.journal_blocks - 2) / 2);
+  }
+
+  /// The running transaction's current JD footprint (descriptor + buffers
+  /// + journaled pages) — what a batch producer reads, in the same
+  /// synchronous stretch as its add, to cap the batch at
+  /// max_txn_payload() without racing concurrent dirtiers.
+  std::size_t running_payload() const noexcept {
+    return 1 + running_->buffers.size() + running_->journaled_data_blocks;
+  }
+
   /// Adds selectively-journaled data blocks (with payload identity) to the
   /// running txn.
   void add_journaled_data(std::span<const blk::Block> pages);

@@ -10,6 +10,7 @@ void OptFsJournal::start() {
 
 sim::Task OptFsJournal::dirty_metadata(flash::Lba block,
                                        std::uint64_t& txn_out) {
+  co_await throttle_running_txn(1);
   // OptFS keeps JBD's single committing transaction and its blocking
   // conflict rule.
   while (committing_ != nullptr && committing_->buffers.contains(block)) {

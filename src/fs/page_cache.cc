@@ -38,8 +38,10 @@ std::vector<PageCache::PageKey> PageCache::dirty_pages_of(
   return out;
 }
 
-std::vector<blk::RequestPtr> PageCache::writebacks_of(std::uint32_t ino) {
+std::vector<blk::RequestPtr> PageCache::writebacks_of(std::uint32_t ino,
+                                                      bool* swept_completed) {
   std::vector<blk::RequestPtr> out;
+  if (swept_completed != nullptr) *swept_completed = false;
   auto it = wb_index_.find(ino);
   if (it == wb_index_.end()) return out;
   std::set<std::uint32_t>& pages = it->second;
@@ -52,7 +54,11 @@ std::vector<blk::RequestPtr> PageCache::writebacks_of(std::uint32_t ino) {
       // Lazy completion sweep: the carrier already finished (waiting on its
       // set event would be a no-op), so drop the stale reference. This
       // keeps the wait list O(in-flight) and releases the request back to
-      // the pool instead of pinning it until the page is rewritten.
+      // the pool instead of pinning it until the page is rewritten. The
+      // caller is told (`swept_completed`): a durability path must raise
+      // the inode's persist floor, because "completed" only means
+      // *transferred* — the data may still sit in the volatile cache.
+      if (swept_completed != nullptr) *swept_completed = true;
       wb = nullptr;
       pit = pages.erase(pit);
       continue;

@@ -62,7 +62,11 @@ class PageCache {
   /// Requests currently writing back pages of `ino` (to wait on). Lazily
   /// sweeps out carriers whose completion already fired, so the result is
   /// the genuinely in-flight set.
-  std::vector<blk::RequestPtr> writebacks_of(std::uint32_t ino);
+  /// In-flight writeback carriers of `ino`'s pages; lazily sweeps carriers
+  /// that already completed (and reports the sweep via `swept_completed`,
+  /// so durability paths can raise the inode's persist floor).
+  std::vector<blk::RequestPtr> writebacks_of(std::uint32_t ino,
+                                             bool* swept_completed = nullptr);
 
   /// Marks `key` as under writeback by `req` (clears dirty).
   void begin_writeback(const PageKey& key, blk::RequestPtr req);

@@ -130,6 +130,17 @@ struct Inode {
   /// Id of the journal transaction holding this inode's metadata block
   /// (0 = none).
   std::uint64_t txn_id = 0;
+  /// Id of the transaction holding the latest i_size change (ext4's
+  /// i_datasync_tid): fdatasync must not return before THIS transaction is
+  /// durable, even when a concurrent syscall already cleared the dirty
+  /// flags while its commit is still in flight.
+  std::uint64_t datasync_txn_id = 0;
+  /// Device-cache order high-water covering every *completed* writeback
+  /// carrier of this file whose request object is no longer tracked (swept
+  /// after completion). A durability syscall must prove the device
+  /// persisted through this floor — or flush — before acking: the carrier
+  /// may have transferred after the flush a group commit already counted.
+  std::uint64_t persist_floor = 0;
 
   flash::Lba lba_of_page(std::uint32_t page) const noexcept {
     return extent_base + page;

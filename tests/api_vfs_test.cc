@@ -272,6 +272,154 @@ TEST(VfsTest, FdReuseDuringInflightIoDoesNotCorruptNewOffset) {
       << "the reopened descriptor must start at offset 0";
 }
 
+TEST(VfsTest, CloseDuringSuspendedSyncKeepsVnodeAlive) {
+  // The fd-lifecycle edge of the concurrent sweep, directed: a sync
+  // (fsync/fbarrier per capability) suspends against the vnode; the fd is
+  // closed — and the whole file unlinked — while the sync is in flight.
+  // The pinned vnode must survive until the sync returns; the sync must
+  // still complete successfully; reclamation happens afterwards.
+  for (StackKind kind : kAllKinds) {
+    StackFixture x(kind);
+    Vfs vfs(*x.stack);
+    Fd fd = kInvalidFd;
+    flash::Lba base = 0;
+    auto setup = [&]() -> Task {
+      File f = must(co_await vfs.open("victim",
+                                      {.create = true, .extent_blocks = 8}));
+      must(co_await f.pwrite(0, 4));  // dirty data: the sync has work to do
+      fd = f.fd();
+      base = x.fs().lookup("victim")->extent_base;
+    };
+    x.sim().spawn("setup", setup());
+    x.sim().run();
+
+    bool sync_returned = false;
+    auto syncer = [&]() -> Task {
+      // fbarrier where the journal supports it, fsync elsewhere — both pin
+      // the vnode across their suspensions.
+      Status s = kind == StackKind::kBfsDR || kind == StackKind::kBfsOD
+                     ? co_await vfs.fbarrier(fd)
+                     : co_await vfs.fsync(fd);
+      EXPECT_TRUE(s.ok()) << core::to_string(kind);
+      sync_returned = true;
+    };
+    auto closer = [&]() -> Task {
+      co_await x.sim().yield();  // let the sync suspend first
+      must(co_await vfs.unlink("victim"));
+      must(vfs.close(fd));
+      EXPECT_FALSE(sync_returned)
+          << core::to_string(kind)
+          << ": close must have raced the in-flight sync for this test "
+             "to bite";
+      // Double-close of the now-free slot: EBADF, not a crash and not a
+      // foreign descriptor.
+      EXPECT_EQ(vfs.close(fd).error(), Errno::kBadF);
+    };
+    x.sim().spawn("sync", syncer());
+    x.sim().spawn("close", closer());
+    x.sim().run();
+    EXPECT_TRUE(sync_returned) << core::to_string(kind);
+    EXPECT_EQ(vfs.open_fds(), 0u);
+
+    // The unlinked file's storage is reclaimed only after the sync's pin
+    // dropped — a fresh create now reuses the extent.
+    auto after = [&]() -> Task {
+      File again = must(
+          co_await vfs.open("again", {.create = true, .extent_blocks = 8}));
+      EXPECT_EQ(x.fs().lookup("again")->extent_base, base)
+          << core::to_string(kind);
+      must(again.close());
+    };
+    x.sim().spawn("after", after());
+    x.sim().run();
+  }
+}
+
+TEST(VfsTest, DoubleCloseIsEbadfOnEveryPath) {
+  StackFixture x(StackKind::kExt4DR);
+  Vfs vfs(*x.stack);
+  auto body = [&]() -> Task {
+    File f = must(co_await vfs.open("a", {.create = true}));
+    const Fd fd = f.fd();
+    must(f.close());
+    EXPECT_FALSE(f.valid());
+    // Handle-level double close: the File already invalidated itself.
+    EXPECT_EQ(f.close().error(), Errno::kBadF);
+    // Raw-fd double close on the free slot.
+    EXPECT_EQ(vfs.close(fd).error(), Errno::kBadF);
+    // A copied handle still naming the stale fd is EBADF too.
+    File copy = must(co_await vfs.open("a"));
+    File alias = copy;
+    must(copy.close());
+    EXPECT_EQ(alias.close().error(), Errno::kBadF);
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+  EXPECT_EQ(vfs.stats().closes, 2u);
+  EXPECT_GE(vfs.stats().errors, 3u);
+}
+
+// ---- seek / short-read boundary semantics -----------------------------------
+
+TEST(VfsTest, SeekPastEofReadsShortAndNeverTouchesUnmappedPages) {
+  // seek(2) past EOF (even past the extent) is legal; the following read
+  // returns 0 at/past EOF and a short count across it — and the device
+  // never sees a read of an unmapped page.
+  StackFixture x(StackKind::kExt4DR);
+  Vfs vfs(*x.stack);
+  auto body = [&]() -> Task {
+    File f = must(
+        co_await vfs.open("f", {.create = true, .extent_blocks = 16}));
+    must(co_await f.pwrite(0, 4));  // size = 4 pages
+    const std::uint64_t reads0 = x.fs().stats().reads;
+    const std::uint64_t dev_reads0 = x.dev().stats().reads;
+
+    // At EOF exactly: 0, offset unchanged.
+    must(vfs.seek(f.fd(), 4));
+    EXPECT_EQ(must(co_await f.read(2)), 0u);
+    EXPECT_EQ(must(vfs.offset(f.fd())), 4u);
+
+    // Past EOF but inside the extent: still 0.
+    must(vfs.seek(f.fd(), 9));
+    EXPECT_EQ(must(co_await f.read(1)), 0u);
+
+    // Past the extent entirely, and a 64-bit offset far past any page the
+    // cast-to-page path could alias back into range: still 0, no crash.
+    must(vfs.seek(f.fd(), 64));
+    EXPECT_EQ(must(co_await f.read(4)), 0u);
+    must(vfs.seek(f.fd(), (1ull << 33) + 5));
+    EXPECT_EQ(must(co_await f.read(4)), 0u);
+
+    // Short read across EOF: 3 pages from offset 1, not 8.
+    must(vfs.seek(f.fd(), 1));
+    EXPECT_EQ(must(co_await f.read(8)), 3u);
+    EXPECT_EQ(must(vfs.offset(f.fd())), 4u);
+
+    // pread mirrors the same boundaries positionally.
+    EXPECT_EQ(must(co_await f.pread(4, 2)), 0u);
+    EXPECT_EQ(must(co_await f.pread(100, 2)), 0u);
+    EXPECT_EQ(must(co_await f.pread(2, 8)), 2u);
+
+    // Nothing above may have read an unmapped page: every filesystem read
+    // stayed within [0, size) (and the boundary reads did no IO at all).
+    EXPECT_EQ(x.fs().stats().reads - reads0, 2u)
+        << "only the two short reads actually read";
+    EXPECT_EQ(x.dev().stats().reads, dev_reads0)
+        << "cache-resident pages: the device must see no read";
+
+    // Writing through a past-EOF offset is ENOSPC beyond the extent but
+    // legal inside it (sparse-ish allocating write).
+    must(vfs.seek(f.fd(), 64));
+    EXPECT_EQ((co_await f.write(1)).error(), Errno::kNoSpc);
+    must(vfs.seek(f.fd(), 12));
+    EXPECT_EQ(must(co_await f.write(2)), 2u);
+    EXPECT_EQ(must(f.size_blocks()), 14u);
+    must(f.close());
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+}
+
 TEST(VfsTest, DefaultConstructedFileReturnsEbadfNotCrash) {
   StackFixture x(StackKind::kExt4DR);
   Vfs vfs(*x.stack);

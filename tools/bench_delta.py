@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Bench-delta guard: fail CI when a perf scenario regresses.
+
+Compares a freshly produced BENCH_perf.json against the committed baseline
+run and flags any ns/io scenario that regressed by more than the threshold.
+
+The baseline and the fresh run come from different machines (the committed
+run is a full Release run on a dev box; CI runs --smoke on a shared
+runner), so raw ns/io ratios carry a machine-speed factor. The guard
+removes it by normalizing every scenario's ratio by the median ratio across
+scenarios: a uniform slowdown (slower runner) passes, while one scenario
+regressing relative to the rest — the signature of an actual hot-path
+regression — fails.
+
+Run-to-run noise on a shared runner easily exceeds 25% per scenario, so
+both sides use per-scenario minima: the committed baseline is the
+per-scenario best of several full runs, and several fresh runs may be
+passed — the guard takes each scenario's minimum ns/io across them (the
+standard noise-robust benchmark estimator) before comparing.
+
+Usage:
+  tools/bench_delta.py <baseline.json> <fresh.json> [<fresh2.json> ...]
+                       [--threshold 1.25] [--warn-only]
+
+Exit codes: 0 ok / warn-only, 1 regression found, 2 usage or schema error.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_scenarios(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_delta: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != "bio-perf/1":
+        print(f"bench_delta: {path}: unexpected schema "
+              f"{doc.get('schema')!r}", file=sys.stderr)
+        sys.exit(2)
+    return {s["name"]: s for s in doc.get("scenarios", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh", nargs="+")
+    ap.add_argument("--threshold", type=float, default=1.25,
+                    help="normalized ns/io ratio above which a scenario "
+                         "counts as regressed (default 1.25 = +25%%)")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="report regressions but exit 0 (sanitizer legs)")
+    args = ap.parse_args()
+
+    base = load_scenarios(args.baseline)
+    runs = [load_scenarios(p) for p in args.fresh]
+    # Per-scenario minimum ns/io across the fresh runs.
+    fresh = {}
+    for run in runs:
+        for name, s in run.items():
+            if not s.get("ns_per_io"):
+                continue
+            if name not in fresh or s["ns_per_io"] < fresh[name]["ns_per_io"]:
+                fresh[name] = s
+
+    ratios = {}
+    for name, s in fresh.items():
+        b = base.get(name)
+        if b is None:
+            print(f"  new scenario (no baseline): {name}")
+            continue
+        if not b.get("ns_per_io"):
+            continue
+        ratios[name] = s["ns_per_io"] / b["ns_per_io"]
+
+    # A baseline scenario the fresh runs no longer produce means the gate
+    # silently lost coverage — fail (re-commit the baseline when a scenario
+    # is deliberately removed or renamed).
+    missing = [n for n, b in sorted(base.items())
+               if b.get("ns_per_io") and n not in fresh]
+    for name in missing:
+        print(f"  missing scenario (in baseline, not in fresh runs): {name}")
+
+    if not ratios:
+        print("bench_delta: no comparable ns/io scenarios", file=sys.stderr)
+        sys.exit(2)
+
+    med = statistics.median(ratios.values())
+    print(f"bench_delta: {len(ratios)} scenarios, median ns/io ratio "
+          f"{med:.3f} (machine-speed factor, divided out)")
+    regressed = []
+    for name in sorted(ratios):
+        norm = ratios[name] / med
+        flag = "REGRESSED" if norm > args.threshold else "ok"
+        print(f"  {name:24s} ratio {ratios[name]:6.3f}  "
+              f"normalized {norm:6.3f}  {flag}")
+        if norm > args.threshold:
+            regressed.append(name)
+
+    problems = []
+    if regressed:
+        problems.append(f"{len(regressed)} scenario(s) "
+                        f">{(args.threshold - 1) * 100:.0f}% over the "
+                        f"fleet-normalized baseline: {', '.join(regressed)}")
+    if missing:
+        problems.append(f"{len(missing)} baseline scenario(s) not produced "
+                        f"by the fresh runs: {', '.join(missing)}")
+    if problems:
+        verdict = "warning" if args.warn_only else "FAIL"
+        for p in problems:
+            print(f"bench_delta: {verdict}: {p}")
+        sys.exit(0 if args.warn_only else 1)
+    print("bench_delta: ok")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()
