@@ -23,11 +23,17 @@
 // behind one Vfs mount table) and verifies each volume's contract
 // independently.
 //
+// The ring sweep (chk::run_ring_crash_sweep) drives the same writers
+// through api::Ring batched submissions with IOSQE_IO_LINK-style chains
+// (write -> barrier -> write) and adds the linked-chain contract of
+// DESIGN.md §10 on top of the concurrent verdicts.
+//
 // Reproducing a failed point: every sweep failure prints its seed, crash
 // instant, point index and an exact `--repro` spec; `--repro <spec>`
 // replays just that case with full violation output. Specs:
 //   --repro <stack>:<base_seed>:<point>        single-writer sweep point
 //   --repro conc:<stack>:<base_seed>:<point>   concurrent sweep point
+//   --repro ring:<stack>:<base_seed>:<point>   ring sweep point
 //   --repro node:<base_seed>:<point>           multi-volume sweep point
 // The CLI replays with DEFAULT sweep options (which is what the CLI
 // sweeps run); a failure from a library sweep with custom options must be
@@ -79,16 +85,18 @@ int run_repro(const std::string& spec) {
   auto fail = [&] {
     std::fprintf(stderr,
                  "bad --repro spec '%s' (want <stack>:<base>:<point>, "
-                 "conc:<stack>:<base>:<point> or node:<base>:<point>)\n",
+                 "conc:<stack>:<base>:<point>, ring:<stack>:<base>:<point> "
+                 "or node:<base>:<point>)\n",
                  spec.c_str());
     return 2;
   };
   const bool conc = parts.size() == 4 && parts[0] == "conc";
+  const bool ring = parts.size() == 4 && parts[0] == "ring";
   const bool node = parts.size() == 3 && parts[0] == "node";
-  if (!conc && !node && parts.size() != 3) return fail();
+  if (!conc && !ring && !node && parts.size() != 3) return fail();
 
-  const std::string& base_s = parts[conc ? 2 : 1];
-  const std::string& point_s = parts[conc ? 3 : 2];
+  const std::string& base_s = parts[conc || ring ? 2 : 1];
+  const std::string& point_s = parts[conc || ring ? 3 : 2];
   const std::uint64_t base = std::strtoull(base_s.c_str(), nullptr, 10);
   const int point = std::atoi(point_s.c_str());
   const std::uint64_t seed = base + static_cast<std::uint64_t>(point);
@@ -109,13 +117,20 @@ int run_repro(const std::string& spec) {
   }
 
   core::StackKind kind;
-  if (!parse_kind(parts[conc ? 1 : 0], kind)) return fail();
+  if (!parse_kind(parts[conc || ring ? 1 : 0], kind)) return fail();
   std::printf("replaying %s%s point %d: seed=%llu crash=%lluns\n",
-              conc ? "concurrent " : "", core::to_string(kind), point,
-              (unsigned long long)seed, (unsigned long long)crash_at);
+              conc ? "concurrent " : (ring ? "ring " : ""),
+              core::to_string(kind), point, (unsigned long long)seed,
+              (unsigned long long)crash_at);
   const chk::CrashCheckResult r =
-      conc ? chk::run_concurrent_crash_check(kind, seed, crash_at)
-           : chk::run_crash_check(kind, seed, crash_at);
+      conc   ? chk::run_concurrent_crash_check(kind, seed, crash_at)
+      : ring ? chk::run_ring_crash_check(kind, seed, crash_at)
+             : chk::run_crash_check(kind, seed, crash_at);
+  std::printf(
+      "  quiesced=%d files=%u txns replayed=%u discarded=%u clean=%d "
+      "wraps=%llu\n",
+      (int)r.quiesced, r.files_recovered, r.txns_replayed, r.txns_discarded,
+      (int)r.recovery_clean, (unsigned long long)r.journal_wraps);
   print_violations(r.violations);
   return r.ok() ? 0 : 1;
 }
@@ -206,6 +221,37 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.syncs_recorded),
         static_cast<unsigned long long>(r.fd_cycles),
         static_cast<unsigned long long>(r.closes_during_sync),
+        stack_ok ? (expect_violations ? "BROKEN (as the paper predicts)"
+                                      : "ok")
+                 : (expect_violations
+                        ? "UNEXPECTEDLY CLEAN (checker too weak?)"
+                        : "VIOLATED"));
+    if (!stack_ok || expect_violations)
+      for (const std::string& v : r.sample_violations)
+        std::printf("        ! %s\n", v.c_str());
+  }
+
+  // ---- ring-driven concurrent sweep (DESIGN.md §10) ------------------------
+  std::printf(
+      "\nring sweep: %d crash points per stack, %u writers batching linked "
+      "chains\n",
+      points, chk::RingCrashOptions{}.wl.writers);
+  std::printf(
+      "stack   | failed | chain facts | acked pgs | order wrs | syncs | "
+      "fd-cyc | verdict\n");
+  for (core::StackKind kind : kinds) {
+    const bool expect_violations = kind == core::StackKind::kExt4OD;
+    const chk::CrashSweepResult r = chk::run_ring_crash_sweep(kind, points);
+    const bool stack_ok = expect_violations ? !r.ok() : r.ok();
+    ok = ok && stack_ok;
+    std::printf(
+        "%-7s | %6d | %11llu | %9llu | %9llu | %5llu | %6llu | %s\n",
+        core::to_string(kind), r.failed_points,
+        static_cast<unsigned long long>(r.chain_facts_checked),
+        static_cast<unsigned long long>(r.acked_pages_checked),
+        static_cast<unsigned long long>(r.order_writes_checked),
+        static_cast<unsigned long long>(r.syncs_recorded),
+        static_cast<unsigned long long>(r.fd_cycles),
         stack_ok ? (expect_violations ? "BROKEN (as the paper predicts)"
                                       : "ok")
                  : (expect_violations

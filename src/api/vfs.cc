@@ -5,11 +5,6 @@
 
 namespace bio::api {
 
-namespace {
-/// Which sync syscalls a journal flavour can run — the single capability
-/// matrix behind both the policy-resolved funnel (Vfs::sync) and the
-/// direct barrier syscalls, so a mismatch is a modelled EINVAL instead of
-/// a filesystem assert on a mixed-journal node.
 bool journal_supports(Syscall call, fs::JournalKind journal) {
   switch (call) {
     case Syscall::kFdatabarrier:
@@ -26,7 +21,6 @@ bool journal_supports(Syscall call, fs::JournalKind journal) {
   }
   return true;
 }
-}  // namespace
 
 // ---- mount table ------------------------------------------------------------
 
@@ -82,6 +76,22 @@ const SyncPolicy& Vfs::default_policy() const noexcept {
 
 fs::Filesystem& Vfs::filesystem() noexcept {
   return *mounts_.front()->filesystem;
+}
+
+sim::Simulator& Vfs::simulator() noexcept {
+  return mounts_.front()->filesystem->sim();
+}
+
+Result<fs::JournalKind> Vfs::journal_kind(Fd fd) const {
+  const FdEntry* e = entry(fd);
+  if (e == nullptr) return fail(Errno::kBadF);
+  return e->vnode->fs->config().journal;
+}
+
+Result<std::uint32_t> Vfs::ino_of(Fd fd) const {
+  const FdEntry* e = entry(fd);
+  if (e == nullptr) return fail(Errno::kBadF);
+  return e->vnode->inode->ino;
 }
 
 Result<Vfs::Target> Vfs::resolve(const std::string& name) const {

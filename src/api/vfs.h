@@ -59,6 +59,12 @@ namespace bio::api {
 using Fd = std::int32_t;
 inline constexpr Fd kInvalidFd = -1;
 
+/// Which sync syscalls a journal flavour can run — the single capability
+/// matrix behind the policy-resolved funnel (Vfs::sync), the direct barrier
+/// syscalls and api::Ring's submit-time sqe validation, so a mismatch is a
+/// modelled EINVAL instead of a filesystem assert on a mixed-journal node.
+bool journal_supports(Syscall call, fs::JournalKind journal);
+
 struct OpenOptions {
   /// Create the file if it does not exist.
   bool create = false;
@@ -207,11 +213,24 @@ class Vfs {
   /// configuration).
   const SyncPolicy& default_policy() const noexcept;
 
+  /// The journal flavour behind the descriptor (the filesystem it was
+  /// opened on, not what a later remount swapped in) — the capability
+  /// lookup api::Ring's submit-time validation runs per sqe.
+  Result<fs::JournalKind> journal_kind(Fd fd) const;
+
+  /// The inode number behind the descriptor (fstat's st_ino). Lets a
+  /// caller that captured an fd *number* earlier — e.g. in a ring sqe —
+  /// detect that close() plus fd reuse rebound it to a different file.
+  Result<std::uint32_t> ino_of(Fd fd) const;
+
   std::size_t open_fds() const noexcept { return open_fds_; }
   /// Node-wide statistics (every mount plus unroutable-name errors).
   const Stats& stats() const noexcept { return stats_; }
   /// The first mount's current filesystem (single-volume compat accessor).
   fs::Filesystem& filesystem() noexcept;
+  /// The node's simulator (all mounts share it) — where api::Ring spawns
+  /// its chain drivers.
+  sim::Simulator& simulator() noexcept;
 
  private:
   /// One mount-table row. `filesystem` is what new opens resolve against

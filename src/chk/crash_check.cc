@@ -629,6 +629,7 @@ void CrashSweepResult::accumulate(const CrashCheckResult& r) {
   syncs_recorded += r.syncs_recorded;
   fd_cycles += r.fd_cycles;
   closes_during_sync += r.closes_during_sync;
+  chain_facts_checked += r.chain_facts_checked;
 }
 
 sim::SimTime sweep_crash_at(std::uint64_t base_seed, int point) {
@@ -930,6 +931,46 @@ fs::RecoveryReport verify_concurrent_volume(CrashCheckResult& res,
         violation("namespace: " + rf->name +
                   " recovered although its unlink was durably synced");
     }
+
+    // 7. Linked-chain contract (api::Ring workloads; the vectors are empty
+    //    on direct-Vfs traces). chain_covered/chain_successors come from
+    //    the chain's SUBMISSION structure, not observed timing, so a ring
+    //    that ignores its link flags still produces these claims — and the
+    //    reordering it allowed shows up as violations here even when the
+    //    tick-based rules above (which adapt to actual behaviour) say
+    //    nothing.
+    for (const wl::TraceSync& s : f.syncs) {
+      if (s.chain_covered.empty()) continue;
+      const bool acks = call_acks_data(kind, s.call);
+      bool successor_present = false;
+      for (const std::size_t si : s.chain_successors)
+        if (present(f.writes[si])) successor_present = true;
+      for (const std::size_t ci : s.chain_covered) {
+        const wl::TraceWrite& w = f.writes[ci];
+        ++res.chain_facts_checked;
+        if (present(w)) continue;
+        if (acks) {
+          // (a) The chain's sync returned, so every write linked before
+          //     it was acked durable.
+          violation(f.rel_name() + " chain write (" + describe(w) +
+                    ") linked before a returned " +
+                    "durable sync did not survive");
+          dump("chain-acked", w);
+        } else if (successor_present) {
+          // (b) A write linked after the sync reached media, so the link
+          //     order says every write linked before it must have too.
+          violation(f.rel_name() + " chain write (" + describe(w) +
+                    ") lost although a write linked after its chain's "
+                    "sync survived — linked-chain ordering broken");
+          dump("chain-order", w);
+        } else if (res.quiesced && call_orders(s.call)) {
+          // (c) Delayed durability: the chain's returned sync covered it.
+          violation(f.rel_name() + " chain write (" + describe(w) +
+                    ") not durable after quiescence");
+          dump("chain-quiesce", w);
+        }
+      }
+    }
   }
   return report;
 }
@@ -985,6 +1026,65 @@ CrashSweepResult run_concurrent_crash_sweep(StackKind kind, int points,
     const sim::SimTime crash_at = crash_points.next();
     const CrashCheckResult res =
         run_concurrent_crash_check(kind, seed, crash_at, opt);
+    sweep.accumulate(res);
+    if (!res.ok()) {
+      ++sweep.failed_points;
+      note_failure(sweep, repro, core::to_string(kind), i, base_seed, res);
+    }
+  }
+  return sweep;
+}
+
+// ---- ring-driven concurrent checker ----------------------------------------
+
+CrashCheckResult run_ring_crash_check(StackKind kind, std::uint64_t seed,
+                                      sim::SimTime crash_at,
+                                      const RingCrashOptions& opt) {
+  CrashCheckResult res;
+  res.seed = seed;
+  res.crash_at = crash_at;
+  const core::StackConfig cfg =
+      checker_config(kind, opt.journal_blocks, opt.wl.extent_blocks);
+
+  // The trace outlives the stack, exactly as in the direct concurrent
+  // check: ring drivers and writer frames destroyed at simulator teardown
+  // may still name it.
+  wl::ConcurrentTrace trace;
+  auto stack = std::make_unique<core::Stack>(cfg);
+  stack->start();
+  api::Vfs vfs(*stack);
+  wl::RingWorkloadParams params = opt.wl;
+  params.seed = seed;
+  wl::spawn_ring_writers(stack->volume(0), vfs, "", params, trace);
+  stack->sim().run_until(crash_at);  // power cut
+
+  const fs::RecoveryReport report =
+      verify_concurrent_volume(res, stack->volume(0), trace, kind);
+
+  if (opt.remount) {
+    auto stack2 = std::make_unique<core::Stack>(cfg);
+    stack2->fs().mount(report);
+    stack2->start();
+    api::Vfs vfs2(*stack2);
+    std::string err;
+    stack2->sim().spawn("chk:verify", remount_verify(vfs2, "", report, err));
+    stack2->sim().run();
+    if (!err.empty()) res.violations.push_back("remount: " + err);
+  }
+  return res;
+}
+
+CrashSweepResult run_ring_crash_sweep(StackKind kind, int points,
+                                      std::uint64_t base_seed,
+                                      const RingCrashOptions& opt) {
+  CrashSweepResult sweep;
+  CrashPointGen crash_points(base_seed);
+  const std::string repro = std::string("ring:") + core::to_string(kind);
+  for (int i = 0; i < points; ++i) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    const sim::SimTime crash_at = crash_points.next();
+    const CrashCheckResult res =
+        run_ring_crash_check(kind, seed, crash_at, opt);
     sweep.accumulate(res);
     if (!res.ok()) {
       ++sweep.failed_points;

@@ -40,6 +40,7 @@
 #include "core/stack.h"
 #include "sim/time.h"
 #include "wl/concurrent_writers.h"
+#include "wl/ring_workload.h"
 
 namespace bio::chk {
 
@@ -92,6 +93,9 @@ struct CrashCheckResult {
   std::uint32_t fd_cycles = 0;
   /// close() calls issued while that fd's sync was still suspended.
   std::uint32_t closes_during_sync = 0;
+  /// Ring linked-chain contract facts verified (covered-write durability /
+  /// successor-implies-covered ordering; zero on non-ring workloads).
+  std::uint32_t chain_facts_checked = 0;
 };
 
 /// One workload + power cut + recovery + remount + verification pass.
@@ -114,6 +118,7 @@ struct CrashSweepResult {
   std::uint64_t syncs_recorded = 0;
   std::uint64_t fd_cycles = 0;
   std::uint64_t closes_during_sync = 0;
+  std::uint64_t chain_facts_checked = 0;
   /// First few violations, with their (seed, crash) context and a
   /// `--repro` spec (see examples/crash_consistency). The CLI spec replays
   /// with DEFAULT sweep options; a sweep run with custom options must be
@@ -223,5 +228,35 @@ CrashCheckResult run_concurrent_crash_check(
 CrashSweepResult run_concurrent_crash_sweep(
     core::StackKind kind, int points, std::uint64_t base_seed = 1,
     const ConcurrentCrashOptions& opt = {});
+
+// ---- ring-driven concurrent sweep -------------------------------------------
+
+/// Options for the api::Ring variant of the concurrent sweep: N writers
+/// each batching linked chains and unlinked sqes through their own Ring
+/// (wl::spawn_ring_writers), verified by the same cross-writer oracle plus
+/// the linked-chain contract (TraceSync::chain_covered/chain_successors).
+struct RingCrashOptions {
+  wl::RingWorkloadParams wl;
+  /// Journal size (small values force wraps under the churn). 0 = default.
+  std::uint32_t journal_blocks = 256;
+  bool remount = true;
+};
+
+/// One ring workload + power cut + recovery + remount + verification pass.
+/// On top of the concurrent contract, verifies per recorded chain sync:
+///   * durable-ack chains: every write linked before a returned
+///     fsync/fdatasync survived (EXT4/BFS; dsync-only on OptFS);
+///   * chain ordering: a surviving write linked *after* the sync proves
+///     every write linked before it — claims derived from the submission
+///     structure, so a link-ignoring ring produces violations;
+///   * chain delayed durability at quiescence for order-only syncs.
+CrashCheckResult run_ring_crash_check(core::StackKind kind,
+                                      std::uint64_t seed,
+                                      sim::SimTime crash_at,
+                                      const RingCrashOptions& opt = {});
+
+CrashSweepResult run_ring_crash_sweep(core::StackKind kind, int points,
+                                      std::uint64_t base_seed = 1,
+                                      const RingCrashOptions& opt = {});
 
 }  // namespace bio::chk

@@ -287,28 +287,36 @@ sim::Task Filesystem::write(Inode& f, std::uint32_t page,
                       static_cast<sim::SimTime>(npages));
   co_await throttle_writer();
 
-  bool newly_dirty_meta = false;
-  const sim::SimTime tick = sim_.now() / cfg_.timer_tick;
-  if (tick != f.mtime_tick) {
-    f.mtime_tick = tick;
-    newly_dirty_meta = true;
-  }
+  // Journal-handle discipline (jbd2_journal_get_write_access): the inode
+  // buffer joins the running transaction BEFORE the metadata it carries
+  // changes. dirty_metadata() may suspend — txn throttle, or the §4.3
+  // page-conflict rule parking this writer behind a full commit. Mutating
+  // i_size first opened a window where a concurrent fsync observed the new
+  // size, found the inode flags clean (an earlier sync had committed the
+  // old registration), and acked a size that belonged to no transaction
+  // any commit would ever cover. The whole mutation — page cache, i_size,
+  // mtime, dirty flags — now lands in one synchronous stretch after the
+  // registration returns.
+  const bool touches_meta = sim_.now() / cfg_.timer_tick != f.mtime_tick ||
+                            page + npages > f.size_blocks || f.size_dirty;
+  std::uint64_t tid = 0;
+  if (touches_meta)
+    co_await journal_->dirty_metadata(layout_.inode_block(f.ino), tid);
+
   const std::uint32_t old_size = f.size_blocks;
   for (std::uint32_t i = 0; i < npages; ++i) {
     const std::uint32_t p = page + i;
     const bool overwrite = p < old_size;
     cache_.write(f.ino, p, f.lba_of_page(p), blk_.next_version(), overwrite);
   }
+  // Re-evaluated after the suspension: a concurrent writer may have grown
+  // the file past this write's end or stamped the same mtime tick — then
+  // ITS registration carries those changes and this one only re-dirties.
   const bool grew = page + npages > f.size_blocks;
   if (grew) f.size_blocks = page + npages;
-  if (newly_dirty_meta || grew || f.size_dirty) {
-    std::uint64_t tid = 0;
-    co_await journal_->dirty_metadata(layout_.inode_block(f.ino), tid);
-    // Flag updates land in the SAME synchronous stretch as the transaction
-    // registration. Setting size_dirty before the (suspending) reservation
-    // above let a concurrent syscall's commit_metadata() clear it in
-    // between — the size change then belonged to no transaction any sync
-    // would commit, and a later fdatasync could skip the commit entirely.
+  const sim::SimTime tick = sim_.now() / cfg_.timer_tick;
+  if (tick != f.mtime_tick) f.mtime_tick = tick;
+  if (tid != 0) {
     f.txn_id = tid;
     f.meta_dirty = true;
     if (grew) {

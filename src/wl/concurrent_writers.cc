@@ -312,7 +312,9 @@ sim::Task setup_and_run(std::unique_ptr<Ctx> ctx) {
                                   /*writer=*/~std::uint32_t{0},
                                   /*settled_size_at_start=*/0,
                                   /*name_idx_at_start=*/0,
-                                  /*unlinked_at_start=*/false});
+                                  /*unlinked_at_start=*/false,
+                                  /*chain_covered=*/{},
+                                  /*chain_successors=*/{}});
       ++trace.syncs_done;
     }
   }

@@ -78,6 +78,19 @@ struct TraceSync {
   std::size_t name_idx_at_start = 0;
   /// The unlink had fully completed before the sync started.
   bool unlinked_at_start = false;
+
+  // ---- linked-chain contract (api::Ring workloads) ------------------------
+  //
+  // Indices into FileTrace::writes derived from the SUBMISSION structure of
+  // a ring chain, not from observed timing: `chain_covered` names writes
+  // linked *before* this sync in its chain (the chain contract says they
+  // complete before the sync starts), `chain_successors` writes linked
+  // *after* it (they must not reach media unless the sync's promise held).
+  // Deliberately contract-derived so a link-ignoring ring produces real
+  // trace claims the oracle can falsify — exact-tick bookkeeping would
+  // adapt to the buggy order and hide it. Empty for direct-Vfs workloads.
+  std::vector<std::size_t> chain_covered;
+  std::vector<std::size_t> chain_successors;
 };
 
 /// Per-file trace + live bookkeeping shared by every writer touching it.

@@ -20,6 +20,12 @@ struct VarmailParams {
   std::uint32_t file_pages = 4;
   /// Iterations of the 4-op flow per thread.
   std::uint32_t iterations = 60;
+  /// 0 = direct syscalls (the classic serialized flow). >0 = each thread
+  /// drives data and sync traffic through an api::Ring — create/append
+  /// become linked write->sync chains, reads unlinked sqes — keeping up to
+  /// ring_qd chains in flight so independent mails overlap. Namespace ops
+  /// (open/create/unlink) stay direct; rings carry fd-based ops only.
+  std::uint32_t ring_qd = 0;
 };
 
 struct VarmailResult {

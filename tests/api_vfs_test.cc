@@ -4,10 +4,13 @@
 // every StackKind.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 
+#include "api/ring.h"
 #include "api/vfs.h"
 #include "fs_test_util.h"
+#include "sim/sync.h"
 
 namespace bio::api {
 namespace {
@@ -764,6 +767,220 @@ TEST(SyncPolicyTest, OverrideIsSharedAcrossFdsOfOneFile) {
   };
   x.sim().spawn("t", body());
   x.sim().run();
+}
+
+// ---- ring chaos: close() and destruction racing in-flight sqes --------------
+// The chaos contract (DESIGN.md §10): a Ring never touches freed state when
+// the application closes descriptors under it or destroys the ring with
+// traffic still outstanding. Late completions surface as -EBADF (dead fd at
+// issue time) or -ECANCELED (chain predecessor failed / ring closed), never
+// as a crash.
+
+using namespace sim::literals;
+
+TEST(RingChaosTest, CloseBeforeDispatchFailsChainWithEbadfThenEcanceled) {
+  StackFixture x(StackKind::kBfsDR);
+  Vfs vfs(*x.stack);
+  auto body = [&]() -> Task {
+    File f = must(
+        co_await vfs.open("a", {.create = true, .extent_blocks = 8}));
+    Ring ring(vfs);
+    Sqe w;
+    w.op = RingOp::kWrite;
+    w.fd = f.fd();
+    w.npages = 1;
+    w.flags = kSqeLink;
+    w.user_data = 1;
+    Sqe s;
+    s.op = RingOp::kFdatasync;
+    s.fd = f.fd();
+    s.flags = kSqeLink;
+    s.user_data = 2;
+    Sqe w2 = w;
+    w2.flags = 0;
+    w2.user_data = 3;
+    EXPECT_TRUE(ring.push(w));
+    EXPECT_TRUE(ring.push(s));
+    EXPECT_TRUE(ring.push(w2));
+    EXPECT_EQ(ring.submit(), 3u);
+    // The sqes passed submit-time validation against a live fd; the close
+    // lands before the chain driver's first event. Every op must now fail
+    // cleanly at issue time — no late write through a recycled descriptor.
+    must(f.close());
+    const Cqe a = co_await ring.wait_cqe();
+    const Cqe b = co_await ring.wait_cqe();
+    const Cqe c = co_await ring.wait_cqe();
+    EXPECT_EQ(a.user_data, 1u);
+    EXPECT_EQ(a.res, -9) << "first op issued against the dead fd";
+    EXPECT_EQ(b.user_data, 2u);
+    EXPECT_EQ(b.res, kECanceled) << "linked successor cancels";
+    EXPECT_EQ(c.user_data, 3u);
+    EXPECT_EQ(c.res, kECanceled) << "chain tail cancels too";
+    // The file itself is untouched.
+    File g = must(co_await vfs.open("a"));
+    EXPECT_EQ(must(g.size_blocks()), 0u);
+    must(g.close());
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+}
+
+TEST(RingChaosTest, CloseRacingInFlightSqeLetsItFinishThenFailsSuccessor) {
+  StackFixture x(StackKind::kBfsDR);
+  Vfs vfs(*x.stack);
+  sim::Notify sync_started(x.sim());
+  Fd victim = kInvalidFd;
+  auto body = [&]() -> Task {
+    File f = must(
+        co_await vfs.open("a", {.create = true, .extent_blocks = 8}));
+    Ring ring(vfs);
+    // Wake the closer the moment the fdatasync is issued, so the close
+    // lands while that sqe is suspended mid-journal-commit — genuinely in
+    // flight, not merely queued.
+    ring.set_on_op_start([&](const Sqe& sqe) {
+      if (sqe.user_data == 2) sync_started.notify_all();
+    });
+    Sqe w;
+    w.op = RingOp::kWrite;
+    w.fd = f.fd();
+    w.npages = 4;
+    w.flags = kSqeLink;
+    w.user_data = 1;
+    Sqe s;
+    s.op = RingOp::kFdatasync;
+    s.fd = f.fd();
+    s.flags = kSqeLink;
+    s.user_data = 2;
+    Sqe w2;
+    w2.op = RingOp::kWrite;
+    w2.fd = f.fd();
+    w2.page = 4;
+    w2.npages = 1;
+    w2.user_data = 3;
+    EXPECT_TRUE(ring.push(w));
+    EXPECT_TRUE(ring.push(s));
+    EXPECT_TRUE(ring.push(w2));
+    victim = f.fd();
+    EXPECT_EQ(ring.submit(), 3u);
+    const Cqe a = co_await ring.wait_cqe();
+    EXPECT_EQ(a.user_data, 1u);
+    EXPECT_EQ(a.res, 4);
+    const Cqe b = co_await ring.wait_cqe();
+    const Cqe c = co_await ring.wait_cqe();
+    // The in-flight fdatasync pinned the vnode: it completes despite the
+    // racing close. Its linked successor issues after the close and fails.
+    EXPECT_EQ(b.user_data, 2u);
+    EXPECT_EQ(b.res, 0) << "close cannot revoke an issued sync";
+    EXPECT_EQ(c.user_data, 3u);
+    EXPECT_EQ(c.res, -9) << "successor issued against the dead fd";
+    // The synced data survived the descriptor churn.
+    File g = must(co_await vfs.open("a"));
+    EXPECT_EQ(must(g.size_blocks()), 4u);
+    must(g.close());
+  };
+  auto closer = [&]() -> Task {
+    co_await sync_started.wait();
+    // Runs strictly after the fdatasync suspended into the journal.
+    must(vfs.close(victim));
+  };
+  x.sim().spawn("closer", closer());
+  x.sim().spawn("t", body());
+  x.sim().run();
+}
+
+TEST(RingChaosTest, DestructionWithUnreapedCqesIsClean) {
+  StackFixture x(StackKind::kBfsDR);
+  Vfs vfs(*x.stack);
+  auto body = [&]() -> Task {
+    File f = must(
+        co_await vfs.open("a", {.create = true, .extent_blocks = 8}));
+    {
+      Ring ring(vfs);
+      for (std::uint64_t i = 0; i < 3; ++i) {
+        Sqe w;
+        w.op = RingOp::kWrite;
+        w.fd = f.fd();
+        w.page = static_cast<std::uint32_t>(i);
+        w.npages = 1;
+        w.user_data = i;
+        EXPECT_TRUE(ring.push(w));
+      }
+      EXPECT_EQ(ring.submit(), 3u);
+      while (ring.in_flight() > 0) co_await x.sim().delay(10 * 1_us);
+      EXPECT_EQ(ring.cq_ready(), 3u);
+      // Destroyed with every completion still queued: the cqes die with
+      // the ring, the writes they describe do not.
+    }
+    must(co_await f.fsync());
+    EXPECT_EQ(must(f.size_blocks()), 3u);
+    must(f.close());
+  };
+  x.sim().spawn("t", body());
+  x.sim().run();
+}
+
+TEST(RingChaosTest, DestructionWithOpsInFlightOrphansThemSafely) {
+  StackFixture x(StackKind::kBfsDR);
+  Vfs vfs(*x.stack);
+  sim::Notify write_started(x.sim());
+  auto ring = std::make_unique<Ring>(vfs);
+  auto body = [&]() -> Task {
+    File f = must(
+        co_await vfs.open("a", {.create = true, .extent_blocks = 8}));
+    ring->set_on_op_start([&](const Sqe& sqe) {
+      if (sqe.user_data == 1) write_started.notify_all();
+    });
+    Sqe w;
+    w.op = RingOp::kWrite;
+    w.fd = f.fd();
+    w.npages = 2;
+    w.flags = kSqeLink;
+    w.user_data = 1;
+    Sqe s;
+    s.op = RingOp::kFsync;
+    s.fd = f.fd();
+    s.user_data = 2;
+    EXPECT_TRUE(ring->push(w));
+    EXPECT_TRUE(ring->push(s));
+    EXPECT_EQ(ring->submit(), 2u);
+    EXPECT_EQ(ring->in_flight(), 2u);
+    // The killer destroys the ring while the write is suspended mid-issue.
+    // The orphaned driver finishes that write against the (live) Vfs, then
+    // notices the closed core and abandons the rest of the chain.
+    co_await x.sim().delay(5 * 1_ms);
+    EXPECT_EQ(must(f.size_blocks()), 2u)
+        << "the in-flight write still landed";
+    must(f.close());
+  };
+  auto killer = [&]() -> Task {
+    co_await write_started.wait();
+    ring.reset();  // mid-flight destruction
+  };
+  x.sim().spawn("killer", killer());
+  x.sim().spawn("t", body());
+  x.sim().run();
+  EXPECT_EQ(ring, nullptr);
+}
+
+TEST(RingChaosTest, WaitCqeOnDestroyedRingReturnsEcanceled) {
+  StackFixture x(StackKind::kBfsDR);
+  Vfs vfs(*x.stack);
+  bool waiter_done = false;
+  auto ring = std::make_unique<Ring>(vfs);
+  auto waiter = [&]() -> Task {
+    const Cqe cqe = co_await ring->wait_cqe();
+    EXPECT_EQ(cqe.res, kECanceled)
+        << "a waiter outliving the ring reaps a canceled cqe, not garbage";
+    waiter_done = true;
+  };
+  auto killer = [&]() -> Task {
+    co_await x.sim().delay(1 * 1_ms);
+    ring.reset();  // destroys the Ring under the sleeping waiter
+  };
+  x.sim().spawn("waiter", waiter());
+  x.sim().spawn("killer", killer());
+  x.sim().run();
+  EXPECT_TRUE(waiter_done);
 }
 
 }  // namespace

@@ -85,6 +85,27 @@ def main():
     for name in missing:
         print(f"  missing scenario (in baseline, not in fresh runs): {name}")
 
+    # Ring QD sweep invariant: batched submission must beat serial awaits
+    # at QD >= 8 in *simulated* throughput. sim_ops_per_sec is deterministic
+    # (fixed seed, discrete-event sim), so this compares within the fresh
+    # run alone — no machine-speed factor to remove.
+    ring_broken = []
+    best = {}
+    for run in runs:
+        for name, s in run.items():
+            if name.startswith("ring-") and s.get("sim_ops_per_sec"):
+                best[name] = max(best.get(name, 0), s["sim_ops_per_sec"])
+    serial = best.get("ring-serial")
+    if serial:
+        for name in ("ring-qd8", "ring-qd32"):
+            if name in best and best[name] <= serial:
+                ring_broken.append(
+                    f"{name} ({best[name]:.0f} sim ops/s) does not beat "
+                    f"ring-serial ({serial:.0f})")
+        for name, v in sorted(best.items()):
+            print(f"  {name:24s} sim ops/s {v:10.0f}  "
+                  f"x{v / serial:.2f} vs serial")
+
     if not ratios:
         print("bench_delta: no comparable ns/io scenarios", file=sys.stderr)
         sys.exit(2)
@@ -109,6 +130,9 @@ def main():
     if missing:
         problems.append(f"{len(missing)} baseline scenario(s) not produced "
                         f"by the fresh runs: {', '.join(missing)}")
+    if ring_broken:
+        problems.append("ring QD sweep lost its batching win: "
+                        + "; ".join(ring_broken))
     if problems:
         verdict = "warning" if args.warn_only else "FAIL"
         for p in problems:
