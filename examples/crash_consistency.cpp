@@ -28,13 +28,25 @@
 // (write -> barrier -> write) and adds the linked-chain contract of
 // DESIGN.md §10 on top of the concurrent verdicts.
 //
+// The fault sweep (chk::run_fault_crash_sweep) installs a seed-derived
+// flash::FaultPlan on the device (transient/hard/torn faults), composes it
+// with the power cut and verifies the fault-mode oracle of DESIGN.md §11:
+// acked durability survives faults, torn journal writes never replay as
+// committed, degraded (errors=remount-ro) volumes recover read-consistent.
+// A deliberate negative control re-runs a short sweep with
+// BlockLayer::set_swallow_io_errors_for_test — the sweep must catch the
+// injected bug deterministically.
+//
 // Reproducing a failed point: every sweep failure prints its seed, crash
 // instant, point index and an exact `--repro` spec; `--repro <spec>`
 // replays just that case with full violation output. Specs:
 //   --repro <stack>:<base_seed>:<point>        single-writer sweep point
 //   --repro conc:<stack>:<base_seed>:<point>   concurrent sweep point
 //   --repro ring:<stack>:<base_seed>:<point>   ring sweep point
+//   --repro fault:<stack>:<plan-seed>:<point>  fault-injection sweep point
 //   --repro node:<base_seed>:<point>           multi-volume sweep point
+// Malformed specs (unknown prefix/stack, non-numeric or empty fields,
+// wrong arity) are rejected with a usage message and exit code 2.
 // The CLI replays with DEFAULT sweep options (which is what the CLI
 // sweeps run); a failure from a library sweep with custom options must be
 // replayed through run_crash_check / run_concurrent_crash_check using the
@@ -70,10 +82,24 @@ void print_violations(const std::vector<std::string>& violations) {
   if (violations.empty()) std::printf("  (no violations — case is clean)\n");
 }
 
+/// Strict decimal parse: the whole field must be digits (no sign, no
+/// trailing junk, not empty). A silent atoi-style zero would "replay" a
+/// different case than the one that failed.
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty() || s.size() > 19) return false;
+  out = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    out = out * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return true;
+}
+
 /// Replays one sweep point from a `--repro` spec; returns the process exit
-/// code (0 = the case is clean now).
+/// code (0 = the case is clean now, 2 = malformed spec).
 int run_repro(const std::string& spec) {
-  // Split on ':' — [conc:]<stack>:<base>:<point> or node:<base>:<point>.
+  // Split on ':' — [conc|ring|fault:]<stack>:<base>:<point> or
+  // node:<base>:<point>.
   std::vector<std::string> parts;
   std::size_t pos = 0;
   while (pos <= spec.size()) {
@@ -84,22 +110,32 @@ int run_repro(const std::string& spec) {
   }
   auto fail = [&] {
     std::fprintf(stderr,
-                 "bad --repro spec '%s' (want <stack>:<base>:<point>, "
-                 "conc:<stack>:<base>:<point>, ring:<stack>:<base>:<point> "
-                 "or node:<base>:<point>)\n",
+                 "bad --repro spec '%s'\nusage: --repro <stack>:<base>:<point>"
+                 " | conc:<stack>:<base>:<point> | ring:<stack>:<base>:<point>"
+                 " | fault:<stack>:<plan-seed>:<point> | node:<base>:<point>\n"
+                 "       (stack: EXT4-DR EXT4-OD BFS-DR BFS-OD OptFS; "
+                 "base/point: decimal)\n",
                  spec.c_str());
     return 2;
   };
   const bool conc = parts.size() == 4 && parts[0] == "conc";
   const bool ring = parts.size() == 4 && parts[0] == "ring";
+  const bool fault = parts.size() == 4 && parts[0] == "fault";
   const bool node = parts.size() == 3 && parts[0] == "node";
-  if (!conc && !ring && !node && parts.size() != 3) return fail();
+  const bool prefixed = conc || ring || fault;
+  if (!prefixed && !node && parts.size() != 3) return fail();
+  if (parts.size() == 4 && !prefixed) return fail();  // unknown prefix
 
-  const std::string& base_s = parts[conc || ring ? 2 : 1];
-  const std::string& point_s = parts[conc || ring ? 3 : 2];
-  const std::uint64_t base = std::strtoull(base_s.c_str(), nullptr, 10);
-  const int point = std::atoi(point_s.c_str());
-  const std::uint64_t seed = base + static_cast<std::uint64_t>(point);
+  const std::string& base_s = parts[prefixed ? 2 : 1];
+  const std::string& point_s = parts[prefixed ? 3 : 2];
+  std::uint64_t base = 0;
+  std::uint64_t point_u = 0;
+  if (!parse_u64(base_s, base) || !parse_u64(point_s, point_u) ||
+      point_u > 1'000'000) {
+    return fail();
+  }
+  const int point = static_cast<int>(point_u);
+  const std::uint64_t seed = base + point_u;
   const sim::SimTime crash_at = chk::sweep_crash_at(base, point);
 
   if (node) {
@@ -117,20 +153,31 @@ int run_repro(const std::string& spec) {
   }
 
   core::StackKind kind;
-  if (!parse_kind(parts[conc || ring ? 1 : 0], kind)) return fail();
+  if (!parse_kind(parts[prefixed ? 1 : 0], kind)) return fail();
   std::printf("replaying %s%s point %d: seed=%llu crash=%lluns\n",
-              conc ? "concurrent " : (ring ? "ring " : ""),
+              conc    ? "concurrent "
+              : ring  ? "ring "
+              : fault ? "fault "
+                      : "",
               core::to_string(kind), point, (unsigned long long)seed,
               (unsigned long long)crash_at);
   const chk::CrashCheckResult r =
-      conc   ? chk::run_concurrent_crash_check(kind, seed, crash_at)
-      : ring ? chk::run_ring_crash_check(kind, seed, crash_at)
-             : chk::run_crash_check(kind, seed, crash_at);
+      conc    ? chk::run_concurrent_crash_check(kind, seed, crash_at)
+      : ring  ? chk::run_ring_crash_check(kind, seed, crash_at)
+      : fault ? chk::run_fault_crash_check(kind, seed, crash_at)
+              : chk::run_crash_check(kind, seed, crash_at);
   std::printf(
       "  quiesced=%d files=%u txns replayed=%u discarded=%u clean=%d "
       "wraps=%llu\n",
       (int)r.quiesced, r.files_recovered, r.txns_replayed, r.txns_discarded,
       (int)r.recovery_clean, (unsigned long long)r.journal_wraps);
+  if (fault)
+    std::printf("  faults=%llu retries=%llu io-failures=%llu syncs-failed=%u "
+                "degraded=%d\n",
+                (unsigned long long)r.faults_injected,
+                (unsigned long long)r.io_retries,
+                (unsigned long long)r.io_failures, r.syncs_failed,
+                (int)r.volume_degraded);
   print_violations(r.violations);
   return r.ok() ? 0 : 1;
 }
@@ -260,6 +307,50 @@ int main(int argc, char** argv) {
     if (!stack_ok || expect_violations)
       for (const std::string& v : r.sample_violations)
         std::printf("        ! %s\n", v.c_str());
+  }
+
+  // ---- fault-injection sweep (DESIGN.md §11) -------------------------------
+  std::printf(
+      "\nfault-injection sweep: %d crash points per stack, seed-derived "
+      "device fault plans\n",
+      points);
+  std::printf(
+      "stack   | failed | faults | retries | io-fail | eio/erofs | degraded "
+      "| verdict\n");
+  for (core::StackKind kind : kinds) {
+    const bool expect_violations = kind == core::StackKind::kExt4OD;
+    const chk::CrashSweepResult r = chk::run_fault_crash_sweep(kind, points);
+    const bool stack_ok = expect_violations ? !r.ok() : r.ok();
+    ok = ok && stack_ok;
+    std::printf(
+        "%-7s | %6d | %6llu | %7llu | %7llu | %9llu | %8d | %s\n",
+        core::to_string(kind), r.failed_points,
+        (unsigned long long)r.faults_injected,
+        (unsigned long long)r.io_retries,
+        (unsigned long long)r.io_failures,
+        (unsigned long long)r.syncs_failed, r.degraded_points,
+        stack_ok ? (expect_violations ? "BROKEN (as the paper predicts)"
+                                      : "ok")
+                 : (expect_violations
+                        ? "UNEXPECTEDLY CLEAN (checker too weak?)"
+                        : "VIOLATED"));
+    if (!stack_ok || expect_violations)
+      for (const std::string& v : r.sample_violations)
+        std::printf("        ! %s\n", v.c_str());
+  }
+
+  // Negative control: complete failed IOs as successes (the injected bug)
+  // and the same sweep seeds must now catch acked data never landing.
+  {
+    chk::FaultCrashOptions swallow;
+    swallow.swallow_io_errors = true;
+    const chk::CrashSweepResult r = chk::run_fault_crash_sweep(
+        core::StackKind::kExt4DR, 20, 1, swallow);
+    const bool caught = r.failed_points > 0;
+    ok = ok && caught;
+    std::printf("negative control (swallowed EIO, EXT4-DR, 20 points): %s\n",
+                caught ? "detected (oracle is load-bearing)"
+                       : "NOT DETECTED (checker too weak?)");
   }
 
   // ---- multi-volume node: two independent journals, one power cut ----------

@@ -21,6 +21,8 @@ enum class Errno : std::uint8_t {
   kExist,   // EEXIST: exclusive create of an existing file
   kInval,   // EINVAL: zero-length IO and similar misuse
   kXDev,    // EXDEV: rename across volumes (mount boundaries)
+  kIo,      // EIO: device fault survived the retry policy
+  kRoFs,    // EROFS: volume degraded read-only (errors=remount-ro)
 };
 
 const char* to_string(Errno e) noexcept;
@@ -96,6 +98,8 @@ inline const char* to_string(Errno e) noexcept {
     case Errno::kExist: return "EEXIST";
     case Errno::kInval: return "EINVAL";
     case Errno::kXDev: return "EXDEV";
+    case Errno::kIo: return "EIO";
+    case Errno::kRoFs: return "EROFS";
   }
   return "?";
 }

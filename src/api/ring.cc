@@ -46,6 +46,8 @@ std::int32_t negated_errno(Errno e) {
     case Errno::kXDev: return -18;    // -EXDEV
     case Errno::kInval: return -22;   // -EINVAL
     case Errno::kNoSpc: return -28;   // -ENOSPC
+    case Errno::kIo: return -5;       // -EIO
+    case Errno::kRoFs: return -30;    // -EROFS
   }
   return -22;
 }

@@ -49,29 +49,25 @@ SyncPolicy SyncPolicy::for_stack(core::StackKind kind) noexcept {
   return {};
 }
 
-sim::Task issue(fs::Filesystem& filesystem, fs::Inode& f, Syscall call) {
+sim::TaskOf<fs::FsStatus> issue(fs::Filesystem& filesystem, fs::Inode& f,
+                                Syscall call) {
   switch (call) {
     case Syscall::kNone:
       break;
     case Syscall::kFsync:
-      co_await filesystem.fsync(f);
-      break;
+      co_return co_await filesystem.fsync(f);
     case Syscall::kFdatasync:
-      co_await filesystem.fdatasync(f);
-      break;
+      co_return co_await filesystem.fdatasync(f);
     case Syscall::kFbarrier:
-      co_await filesystem.fbarrier(f);
-      break;
+      co_return co_await filesystem.fbarrier(f);
     case Syscall::kFdatabarrier:
-      co_await filesystem.fdatabarrier(f);
-      break;
+      co_return co_await filesystem.fdatabarrier(f);
     case Syscall::kOsync:
-      co_await filesystem.osync(f, /*wait_transfer=*/true);
-      break;
+      co_return co_await filesystem.osync(f, /*wait_transfer=*/true);
     case Syscall::kDsync:
-      co_await filesystem.dsync(f);
-      break;
+      co_return co_await filesystem.dsync(f);
   }
+  co_return fs::FsStatus::kOk;
 }
 
 }  // namespace bio::api

@@ -139,6 +139,32 @@ Errno Vfs::fail(Mount& m, Errno e) const {
   return fail(e);
 }
 
+Status Vfs::sync_epilogue(Fd fd, std::uint64_t gen, Vnode& vn, Mount& m,
+                          fs::FsStatus st) {
+  switch (st) {
+    case fs::FsStatus::kRoFs:
+      return fail(m, Errno::kRoFs);
+    case fs::FsStatus::kIo:
+      // This call's own commit died; the abort already degraded the
+      // volume, so later syscalls see EROFS — the errseq below therefore
+      // never double-reports on top of this EIO.
+      return fail(m, Errno::kIo);
+    case fs::FsStatus::kOk:
+      break;
+  }
+  // errseq: a data writeback that failed for good since this descriptor
+  // last looked surfaces here, once. Re-resolve the entry — the fd may
+  // have been closed (even reopened) while the sync was suspended; a dead
+  // incarnation has nobody left to tell.
+  FdEntry* e = entry(fd);
+  if (e != nullptr && e->generation == gen &&
+      e->wb_err_seen < vn.inode->wb_err_seq) {
+    e->wb_err_seen = vn.inode->wb_err_seq;
+    return fail(m, Errno::kIo);
+  }
+  return {};
+}
+
 void Vfs::unref(Vnode& vn) {
   --vn.refcount;
   maybe_retire(vn);
@@ -173,6 +199,10 @@ Fd Vfs::alloc_fd(Vnode& vn, Mount& mount) {
   fds_[slot].vnode = &vn;
   fds_[slot].mount = &mount;
   fds_[slot].offset = 0;
+  // A freshly-opened descriptor samples the inode's error sequence: it
+  // reports only writeback failures that happen *after* this open (Linux
+  // errseq_t "seen" semantics).
+  fds_[slot].wb_err_seen = vn.inode->wb_err_seq;
   ++vn.refcount;
   ++open_fds_;
   return static_cast<Fd>(slot);
@@ -190,6 +220,7 @@ sim::TaskOf<Result<File>> Vfs::open(std::string name, OpenOptions opts) {
     if (opts.create && opts.exclusive) co_return fail(m, Errno::kExist);
   } else {
     if (!opts.create) co_return fail(m, Errno::kNoEnt);
+    if (filesystem.degraded()) co_return fail(m, Errno::kRoFs);
     if (!filesystem.has_free_inode()) co_return fail(m, Errno::kNoSpc);
     co_await filesystem.create(std::move(t.value().rel), inode,
                                opts.extent_blocks);
@@ -223,6 +254,7 @@ sim::TaskOf<Status> Vfs::unlink(const std::string& name) {
   fs::Filesystem& filesystem = *m.filesystem;
   fs::Inode* inode = filesystem.lookup(t.value().rel);
   if (inode == nullptr) co_return fail(m, Errno::kNoEnt);
+  if (filesystem.degraded()) co_return fail(m, Errno::kRoFs);
   ++stats_.unlinks;
   ++m.stats.unlinks;
   auto it = vnodes_.find(inode);
@@ -250,6 +282,7 @@ sim::TaskOf<Status> Vfs::rename(const std::string& from,
   const std::string& rel_to = tt.value().rel;
   if (filesystem.lookup(rel_from) == nullptr)
     co_return fail(m, Errno::kNoEnt);
+  if (filesystem.degraded()) co_return fail(m, Errno::kRoFs);
   if (rel_from == rel_to) co_return Status{};
   // POSIX: an existing target is displaced by the rename itself — inside
   // ONE journal transaction, so no crash instant ever shows the
@@ -291,9 +324,11 @@ sim::TaskOf<Result<std::uint32_t>> Vfs::pread(Fd fd, std::uint32_t page,
   fs::Inode& inode = *vn.inode;
   if (page >= inode.size_blocks) co_return std::uint32_t{0};  // at/past EOF
   const std::uint32_t n = std::min(npages, inode.size_blocks - page);
+  Mount& m = *e->mount;
   pin(vn);
-  co_await vn.fs->read(inode, page, n);
+  const fs::FsStatus st = co_await vn.fs->read(inode, page, n);
   unpin(vn);
+  if (st == fs::FsStatus::kIo) co_return fail(m, Errno::kIo);
   co_return n;
 }
 
@@ -307,6 +342,9 @@ sim::TaskOf<Result<std::uint32_t>> Vfs::pwrite(Fd fd, std::uint32_t page,
   // 64-bit sum: page + npages must not wrap past the extent check.
   if (std::uint64_t{page} + npages > inode.extent_blocks)
     co_return fail(*e->mount, Errno::kNoSpc);
+  // errors=remount-ro: a degraded volume rejects writes (reads keep
+  // working). Checked here so write()/append() inherit it too.
+  if (vn.fs->degraded()) co_return fail(*e->mount, Errno::kRoFs);
   pin(vn);
   co_await vn.fs->write(inode, page, npages);
   unpin(vn);
@@ -370,50 +408,59 @@ sim::TaskOf<Status> Vfs::fsync(Fd fd) {
   FdEntry* e = entry(fd);
   if (e == nullptr) co_return fail(Errno::kBadF);
   Vnode& vn = *e->vnode;
+  Mount& m = *e->mount;
+  const std::uint64_t gen = e->generation;
   pin(vn);
-  co_await vn.fs->fsync(*vn.inode);
+  const fs::FsStatus st = co_await vn.fs->fsync(*vn.inode);
   unpin(vn);
-  co_return Status{};
+  co_return sync_epilogue(fd, gen, vn, m, st);
 }
 
 sim::TaskOf<Status> Vfs::fdatasync(Fd fd) {
   FdEntry* e = entry(fd);
   if (e == nullptr) co_return fail(Errno::kBadF);
   Vnode& vn = *e->vnode;
+  Mount& m = *e->mount;
+  const std::uint64_t gen = e->generation;
   pin(vn);
-  co_await vn.fs->fdatasync(*vn.inode);
+  const fs::FsStatus st = co_await vn.fs->fdatasync(*vn.inode);
   unpin(vn);
-  co_return Status{};
+  co_return sync_epilogue(fd, gen, vn, m, st);
 }
 
 sim::TaskOf<Status> Vfs::fbarrier(Fd fd) {
   FdEntry* e = entry(fd);
   if (e == nullptr) co_return fail(Errno::kBadF);
   Vnode& vn = *e->vnode;
+  Mount& m = *e->mount;
   if (!journal_supports(Syscall::kFbarrier, vn.fs->config().journal))
-    co_return fail(*e->mount, Errno::kInval);
+    co_return fail(m, Errno::kInval);
+  const std::uint64_t gen = e->generation;
   pin(vn);
-  co_await vn.fs->fbarrier(*vn.inode);
+  const fs::FsStatus st = co_await vn.fs->fbarrier(*vn.inode);
   unpin(vn);
-  co_return Status{};
+  co_return sync_epilogue(fd, gen, vn, m, st);
 }
 
 sim::TaskOf<Status> Vfs::fdatabarrier(Fd fd) {
   FdEntry* e = entry(fd);
   if (e == nullptr) co_return fail(Errno::kBadF);
   Vnode& vn = *e->vnode;
+  Mount& m = *e->mount;
   if (!journal_supports(Syscall::kFdatabarrier, vn.fs->config().journal))
-    co_return fail(*e->mount, Errno::kInval);
+    co_return fail(m, Errno::kInval);
+  const std::uint64_t gen = e->generation;
   pin(vn);
-  co_await vn.fs->fdatabarrier(*vn.inode);
+  const fs::FsStatus st = co_await vn.fs->fdatabarrier(*vn.inode);
   unpin(vn);
-  co_return Status{};
+  co_return sync_epilogue(fd, gen, vn, m, st);
 }
 
 sim::TaskOf<Status> Vfs::sync(Fd fd, SyncIntent intent) {
   FdEntry* e = entry(fd);
   if (e == nullptr) co_return fail(Errno::kBadF);
   Vnode& vn = *e->vnode;
+  Mount& m = *e->mount;
   const Syscall call =
       (vn.policy.has_value() ? *vn.policy : e->mount->policy)
           .resolve(intent);
@@ -422,11 +469,12 @@ sim::TaskOf<Status> Vfs::sync(Fd fd, SyncIntent intent) {
   // barrier calls outside BarrierFS. Surface the mismatch as a modelled
   // EINVAL rather than letting the filesystem assert.
   if (!journal_supports(call, vn.fs->config().journal))
-    co_return fail(*e->mount, Errno::kInval);
+    co_return fail(m, Errno::kInval);
+  const std::uint64_t gen = e->generation;
   pin(vn);
-  co_await issue(*vn.fs, *vn.inode, call);
+  const fs::FsStatus st = co_await issue(*vn.fs, *vn.inode, call);
   unpin(vn);
-  co_return Status{};
+  co_return sync_epilogue(fd, gen, vn, m, st);
 }
 
 // ---- descriptor metadata -----------------------------------------------------

@@ -277,6 +277,11 @@ class Vfs {
     /// incarnation of this slot must not touch the offset of a descriptor
     /// opened into the recycled slot afterwards (fd-reuse ABA).
     std::uint64_t generation = 0;
+    /// Linux errseq_t, per-fd half: the inode's wb_err_seq this descriptor
+    /// has already reported. A sync syscall observing inode->wb_err_seq >
+    /// wb_err_seen returns EIO exactly once, then catches up — a failed
+    /// data writeback is reported on every fd, but only once per fd.
+    std::uint64_t wb_err_seen = 0;
   };
 
   /// Routes `name` through the mount table: a matching "/component" wins;
@@ -297,6 +302,15 @@ class Vfs {
   /// Error funnel: ticks node-wide errors, and the mount's when known.
   Errno fail(Errno e) const;
   Errno fail(Mount& m, Errno e) const;
+  /// Shared tail of every sync syscall: maps the filesystem's verdict
+  /// (kIo = this call's journal commit died and degraded the volume,
+  /// kRoFs = it was already degraded at entry) to an errno, then runs the
+  /// errseq check — a data-writeback failure recorded on the inode since
+  /// this descriptor last looked is EIO exactly once per fd. `gen` pins
+  /// the descriptor incarnation across the sync's suspension (fd-reuse
+  /// ABA, as in read/write).
+  Status sync_epilogue(Fd fd, std::uint64_t gen, Vnode& vn, Mount& m,
+                       fs::FsStatus st);
   /// Drops one descriptor reference (close path).
   void unref(Vnode& vn);
   /// Marks a syscall in flight against `vn` across its suspension points:

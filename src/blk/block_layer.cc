@@ -31,14 +31,17 @@ sim::Task BlockLayer::throttle() {
   while (congested_) co_await drained_.wait();
 }
 
-std::shared_ptr<flash::Command> BlockLayer::to_command(
-    const RequestPtr& r) const {
+std::shared_ptr<flash::Command> BlockLayer::to_command(const RequestPtr& r,
+                                                       bool fault_aware) const {
   // The command is embedded in the request; the device receives an aliasing
   // shared_ptr into it, which both avoids a per-dispatch allocation and
   // keeps the request alive while the device holds the command.
   flash::Command& cmd = r->cmd;
   cmd = flash::Command{};
-  cmd.done = &r->completion;
+  // Fault-aware dispatch interposes the retry watcher between the device
+  // IRQ and the host-visible completion; otherwise the device IRQ *is* the
+  // completion, exactly as before fault injection existed.
+  cmd.done = fault_aware ? &r->device_done : &r->completion;
   switch (r->op) {
     case ReqOp::kWrite:
       cmd.op = flash::OpCode::kWrite;
@@ -77,7 +80,8 @@ sim::Task BlockLayer::dispatch_loop() {
       co_await work_.wait();
       continue;
     }
-    std::shared_ptr<flash::Command> cmd = to_command(r);
+    const bool fault_aware = dev_.has_fault_plan();
+    std::shared_ptr<flash::Command> cmd = to_command(r, fault_aware);
     while (!dev_.try_submit(cmd)) {
       ++stats_.busy_retries;
       if (config_.busy_poll) {
@@ -92,6 +96,7 @@ sim::Task BlockLayer::dispatch_loop() {
       congested_ = false;
       drained_.notify_all();
     }
+    if (fault_aware) sim_.spawn("blk:retry", retry_watcher(r, std::move(cmd)));
     if (!r->absorbed.empty()) sim_.spawn("blk:fanout", fanout(r));
   }
 }
@@ -99,6 +104,42 @@ sim::Task BlockLayer::dispatch_loop() {
 sim::Task BlockLayer::fanout(RequestPtr r) {
   co_await r->completion.wait();
   trigger_absorbed(*r);
+}
+
+sim::Task BlockLayer::retry_watcher(RequestPtr r,
+                                    std::shared_ptr<flash::Command> cmd) {
+  co_await r->device_done.wait();
+  std::uint32_t attempt = 0;
+  for (;;) {
+    if (r->cmd.status == flash::IoStatus::kOk) break;
+    if (r->cmd.status == flash::IoStatus::kHardError) {
+      // Media error: retrying cannot help, fail through immediately.
+      ++stats_.hard_faults;
+      break;
+    }
+    ++stats_.transient_faults;
+    if (attempt >= config_.max_io_retries) break;  // bounded: give up
+    ++attempt;
+    ++stats_.io_retries;
+    co_await sim_.delay(config_.io_retry_backoff << (attempt - 1));
+    // Re-arm and re-dispatch the same command (same payload span; a torn
+    // write's retry re-lands the full payload).
+    r->cmd.status = flash::IoStatus::kOk;
+    r->device_done.recycle();
+    while (!dev_.try_submit(cmd)) {
+      ++stats_.busy_retries;
+      if (config_.busy_poll)
+        co_await sim_.delay(config_.busy_retry);
+      else
+        co_await dev_.queue_activity().wait();
+    }
+    co_await r->device_done.wait();
+  }
+  if (r->cmd.status != flash::IoStatus::kOk) {
+    ++stats_.io_failures;
+    if (swallow_io_errors_) r->cmd.status = flash::IoStatus::kOk;
+  }
+  r->completion.trigger();
 }
 
 sim::Task BlockLayer::write_and_wait(std::vector<Block> blocks, bool ordered,

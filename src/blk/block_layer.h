@@ -43,6 +43,12 @@ struct BlockLayerConfig {
   /// drains to half (batched wakeups, like the request-list congestion
   /// hysteresis).
   std::size_t nr_requests = 128;
+  /// Bounded retry policy for transient device faults: attempts beyond the
+  /// first, with exponential simulated-time backoff starting at
+  /// `io_retry_backoff` (doubling per attempt). Hard media errors fail
+  /// through immediately, never retried.
+  std::uint32_t max_io_retries = 3;
+  sim::SimTime io_retry_backoff = 1'000'000;  // 1 ms
 };
 
 class BlockLayer {
@@ -51,6 +57,15 @@ class BlockLayer {
     std::uint64_t submitted = 0;
     std::uint64_t dispatched = 0;
     std::uint64_t busy_retries = 0;
+    /// Transient device-fault completions observed (pre-retry).
+    std::uint64_t transient_faults = 0;
+    /// Hard media-error completions (fail through, never retried).
+    std::uint64_t hard_faults = 0;
+    /// Re-dispatches issued by the retry policy.
+    std::uint64_t io_retries = 0;
+    /// Requests whose final completion is an error (retries exhausted or
+    /// hard fault).
+    std::uint64_t io_failures = 0;
   };
 
   BlockLayer(sim::Simulator& sim, flash::StorageDevice& dev,
@@ -88,10 +103,23 @@ class BlockLayer {
   flash::StorageDevice& device() noexcept { return dev_; }
   const BlockLayerConfig& config() const noexcept { return config_; }
 
+  /// TEST ONLY: drop the fail-through path — a request whose retries are
+  /// exhausted (or that hit a hard fault) completes as if it succeeded.
+  /// The deliberate bug the fault crash sweep must catch: an acked sync
+  /// over swallowed errors is a durability lie.
+  void set_swallow_io_errors_for_test(bool swallow) noexcept {
+    swallow_io_errors_ = swallow;
+  }
+
  private:
   sim::Task dispatch_loop();
   sim::Task fanout(RequestPtr r);
-  std::shared_ptr<flash::Command> to_command(const RequestPtr& r) const;
+  /// Fault-aware dispatch interposer: owns the request's device round
+  /// trips, applies the bounded retry policy, then fires `completion` with
+  /// the final status. Spawned only while a fault plan is installed.
+  sim::Task retry_watcher(RequestPtr r, std::shared_ptr<flash::Command> cmd);
+  std::shared_ptr<flash::Command> to_command(const RequestPtr& r,
+                                             bool fault_aware) const;
 
   sim::Simulator& sim_;
   flash::StorageDevice& dev_;
@@ -104,6 +132,7 @@ class BlockLayer {
   flash::Version version_ = 0;
   Stats stats_;
   bool started_ = false;
+  bool swallow_io_errors_ = false;
 };
 
 }  // namespace bio::blk

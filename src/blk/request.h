@@ -102,7 +102,7 @@ struct Request;
 using RequestPtr = std::shared_ptr<Request>;
 
 struct Request {
-  explicit Request(sim::Simulator& sim) : completion(sim) {}
+  explicit Request(sim::Simulator& sim) : completion(sim), device_done(sim) {}
   Request(const Request&) = delete;
   Request& operator=(const Request&) = delete;
 
@@ -121,8 +121,16 @@ struct Request {
   flash::Lba read_lba = 0;
 
   sim::SimTime queued_at = 0;
-  /// Host completion IRQ (embedded; re-armed on recycle).
+  /// Host completion IRQ (embedded; re-armed on recycle). Fires once the
+  /// request is *finished* — for a fault-aware dispatch that includes the
+  /// retry policy, so `status()` is the final verdict.
   sim::Event completion;
+  /// Device-side IRQ used only by the fault-aware dispatch path: the device
+  /// triggers it per attempt, the block layer's retry watcher re-arms it
+  /// between attempts and forwards the final result to `completion`. With
+  /// no fault plan installed the device triggers `completion` directly and
+  /// this event stays cold.
+  sim::Event device_done;
   /// Requests merged into this one; their completions fire with ours.
   std::vector<RequestPtr> absorbed;
   /// Device-facing command, filled at dispatch. The block layer hands the
@@ -140,6 +148,11 @@ struct Request {
   }
   bool is_write() const noexcept { return op == ReqOp::kWrite; }
 
+  /// Final IO verdict, valid once `completion` fires. Absorbed requests
+  /// inherit their carrier's status when the carrier completes.
+  flash::IoStatus status() const noexcept { return cmd.status; }
+  bool failed() const noexcept { return cmd.status != flash::IoStatus::kOk; }
+
   /// Scrubs per-use state while retaining container capacities (pool reuse).
   void reset_for_reuse() noexcept {
     op = ReqOp::kWrite;
@@ -148,6 +161,7 @@ struct Request {
     read_lba = 0;
     queued_at = 0;
     completion.recycle();
+    device_done.recycle();
     absorbed.clear();
     cmd = flash::Command{};
   }
@@ -158,7 +172,7 @@ namespace detail {
 /// Heap-worklist preorder walk for absorption chains deeper than the
 /// recursion budget. Entering the loop processes `r`'s whole subtree before
 /// returning, so the caller's sibling order (= preorder) is preserved.
-inline void trigger_absorbed_deep(Request& r) {
+inline void trigger_absorbed_deep(Request& r, flash::IoStatus status) {
   std::vector<Request*> work;
   work.reserve(r.absorbed.size());
   for (auto it = r.absorbed.rbegin(); it != r.absorbed.rend(); ++it)
@@ -166,6 +180,7 @@ inline void trigger_absorbed_deep(Request& r) {
   while (!work.empty()) {
     Request* cur = work.back();
     work.pop_back();
+    cur->cmd.status = status;
     cur->completion.trigger();
     for (auto it = cur->absorbed.rbegin(); it != cur->absorbed.rend(); ++it)
       work.push_back(it->get());
@@ -175,14 +190,16 @@ inline void trigger_absorbed_deep(Request& r) {
 /// Recursive preorder walk with a depth budget: the common 1-2 link merge
 /// chains complete with zero heap traffic; anything deeper falls back to
 /// the worklist before the real stack is at risk.
-inline void trigger_absorbed_impl(Request& r, int depth_left) {
+inline void trigger_absorbed_impl(Request& r, flash::IoStatus status,
+                                  int depth_left) {
   for (const RequestPtr& a : r.absorbed) {
+    a->cmd.status = status;
     a->completion.trigger();
     if (a->absorbed.empty()) continue;
     if (depth_left > 0)
-      trigger_absorbed_impl(*a, depth_left - 1);
+      trigger_absorbed_impl(*a, status, depth_left - 1);
     else
-      trigger_absorbed_deep(*a);
+      trigger_absorbed_deep(*a, status);
   }
 }
 
@@ -195,7 +212,9 @@ inline void trigger_absorbed_impl(Request& r, int depth_left) {
 /// stack — past a fixed depth the walk switches to an explicit worklist.
 inline void trigger_absorbed(Request& r) {
   if (r.absorbed.empty()) return;
-  detail::trigger_absorbed_impl(r, /*depth_left=*/64);
+  // Absorbed requests completed with the carrier, so they share its fate:
+  // a failed carrier fails every write folded into it.
+  detail::trigger_absorbed_impl(r, r.cmd.status, /*depth_left=*/64);
 }
 
 /// Validates and stamps a write payload onto `r` (shared by RequestPool and

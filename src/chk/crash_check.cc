@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "api/vfs.h"
+#include "flash/fault.h"
 #include "fs/recovery.h"
 #include "sim/rng.h"
 
@@ -119,6 +120,11 @@ struct Oracle {
   bool finished = false;
   std::uint32_t renames = 0;
   std::uint32_t unlinks = 0;
+  /// Sync syscalls that returned kIo/kRoFs (fault-tolerant runs only).
+  std::uint32_t syncs_failed = 0;
+  /// The workload observed EROFS — the volume degraded read-only and the
+  /// writer stopped mutating (reads would still work).
+  bool stopped_rofs = false;
 };
 
 /// The randomized workload, running against one volume of the node through
@@ -126,8 +132,21 @@ struct Oracle {
 /// root mount, "/v0/" on a mounted volume).
 sim::Task workload(core::Volume& vol, api::Vfs& vfs, std::string prefix,
                    Oracle& oracle, const CrashCheckOptions& opt,
-                   const Guarantees& g, std::uint64_t seed) {
+                   const Guarantees& g, std::uint64_t seed,
+                   bool fault_tolerant = false) {
   sim::Rng rng(seed);
+  // Fault-tolerant runs accept EIO (the sync's commit died, or a data
+  // writeback was lost — errseq) and EROFS (volume degraded read-only);
+  // durability facts are recorded only for syscalls that returned kOk.
+  // Fault-free runs keep the hard must() contract.
+  auto sync_ok = [&oracle, fault_tolerant](api::Status st) {
+    if (st.ok()) return true;
+    BIO_CHECK_MSG(fault_tolerant,
+                  "checker workload: sync failed on a fault-free run");
+    ++oracle.syncs_failed;
+    if (st.error() == api::Errno::kRoFs) oracle.stopped_rofs = true;
+    return false;
+  };
   oracle.files.resize(static_cast<std::size_t>(opt.files));
   for (int i = 0; i < opt.files; ++i) {
     FileOracle& f = oracle.files[static_cast<std::size_t>(i)];
@@ -144,15 +163,16 @@ sim::Task workload(core::Volume& vol, api::Vfs& vfs, std::string prefix,
   // Settle the creates so every later crash point has the namespace.
   {
     FileOracle& f0 = oracle.files.front();
-    must(co_await f0.handle.sync_file());
-    for (FileOracle& f : oracle.files) {
-      ++f.epoch;
-      if (g.durable_acks) {
-        f.full_synced = true;
-        f.full_synced_size = f.inode->size_blocks;
-        f.has_acks = true;
+    if (sync_ok(co_await f0.handle.sync_file())) {
+      for (FileOracle& f : oracle.files) {
+        ++f.epoch;
+        if (g.durable_acks) {
+          f.full_synced = true;
+          f.full_synced_size = f.inode->size_blocks;
+          f.has_acks = true;
+        }
+        f.synced_upto = f.writes.size();
       }
-      f.synced_upto = f.writes.size();
     }
   }
 
@@ -169,6 +189,7 @@ sim::Task workload(core::Volume& vol, api::Vfs& vfs, std::string prefix,
   };
 
   for (int i = 0; i < opt.ops; ++i) {
+    if (oracle.stopped_rofs) break;  // degraded read-only: stop mutating
     FileOracle& f = oracle.files[static_cast<std::size_t>(
         rng.uniform(0, opt.files - 1))];
     const int dice = static_cast<int>(rng.uniform(0, 99));
@@ -177,7 +198,10 @@ sim::Task workload(core::Volume& vol, api::Vfs& vfs, std::string prefix,
       const std::uint32_t page = static_cast<std::uint32_t>(
           rng.uniform(0, opt.extent_blocks - n));
       api::Result<std::uint32_t> r = co_await f.handle.pwrite(page, n);
-      if (r.ok()) record_write(f, page, r.value());
+      if (r.ok())
+        record_write(f, page, r.value());
+      else if (r.error() == api::Errno::kRoFs)
+        oracle.stopped_rofs = true;
     } else if (dice < 58) {
       const std::uint32_t room = opt.extent_blocks - f.inode->size_blocks;
       if (room > 0) {
@@ -185,34 +209,40 @@ sim::Task workload(core::Volume& vol, api::Vfs& vfs, std::string prefix,
             room, static_cast<std::uint32_t>(rng.uniform(1, 2)));
         const std::uint32_t at = f.inode->size_blocks;
         api::Result<std::uint32_t> r = co_await f.handle.append(n);
-        if (r.ok()) record_write(f, at, r.value());
+        if (r.ok())
+          record_write(f, at, r.value());
+        else if (r.error() == api::Errno::kRoFs)
+          oracle.stopped_rofs = true;
       }
     } else if (dice < 72) {
-      must(co_await f.handle.order_point());
-      ++f.epoch;
-      f.synced_upto = f.writes.size();
+      if (sync_ok(co_await f.handle.order_point())) {
+        ++f.epoch;
+        f.synced_upto = f.writes.size();
+      }
     } else if (dice < 84) {
-      must(co_await f.handle.durability_point());
-      ++f.epoch;
-      f.synced_upto = f.writes.size();
-      if (g.durable_acks) {
-        f.acked = f.pages;
-        f.has_acks = true;
+      if (sync_ok(co_await f.handle.durability_point())) {
+        ++f.epoch;
+        f.synced_upto = f.writes.size();
+        if (g.durable_acks) {
+          f.acked = f.pages;
+          f.has_acks = true;
+        }
       }
     } else if (dice < 93) {
-      must(co_await f.handle.sync_file());
-      ++f.epoch;
-      f.synced_upto = f.writes.size();
-      f.synced_name_idx = f.rel_names.size() - 1;
-      if (f.unlinked) {
-        f.synced_after_unlink = true;
-      } else {
-        f.full_synced = true;
-        f.full_synced_size = f.inode->size_blocks;
-      }
-      if (g.durable_acks) {
-        f.acked = f.pages;
-        f.has_acks = true;
+      if (sync_ok(co_await f.handle.sync_file())) {
+        ++f.epoch;
+        f.synced_upto = f.writes.size();
+        f.synced_name_idx = f.rel_names.size() - 1;
+        if (f.unlinked) {
+          f.synced_after_unlink = true;
+        } else {
+          f.full_synced = true;
+          f.full_synced_size = f.inode->size_blocks;
+        }
+        if (g.durable_acks) {
+          f.acked = f.pages;
+          f.has_acks = true;
+        }
       }
     } else if (dice < 97) {
       // Namespace churn: rename — mostly to a fresh name, sometimes a
@@ -231,13 +261,20 @@ sim::Task workload(core::Volume& vol, api::Vfs& vfs, std::string prefix,
                 ? victim->rel_name()
                 : f.rel_names.front() + ".r" +
                       std::to_string(f.rel_names.size());
-        must(co_await vfs.rename(prefix + f.rel_name(), prefix + next));
-        f.rel_names.push_back(next);
-        ++oracle.renames;
-        if (victim != nullptr) {
-          victim->unlinked = true;
-          victim->full_synced = false;
-          ++oracle.unlinks;
+        const api::Status st =
+            co_await vfs.rename(prefix + f.rel_name(), prefix + next);
+        if (st.ok()) {
+          f.rel_names.push_back(next);
+          ++oracle.renames;
+          if (victim != nullptr) {
+            victim->unlinked = true;
+            victim->full_synced = false;
+            ++oracle.unlinks;
+          }
+        } else {
+          BIO_CHECK_MSG(fault_tolerant && st.error() == api::Errno::kRoFs,
+                        "checker workload: rename failed unexpectedly");
+          oracle.stopped_rofs = true;
         }
       }
     } else {
@@ -245,12 +282,18 @@ sim::Task workload(core::Volume& vol, api::Vfs& vfs, std::string prefix,
       // (and its extent alive) for the rest of the run.
       if (!f.unlinked &&
           oracle.unlinks < static_cast<std::uint32_t>(opt.files) / 2) {
-        must(co_await vfs.unlink(prefix + f.rel_name()));
-        f.unlinked = true;
-        // The earlier "fsynced => exists" fact is void: any later commit
-        // (group commit included) may durably remove the name.
-        f.full_synced = false;
-        ++oracle.unlinks;
+        const api::Status st = co_await vfs.unlink(prefix + f.rel_name());
+        if (st.ok()) {
+          f.unlinked = true;
+          // The earlier "fsynced => exists" fact is void: any later commit
+          // (group commit included) may durably remove the name.
+          f.full_synced = false;
+          ++oracle.unlinks;
+        } else {
+          BIO_CHECK_MSG(fault_tolerant && st.error() == api::Errno::kRoFs,
+                        "checker workload: unlink failed unexpectedly");
+          oracle.stopped_rofs = true;
+        }
       }
     }
     if (rng.chance(0.3))
@@ -506,6 +549,114 @@ fs::RecoveryReport verify_volume(CrashCheckResult& res, core::Volume& vol,
   return report;
 }
 
+/// Fault-mode verification: the power-cut oracle restricted to the facts
+/// that survive device faults (see run_fault_crash_check in the header).
+/// The epoch-prefix ordering checks are deliberately absent — a bounded
+/// retry legally re-lands a transiently failed write after later writes —
+/// and every durability fact was recorded only when its sync returned kOk.
+fs::RecoveryReport verify_fault_volume(CrashCheckResult& res,
+                                       core::Volume& vol,
+                                       const Oracle& oracle,
+                                       const Guarantees& g) {
+  res.workload_finished = oracle.finished;
+  res.volume_degraded = vol.fs().degraded();
+  res.syncs_failed = oracle.syncs_failed;
+  // Quiescence additionally requires a live journal and a clean page
+  // cache: an aborted journal never durably commits the writes its failed
+  // transaction covered, and a hard-faulted writeback redirties its page —
+  // fs-level dirt the workload may never have resubmitted.
+  res.quiesced = oracle.finished && !res.volume_degraded &&
+                 vol.device().cache().dirty_count() == 0 &&
+                 vol.device().queue_depth() == 0 &&
+                 vol.fs().page_cache().dirty_count() == 0;
+  res.renames_done = oracle.renames;
+  res.unlinks_done = oracle.unlinks;
+
+  Recovered rec = recover_volume(res, vol);
+  fs::RecoveryReport& report = rec.report;
+  const flash::StorageDevice::DurableImage& image = rec.image;
+
+  auto violation = [&res](const std::string& what) {
+    res.violations.push_back(what);
+  };
+  auto present = [&report](const PageWrite& w) {
+    auto it = report.data.find(w.lba);
+    return it != report.data.end() && it->second >= w.version;
+  };
+
+  std::vector<NamespaceView> views;
+  views.reserve(oracle.files.size());
+  for (const FileOracle& f : oracle.files)
+    views.push_back({&f.rel_names, f.inode});
+  const std::unordered_map<Lba, const fs::RecoveryReport::RecoveredFile*>
+      by_extent = check_recovered_namespace(res, vol, report, views);
+
+  for (const FileOracle& f : oracle.files) {
+    const bool facts_apply = g.durable_acks || res.quiesced;
+    const fs::RecoveryReport::RecoveredFile* rf = nullptr;
+    if (f.inode != nullptr) {
+      auto it = by_extent.find(f.inode->extent_base);
+      if (it != by_extent.end()) rf = it->second;
+    }
+    // 1. Acked durability survives faults: a kOk durable-ack return means
+    //    the covered data is on media even when earlier IOs failed and
+    //    were retried — and even when the journal aborted afterwards (the
+    //    ack's transaction had already durably retired).
+    if (g.durable_acks && f.has_acks) {
+      for (const auto& [page, w] : f.acked) {
+        ++res.acked_pages_checked;
+        if (!present(w)) {
+          violation(f.rel_name() + " page " + std::to_string(page) + " (" +
+                    describe(w) +
+                    ") was acked durable (kOk under faults) but did not "
+                    "survive");
+          debug_dump_write("fault-acked", w, image, vol);
+        }
+      }
+    }
+    // 2. Delayed durability at quiescence (live journal only): everything
+    //    a kOk sync ever covered must be on media.
+    if (res.quiesced) {
+      for (std::size_t i = 0; i < f.synced_upto; ++i) {
+        const PageWrite& w = f.writes[i];
+        if (!present(w))
+          violation(f.rel_name() + " write (" + describe(w) +
+                    ") not durable after quiescence");
+      }
+    }
+    // 3. Namespace facts, exactly as in the fault-free oracle — they were
+    //    only recorded on kOk returns.
+    if (f.full_synced && facts_apply) {
+      ++res.namespace_facts_checked;
+      if (rf == nullptr)
+        violation(f.rel_name() +
+                  " was fsynced but does not exist after recovery");
+      else if (rf->size_blocks < f.full_synced_size)
+        violation(f.rel_name() + " recovered with size " +
+                  std::to_string(rf->size_blocks) + " < synced size " +
+                  std::to_string(f.full_synced_size));
+    }
+    if (facts_apply && f.synced_name_idx > 0 && rf != nullptr) {
+      ++res.namespace_facts_checked;
+      const auto it = std::find(f.rel_names.begin(), f.rel_names.end(),
+                                rf->name);
+      if (it != f.rel_names.end() &&
+          static_cast<std::size_t>(it - f.rel_names.begin()) <
+              f.synced_name_idx)
+        violation("namespace: " + rf->name +
+                  " recovered although the rename to " +
+                  f.rel_names[f.synced_name_idx] + " was durably synced");
+    }
+    if (facts_apply && f.synced_after_unlink) {
+      ++res.namespace_facts_checked;
+      if (rf != nullptr)
+        violation("namespace: " + rf->name +
+                  " recovered although its unlink was durably synced");
+    }
+  }
+  return report;
+}
+
 /// Sweep crash-instant stream: mostly mid-workload cuts, with a slice of
 /// late cuts exercising the quiesced (delayed-durability) contract. One
 /// generator shared by both sweep flavours so they always test the same
@@ -618,6 +769,11 @@ CrashCheckResult run_crash_check(StackKind kind, std::uint64_t seed,
 void CrashSweepResult::accumulate(const CrashCheckResult& r) {
   ++points;
   if (r.quiesced) ++quiesced_points;
+  faults_injected += r.faults_injected;
+  io_retries += r.io_retries;
+  io_failures += r.io_failures;
+  syncs_failed += r.syncs_failed;
+  if (r.volume_degraded) ++degraded_points;
   acked_pages_checked += r.acked_pages_checked;
   order_writes_checked += r.order_writes_checked;
   namespace_facts_checked += r.namespace_facts_checked;
@@ -653,6 +809,78 @@ CrashSweepResult run_crash_sweep(StackKind kind, int points,
       ++sweep.failed_points;
       note_failure(sweep, core::to_string(kind), core::to_string(kind), i,
                    base_seed, res);
+    }
+  }
+  return sweep;
+}
+
+// ---- fault-injection crash sweep --------------------------------------------
+
+CrashCheckResult run_fault_crash_check(StackKind kind, std::uint64_t seed,
+                                       sim::SimTime crash_at,
+                                       const FaultCrashOptions& opt) {
+  CrashCheckResult res;
+  res.seed = seed;
+  res.crash_at = crash_at;
+  const Guarantees g = guarantees_of(kind);
+  const core::StackConfig cfg = checker_config(kind, opt.wl);
+
+  // The plan outlives the stack (the device holds a raw pointer) and is
+  // installed before start(), so the per-class op ordinals it matches are
+  // deterministic for a given (kind, seed, options).
+  flash::FaultPlan plan =
+      flash::FaultPlan::random(seed, opt.expected_write_ops, opt.max_faults);
+  auto stack = std::make_unique<core::Stack>(cfg);
+  stack->device().install_fault_plan(&plan);
+  if (opt.swallow_io_errors)
+    stack->blk().set_swallow_io_errors_for_test(true);
+  stack->start();
+  api::Vfs vfs(*stack);
+  Oracle oracle;
+  stack->sim().spawn("chk:wl",
+                     workload(stack->volume(0), vfs, "", oracle, opt.wl, g,
+                              seed, /*fault_tolerant=*/true));
+  stack->sim().run_until(crash_at);  // power cut
+
+  res.faults_injected = plan.stats().total();
+  res.io_retries = stack->blk().stats().io_retries;
+  res.io_failures = stack->blk().stats().io_failures;
+
+  const fs::RecoveryReport report =
+      verify_fault_volume(res, stack->volume(0), oracle, g);
+
+  // ---- remount a fresh (fault-free) stack over the recovered image -------
+  // This is the errors=remount-ro repair path: even a volume the journal
+  // abort degraded must recover read-consistent from its last durable
+  // commit and come back fully usable.
+  if (opt.wl.remount) {
+    auto stack2 = std::make_unique<core::Stack>(cfg);
+    stack2->fs().mount(report);
+    stack2->start();
+    api::Vfs vfs2(*stack2);
+    std::string err;
+    stack2->sim().spawn("chk:verify", remount_verify(vfs2, "", report, err));
+    stack2->sim().run();
+    if (!err.empty()) res.violations.push_back("remount: " + err);
+  }
+  return res;
+}
+
+CrashSweepResult run_fault_crash_sweep(StackKind kind, int points,
+                                       std::uint64_t base_seed,
+                                       const FaultCrashOptions& opt) {
+  CrashSweepResult sweep;
+  CrashPointGen crash_points(base_seed);
+  const std::string repro = std::string("fault:") + core::to_string(kind);
+  for (int i = 0; i < points; ++i) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    const sim::SimTime crash_at = crash_points.next();
+    const CrashCheckResult res =
+        run_fault_crash_check(kind, seed, crash_at, opt);
+    sweep.accumulate(res);
+    if (!res.ok()) {
+      ++sweep.failed_points;
+      note_failure(sweep, repro, core::to_string(kind), i, base_seed, res);
     }
   }
   return sweep;

@@ -96,6 +96,17 @@ struct CrashCheckResult {
   /// Ring linked-chain contract facts verified (covered-write durability /
   /// successor-implies-covered ordering; zero on non-ring workloads).
   std::uint32_t chain_facts_checked = 0;
+  // Fault-injection facts (zero/false on fault-free checks).
+  /// Faults the installed plan actually fired before the cut.
+  std::uint64_t faults_injected = 0;
+  /// Block-layer re-dispatches issued by the bounded retry policy.
+  std::uint64_t io_retries = 0;
+  /// Requests that completed with an error (retries exhausted/hard fault).
+  std::uint64_t io_failures = 0;
+  /// Sync syscalls that returned kIo/kRoFs to the workload.
+  std::uint32_t syncs_failed = 0;
+  /// The journal aborted and degraded the volume read-only before the cut.
+  bool volume_degraded = false;
 };
 
 /// One workload + power cut + recovery + remount + verification pass.
@@ -119,6 +130,12 @@ struct CrashSweepResult {
   std::uint64_t fd_cycles = 0;
   std::uint64_t closes_during_sync = 0;
   std::uint64_t chain_facts_checked = 0;
+  // Fault-sweep aggregates (zero on fault-free sweeps).
+  std::uint64_t faults_injected = 0;
+  std::uint64_t io_retries = 0;
+  std::uint64_t io_failures = 0;
+  std::uint64_t syncs_failed = 0;
+  int degraded_points = 0;
   /// First few violations, with their (seed, crash) context and a
   /// `--repro` spec (see examples/crash_consistency). The CLI spec replays
   /// with DEFAULT sweep options; a sweep run with custom options must be
@@ -157,6 +174,47 @@ sim::SimTime sweep_crash_at(std::uint64_t base_seed, int point);
 CrashSweepResult run_crash_sweep(core::StackKind kind, int points,
                                  std::uint64_t base_seed = 1,
                                  const CrashCheckOptions& opt = {});
+
+// ---- fault-injection crash sweep --------------------------------------------
+
+/// Options for the fault crash sweep: the single-writer workload shape plus
+/// a seed-derived flash::FaultPlan installed on the device before start.
+struct FaultCrashOptions {
+  CrashCheckOptions wl;
+  /// Faults drawn per plan (flash::FaultPlan::random upper bound).
+  std::uint32_t max_faults = 4;
+  /// Write-op ordinal range the plan spreads its faults over (roughly the
+  /// device write-command count the default checker workload generates —
+  /// measured ~70 for a full fault-free run; see FaultPlan::random's
+  /// log-uniform placement for why early ordinals are favoured).
+  std::uint64_t expected_write_ops = 80;
+  /// TEST ONLY: forwards to BlockLayer::set_swallow_io_errors_for_test —
+  /// the deliberate injected bug the sweep must deterministically detect.
+  bool swallow_io_errors = false;
+};
+
+/// One fault plan + workload + power cut + recovery + remount pass. The
+/// workload tolerates EIO/EROFS (it stops writing once the volume degrades
+/// read-only) and records durability facts only for syncs that returned
+/// kOk. The oracle then composes fault injection with the power-cut facts:
+///   * acked durability survives faults: a durable-ack sync that returned
+///     kOk covers its data even when earlier IOs failed and were retried;
+///   * a torn/failed journal write never replays as committed (recovery is
+///     clean and stops at the missing evidence);
+///   * an aborted (degraded) volume still recovers read-consistent and
+///     remounts into a fully usable stack.
+/// The in-order epoch-prefix fact is deliberately NOT checked here: a
+/// bounded retry legally re-lands a transiently failed write after later
+/// writes (a retried bio is not ordering-preserved), so ordering-only
+/// stacks have a real hazard window under transient faults.
+CrashCheckResult run_fault_crash_check(core::StackKind kind,
+                                       std::uint64_t seed,
+                                       sim::SimTime crash_at,
+                                       const FaultCrashOptions& opt = {});
+
+CrashSweepResult run_fault_crash_sweep(core::StackKind kind, int points,
+                                       std::uint64_t base_seed = 1,
+                                       const FaultCrashOptions& opt = {});
 
 // ---- multi-volume node ------------------------------------------------------
 

@@ -38,6 +38,10 @@ struct Command {
   sim::Event* done = nullptr;
 
   // Filled by the device.
+  /// Completion status, valid once `done` fires. A torn write lands its
+  /// leading blocks and reports kTransientError; the retry re-lands the
+  /// full payload.
+  IoStatus status = IoStatus::kOk;
   std::uint64_t seq = 0;
   /// Cache order watermark just past this write's transferred blocks (0 =
   /// never transferred). StorageDevice::persisted_through(persist_through)

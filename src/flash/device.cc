@@ -133,18 +133,58 @@ sim::Task StorageDevice::handle_write(SlotIter it) {
   co_await host_bus_.acquire();
   co_await sim_.delay(profile_.dma_4k *
                       static_cast<sim::SimTime>(cmd->blocks.size()));
-  const bool honor_barrier =
-      cmd->barrier && profile_.barrier_mode != BarrierMode::kNone;
-  for (std::size_t i = 0; i < cmd->blocks.size(); ++i) {
+  // Fault injection decides how much of the payload lands. A transient
+  // program failure lands nothing; a torn write lands its leading blocks;
+  // timing (bus, DMA) is identical either way.
+  const FaultSpec* fault =
+      fault_plan_ == nullptr
+          ? nullptr
+          : fault_plan_->match_write(++fault_write_ops_, cmd->blocks);
+  std::size_t land = cmd->blocks.size();
+  if (fault != nullptr && fault->kind != FaultKind::kHardMedia &&
+      profile_.barrier_mode != BarrierMode::kNone) {
+    // A barrier-enabled device absorbs transient program failures (and
+    // tears) in its own FTL: remap + reprogram, charged one extra tPROG.
+    // Surfacing the error would void the ordering contract the device
+    // sells — the host-side retry re-enters a *later* epoch, so a commit
+    // record behind the failed write could drain first and recovery would
+    // replay it over a stale descriptor chain (DESIGN.md §11). Hard media
+    // errors still fail through: reprogramming cannot fix them.
+    ++stats_.faults_injected;
+    ++stats_.in_device_retries;
+    co_await sim_.delay(profile_.nand.program_page);
+    fault = nullptr;
+  } else if (fault != nullptr) {
+    ++stats_.faults_injected;
+    cmd->status = fault->kind == FaultKind::kHardMedia
+                      ? IoStatus::kHardError
+                      : IoStatus::kTransientError;
+    land = fault->kind == FaultKind::kTornWrite
+               ? std::min<std::size_t>(fault->torn_keep, land)
+               : 0;
+    // A barrier write that hard-fails is rejected atomically: admitting a
+    // torn prefix of an epoch-delimiting write would let the *next* epoch
+    // persist over the hole (the stale blocks never entered the cache, so
+    // in-order drain cannot fence on them) — a durable commit record over
+    // a torn descriptor chain, which non-checksummed journals cannot
+    // detect at recovery (DESIGN.md §11).
+    if (cmd->barrier && profile_.barrier_mode != BarrierMode::kNone) land = 0;
+  }
+  // A failed write never closes an epoch: the barrier tag travels on the
+  // last block, which did not land (or landed without the device's
+  // completion promise).
+  const bool honor_barrier = fault == nullptr && cmd->barrier &&
+                             profile_.barrier_mode != BarrierMode::kNone;
+  for (std::size_t i = 0; i < land; ++i) {
     const bool last = i + 1 == cmd->blocks.size();
     co_await cache_.insert(cmd->blocks[i].first, cmd->blocks[i].second,
                            epoch_, honor_barrier && last);
   }
   host_bus_.release();
   const std::uint64_t through = cache_.next_order();
-  cmd->persist_through = through;
+  cmd->persist_through = land > 0 ? through : 0;
   if (honor_barrier) ++epoch_;
-  if (cmd->barrier) ++stats_.barrier_writes;
+  if (cmd->barrier && fault == nullptr) ++stats_.barrier_writes;
   it->dma_done = true;
   queue_event_.notify_all();
 
@@ -153,7 +193,7 @@ sim::Task StorageDevice::handle_write(SlotIter it) {
     if (cache_.dirty_count() * 4 >= cache_.capacity() * 3)
       txn_wake_.notify_all();
   }
-  if (cmd->fua) {
+  if (cmd->fua && fault == nullptr) {
     if (profile_.fua_implies_flush && !profile_.plp)
       co_await do_flush();  // SATA-style FUA: write + full flush
     else
@@ -161,13 +201,23 @@ sim::Task StorageDevice::handle_write(SlotIter it) {
   }
 
   ++stats_.writes;
-  stats_.blocks_written += cmd->blocks.size();
+  stats_.blocks_written += land;
   complete(it);
 }
 
 sim::Task StorageDevice::handle_read(SlotIter it) {
   std::shared_ptr<Command> cmd = it->cmd;
   co_await sim_.delay(profile_.cmd_overhead);
+  if (fault_plan_ != nullptr) {
+    const FaultSpec* fault =
+        fault_plan_->match_read(++fault_read_ops_, cmd->read_lba);
+    if (fault != nullptr) {
+      ++stats_.faults_injected;
+      cmd->status = fault->kind == FaultKind::kHardMedia
+                        ? IoStatus::kHardError
+                        : IoStatus::kTransientError;
+    }
+  }
   if (cache_.lookup(cmd->read_lba).has_value()) {
     ++stats_.cache_read_hits;
     co_await sim_.delay(profile_.read_hit_latency);

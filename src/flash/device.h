@@ -28,6 +28,7 @@
 
 #include "flash/cache.h"
 #include "flash/command.h"
+#include "flash/fault.h"
 #include "flash/nand.h"
 #include "flash/profile.h"
 #include "flash/segment_log.h"
@@ -49,6 +50,10 @@ class StorageDevice {
     std::uint64_t blocks_written = 0;
     std::uint64_t busy_rejections = 0;
     std::uint64_t cache_read_hits = 0;
+    std::uint64_t faults_injected = 0;
+    /// Transient program faults a barrier-mode device recovered internally
+    /// (FTL remap + reprogram) instead of surfacing to the host.
+    std::uint64_t in_device_retries = 0;
   };
 
   StorageDevice(sim::Simulator& sim, DeviceProfile profile);
@@ -75,6 +80,16 @@ class StorageDevice {
 
   /// Current device epoch (advanced by barrier writes).
   std::uint64_t current_epoch() const noexcept { return epoch_; }
+
+  // ---- fault injection ----------------------------------------------------
+  // The plan is owned by the caller (test/sweep harness) and must outlive
+  // the device or be uninstalled first. With no plan installed the IO path
+  // pays one null test per command — nothing else changes, keeping the
+  // figure benches bit-identical.
+
+  void install_fault_plan(FaultPlan* plan) noexcept { fault_plan_ = plan; }
+  bool has_fault_plan() const noexcept { return fault_plan_ != nullptr; }
+  const FaultPlan* fault_plan() const noexcept { return fault_plan_; }
 
   /// Notified on every queue transition (submission, transfer, completion).
   /// A tag-aware host driver waits on this instead of polling when busy.
@@ -179,6 +194,12 @@ class StorageDevice {
   std::list<Slot> window_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t epoch_ = 0;
+  // Fault injection: per-class op ordinals advance only while a plan is
+  // installed, so a plan installed before start() sees a deterministic
+  // stream for a given workload seed.
+  FaultPlan* fault_plan_ = nullptr;
+  std::uint64_t fault_write_ops_ = 0;
+  std::uint64_t fault_read_ops_ = 0;
   sim::Notify queue_event_;
   sim::Semaphore host_bus_;
   sim::Semaphore drain_slots_;

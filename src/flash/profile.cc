@@ -210,4 +210,13 @@ const char* to_string(OpCode op) noexcept {
   return "?";
 }
 
+const char* to_string(IoStatus s) noexcept {
+  switch (s) {
+    case IoStatus::kOk: return "ok";
+    case IoStatus::kTransientError: return "transient-error";
+    case IoStatus::kHardError: return "hard-error";
+  }
+  return "?";
+}
+
 }  // namespace bio::flash

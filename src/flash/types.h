@@ -47,8 +47,19 @@ enum class BarrierMode : std::uint8_t {
   kInOrderRecovery,
 };
 
+/// Completion status of a storage command. Devices fail: transiently (a
+/// soft program/read error or a torn multi-block write a host retry will
+/// clear) or hard (a media error no retry helps). The block layer's retry
+/// policy keys off this distinction.
+enum class IoStatus : std::uint8_t {
+  kOk,
+  kTransientError,
+  kHardError,
+};
+
 const char* to_string(BarrierMode m) noexcept;
 const char* to_string(Priority p) noexcept;
 const char* to_string(OpCode op) noexcept;
+const char* to_string(IoStatus s) noexcept;
 
 }  // namespace bio::flash

@@ -49,7 +49,9 @@ sim::Task BarrierFsJournal::commit(std::uint64_t tid, WaitMode mode) {
     case WaitMode::kDurable:
       txn.needs_flush = true;
       co_await txn.durable->wait();
-      if (!txn.flushed) {
+      // A retired txn may still owe the caller its durability flush; one
+      // that never retired (journal abort woke us) owes nothing but EIO.
+      if (!txn.flushed && txn.state == Txn::State::kRetired) {
         // The flush thread retired this txn for ordering only (we joined
         // after its flush decision); issue the durability flush ourselves.
         co_await blk_.flush_and_wait();
@@ -61,7 +63,9 @@ sim::Task BarrierFsJournal::commit(std::uint64_t tid, WaitMode mode) {
 
 sim::Task BarrierFsJournal::commit_loop() {
   for (;;) {
-    while (commit_requests_.empty()) co_await commit_wake_.wait();
+    while (commit_requests_.empty() && !aborted_)
+      co_await commit_wake_.wait();
+    if (aborted_) co_return;
     const std::uint64_t tid = commit_requests_.front();
     commit_requests_.pop_front();
     {
@@ -70,19 +74,22 @@ sim::Task BarrierFsJournal::commit_loop() {
     }
     // §4.3: the running transaction may close only with an empty
     // conflict-page list.
-    while (!conflict_blocks_.empty()) co_await conflict_resolved_.wait();
+    while (!conflict_blocks_.empty() && !aborted_)
+      co_await conflict_resolved_.wait();
+    if (aborted_) co_return;
 
     Txn* txn = close_running(/*allow_empty=*/true);
     committing_.push_back(txn);
 
     // Control plane (Eq. 3): dispatch JD and JC back-to-back, both
     // ORDERED|BARRIER. D (dispatched earlier as order-preserving requests)
-    // and JD form one epoch; JC forms the next. No waits.
+    // and JD form one epoch; JC forms the next. No waits — the flush
+    // thread checks both requests for IO failure before retiring.
     co_await reserve_jd(*txn);
-    blk::RequestPtr jd_req =
+    txn->jd_req =
         blk_.pool().make_write(std::span<const blk::Block>(txn->jd_blocks),
                                /*ordered=*/true, /*barrier=*/true);
-    blk_.submit(jd_req);
+    blk_.submit(txn->jd_req);
 
     co_await reserve_jc(*txn);
     const blk::Block jc[1] = {txn->jc_block};
@@ -102,8 +109,20 @@ sim::Task BarrierFsJournal::flush_loop() {
     Txn* txn = flush_queue_.front();
     flush_queue_.pop_front();
 
-    // Data plane: wait for the JC transfer (not its persistence!).
+    // Data plane: wait for the JC transfer (not its persistence!). Under
+    // fault injection both journal writes carry a completion status; a
+    // failed JD or JC kills the commit (the device never admitted a torn
+    // barrier write, so the journal tail simply ends before this txn).
     co_await txn->jc_req->completion.wait();
+    co_await txn->jd_req->completion.wait();
+    if (txn->jd_req->failed() || txn->jc_req->failed()) {
+      auto it = std::find(committing_.begin(), committing_.end(), txn);
+      BIO_CHECK(it != committing_.end());
+      committing_.erase(it);
+      abort_journal(*txn);
+      conflict_resolved_.notify_all();  // unstick commit_loop's drain wait
+      co_return;
+    }
     if (txn->needs_flush) {
       co_await blk_.flush_and_wait();
       txn->flushed = true;

@@ -34,6 +34,8 @@ Filesystem::Filesystem(sim::Simulator& sim, blk::BlockLayer& blk,
   data_next_ = layout_.data_base();
   shard_entries_.resize(std::max<std::uint32_t>(1, cfg_.dir_shards));
   journal_->set_close_hook([this](Txn& txn) { snapshot_metadata(txn); });
+  // errors=remount-ro: a dead journal degrades the volume read-only.
+  journal_->set_abort_hook([this] { degraded_ = true; });
 }
 
 void Filesystem::snapshot_metadata(Txn& txn) {
@@ -282,6 +284,7 @@ sim::Task Filesystem::write(Inode& f, std::uint32_t page,
                             std::uint32_t npages) {
   BIO_CHECK(npages > 0);
   BIO_CHECK_MSG(page + npages <= f.extent_blocks, "write beyond extent");
+  if (degraded_) co_return;  // EROFS: api::Vfs reports it; nothing dirties
   ++stats_.writes;
   co_await sim_.delay(cfg_.write_syscall_cpu *
                       static_cast<sim::SimTime>(npages));
@@ -326,17 +329,24 @@ sim::Task Filesystem::write(Inode& f, std::uint32_t page,
   }
 }
 
-sim::Task Filesystem::read(Inode& f, std::uint32_t page,
-                           std::uint32_t npages) {
+sim::TaskOf<FsStatus> Filesystem::read(Inode& f, std::uint32_t page,
+                                       std::uint32_t npages) {
   ++stats_.reads;
+  FsStatus st = FsStatus::kOk;
   for (std::uint32_t i = 0; i < npages; ++i) {
     const std::uint32_t p = page + i;
     if (cache_.find(f.ino, p) != nullptr) {
       co_await sim_.delay(cfg_.write_syscall_cpu);  // page-cache hit
     } else {
-      co_await blk_.read_and_wait(f.lba_of_page(p));
+      blk::RequestPtr r = blk_.pool().make_read(f.lba_of_page(p));
+      blk_.submit(r);
+      co_await r->completion.wait();
+      // A hard media read error (post-retry) is EIO to the caller; keep
+      // reading the remaining pages as a real pagein would.
+      if (r->failed()) st = FsStatus::kIo;
     }
   }
+  co_return st;
 }
 
 // ---- helpers ----------------------------------------------------------------
@@ -451,6 +461,26 @@ sim::Task Filesystem::request_backpressure() {
   co_await blk_.throttle();
 }
 
+void Filesystem::note_writeback_failures(
+    Inode& f, const std::vector<blk::RequestPtr>& reqs) {
+  for (const blk::RequestPtr& r : reqs) {
+    if (!r->completion.is_set() || !r->failed()) continue;
+    // The carrier's data never landed: redirty its pages (the buffered
+    // content is intact) and record the error on the inode. api::Vfs turns
+    // the advanced sequence into EIO once per fd (Linux AS_EIO/errseq_t).
+    cache_.redirty_failed(f.ino, r);
+    ++f.wb_err_seq;
+  }
+}
+
+FsStatus Filesystem::commit_outcome(std::uint64_t tid) const {
+  // A journal abort wakes every commit waiter; a txn that had already
+  // retired was durable before the journal died, so only un-retired ones
+  // turn into this call's EIO.
+  return journal_->aborted() && !journal_->is_retired(tid) ? FsStatus::kIo
+                                                           : FsStatus::kOk;
+}
+
 sim::Task Filesystem::wait_file_writebacks(Inode& f,
                                            std::vector<blk::RequestPtr>& reqs) {
   // Waits for pages of `f` already under writeback by someone else
@@ -462,7 +492,10 @@ sim::Task Filesystem::wait_file_writebacks(Inode& f,
   // transferred, leaving their data in the volatile cache when this
   // syscall acks durability.
   bool swept = false;
-  std::vector<blk::RequestPtr> wb = cache_.writebacks_of(f.ino, &swept);
+  bool swept_failed = false;
+  std::vector<blk::RequestPtr> wb =
+      cache_.writebacks_of(f.ino, &swept, &swept_failed);
+  if (swept_failed) ++f.wb_err_seq;  // pages were redirtied by the sweep
   if (swept) {
     // Completed carriers were dropped before we could wait on them; their
     // data transferred no later than the cache's current order. Raise the
@@ -477,7 +510,8 @@ sim::Task Filesystem::wait_file_writebacks(Inode& f,
   }
 }
 
-sim::Task Filesystem::commit_metadata(Inode& f, Journal::WaitMode mode) {
+sim::TaskOf<FsStatus> Filesystem::commit_metadata(Inode& f,
+                                                  Journal::WaitMode mode) {
   // The newer of the metadata txn and the journaled-data txn: on OptFS a
   // concurrent osync may have journaled this file's pages into a LATER
   // transaction than the one holding the inode block, and a durability
@@ -489,21 +523,25 @@ sim::Task Filesystem::commit_metadata(Inode& f, Journal::WaitMode mode) {
   f.meta_dirty = false;
   f.size_dirty = false;
   co_await journal_->commit(tid, mode);
+  co_return commit_outcome(tid);
 }
 
 bool Filesystem::txn_in_flight(std::uint64_t tid) const {
   return tid != 0 && !journal_->is_retired(tid);
 }
 
-sim::Task Filesystem::wait_txn_durable(std::uint64_t tid) {
+sim::TaskOf<FsStatus> Filesystem::wait_txn_durable(std::uint64_t tid) {
   co_await journal_->commit(tid, Journal::WaitMode::kDurable);
+  co_return commit_outcome(tid);
 }
 
 // ---- synchronization ---------------------------------------------------------
 
-sim::Task Filesystem::fsync(Inode& f) {
+sim::TaskOf<FsStatus> Filesystem::fsync(Inode& f) {
+  if (degraded_) co_return FsStatus::kRoFs;
   ++stats_.fsyncs;
   const sim::SimTime t0 = sim_.now();
+  FsStatus status = FsStatus::kOk;
   switch (cfg_.journal) {
     case JournalKind::kJbd2: {
       // Fig 3 / Eq. 2: D -> wait -> trigger JBD -> wait txn durable.
@@ -512,19 +550,20 @@ sim::Task Filesystem::fsync(Inode& f) {
           submit_data(f, /*ordered=*/false, false);
       co_await wait_file_writebacks(f, reqs);
       co_await wait_requests(reqs);  // Wait-on-Transfer
+      note_writeback_failures(f, reqs);
       if (f.meta_dirty || f.size_dirty) {
-        co_await commit_metadata(f, Journal::WaitMode::kDurable);
+        status = co_await commit_metadata(f, Journal::WaitMode::kDurable);
         // If the inode's transaction had already committed (group commit),
         // the wait above returned without a flush covering this call's
         // data — issue it (ext4_sync_file's needs-barrier path).
-        co_await ensure_data_durable(f, reqs);
+        if (status == FsStatus::kOk) co_await ensure_data_durable(f, reqs);
       } else if (txn_in_flight(f.txn_id)) {
         // A concurrent syscall's commit_metadata() cleared the flags but
         // its commit — the one holding this inode's metadata — is still
         // in flight: fsync may not return before it is durable (ext4's
         // jbd2_log_wait_commit on i_sync_tid).
-        co_await wait_txn_durable(f.txn_id);
-        co_await ensure_data_durable(f, reqs);
+        status = co_await wait_txn_durable(f.txn_id);
+        if (status == FsStatus::kOk) co_await ensure_data_durable(f, reqs);
       } else if (!cfg_.nobarrier) {
         co_await blk_.flush_and_wait();  // fdatasync-degenerate path
       }
@@ -538,27 +577,36 @@ sim::Task Filesystem::fsync(Inode& f) {
           submit_data(f, /*ordered=*/true, false);
       co_await wait_file_writebacks(f, reqs);
       if (f.meta_dirty || f.size_dirty) {
-        co_await commit_metadata(f, Journal::WaitMode::kDurable);
-        co_await ensure_data_durable(f, reqs);  // already-committed case
+        status = co_await commit_metadata(f, Journal::WaitMode::kDurable);
+        if (status == FsStatus::kOk)
+          co_await ensure_data_durable(f, reqs);  // already-committed case
       } else if (txn_in_flight(f.txn_id)) {
-        co_await wait_txn_durable(f.txn_id);  // i_sync_tid parity
-        co_await ensure_data_durable(f, reqs);
+        status = co_await wait_txn_durable(f.txn_id);  // i_sync_tid parity
+        if (status == FsStatus::kOk) co_await ensure_data_durable(f, reqs);
       } else {
         co_await wait_requests(reqs);
         co_await blk_.flush_and_wait();
       }
+      // The data transfers this call covers completed above on every path
+      // but the failed-commit ones; settle them so a dead carrier is
+      // recorded now, not swept silently later.
+      co_await wait_requests(reqs);
+      note_writeback_failures(f, reqs);
       break;
     }
     case JournalKind::kOptFs: {
-      co_await osync(f, /*wait_transfer=*/true);
+      status = co_await osync(f, /*wait_transfer=*/true);
       break;
     }
   }
   fsync_latency_.add(sim_.now() - t0);
+  co_return status;
 }
 
-sim::Task Filesystem::fdatasync(Inode& f) {
+sim::TaskOf<FsStatus> Filesystem::fdatasync(Inode& f) {
+  if (degraded_) co_return FsStatus::kRoFs;
   ++stats_.fdatasyncs;
+  FsStatus status = FsStatus::kOk;
   switch (cfg_.journal) {
     case JournalKind::kJbd2: {
       co_await wait_stable_pages(f);
@@ -566,16 +614,18 @@ sim::Task Filesystem::fdatasync(Inode& f) {
           submit_data(f, /*ordered=*/false, false);
       co_await wait_file_writebacks(f, reqs);
       co_await wait_requests(reqs);
+      note_writeback_failures(f, reqs);
       if (f.size_dirty) {
-        co_await commit_metadata(f, Journal::WaitMode::kDurable);
-        co_await ensure_data_durable(f, reqs);  // already-committed case
+        status = co_await commit_metadata(f, Journal::WaitMode::kDurable);
+        if (status == FsStatus::kOk)
+          co_await ensure_data_durable(f, reqs);  // already-committed case
       } else if (txn_in_flight(f.datasync_txn_id)) {
         // The transaction holding the latest i_size change is still in
         // flight (a concurrent sync cleared size_dirty mid-commit):
         // fdatasync waits it durable — ext4's i_datasync_tid — while
         // mtime-only dirt keeps skipping the commit (Fig 11).
-        co_await wait_txn_durable(f.datasync_txn_id);
-        co_await ensure_data_durable(f, reqs);
+        status = co_await wait_txn_durable(f.datasync_txn_id);
+        if (status == FsStatus::kOk) co_await ensure_data_durable(f, reqs);
       } else if (!cfg_.nobarrier) {
         co_await blk_.flush_and_wait();
       }
@@ -587,26 +637,32 @@ sim::Task Filesystem::fdatasync(Inode& f) {
           submit_data(f, /*ordered=*/true, false);
       co_await wait_file_writebacks(f, reqs);
       if (f.size_dirty) {
-        co_await commit_metadata(f, Journal::WaitMode::kDurable);
-        co_await ensure_data_durable(f, reqs);  // already-committed case
+        status = co_await commit_metadata(f, Journal::WaitMode::kDurable);
+        if (status == FsStatus::kOk)
+          co_await ensure_data_durable(f, reqs);  // already-committed case
       } else if (txn_in_flight(f.datasync_txn_id)) {
-        co_await wait_txn_durable(f.datasync_txn_id);  // i_datasync_tid
-        co_await ensure_data_durable(f, reqs);
+        status = co_await wait_txn_durable(f.datasync_txn_id);
+        if (status == FsStatus::kOk) co_await ensure_data_durable(f, reqs);
       } else {
         co_await wait_requests(reqs);
         co_await blk_.flush_and_wait();
       }
+      co_await wait_requests(reqs);  // settle before recording failures
+      note_writeback_failures(f, reqs);
       break;
     }
     case JournalKind::kOptFs: {
-      co_await osync(f, /*wait_transfer=*/true);
+      status = co_await osync(f, /*wait_transfer=*/true);
       break;
     }
   }
+  co_return status;
 }
 
-sim::Task Filesystem::fbarrier(Inode& f) {
+sim::TaskOf<FsStatus> Filesystem::fbarrier(Inode& f) {
+  if (degraded_) co_return FsStatus::kRoFs;
   ++stats_.fbarriers;
+  FsStatus status = FsStatus::kOk;
   switch (cfg_.journal) {
     case JournalKind::kBarrierFs: {
       const bool will_commit = f.meta_dirty || f.size_dirty;
@@ -616,25 +672,28 @@ sim::Task Filesystem::fbarrier(Inode& f) {
       co_await request_backpressure();
       if (will_commit) {
         // Wakes when the commit thread has dispatched JD and JC.
-        co_await commit_metadata(f, Journal::WaitMode::kDispatched);
+        status = co_await commit_metadata(f, Journal::WaitMode::kDispatched);
       } else if (reqs.empty()) {
         // Nothing dirty at all: force an (empty) journal commit so the
         // epoch is still delimited (§4.2).
-        co_await journal_->commit(journal_->running_txn_id(),
-                                  Journal::WaitMode::kNone);
+        const std::uint64_t tid = journal_->running_txn_id();
+        co_await journal_->commit(tid, Journal::WaitMode::kNone);
+        status = commit_outcome(tid);
       }
       break;
     }
     case JournalKind::kOptFs: {
-      co_await osync(f, /*wait_transfer=*/true);
+      status = co_await osync(f, /*wait_transfer=*/true);
       break;
     }
     case JournalKind::kJbd2:
       BIO_CHECK_MSG(false, "fbarrier() requires BarrierFS (or OptFS osync)");
   }
+  co_return status;
 }
 
-sim::Task Filesystem::fdatabarrier(Inode& f) {
+sim::TaskOf<FsStatus> Filesystem::fdatabarrier(Inode& f) {
+  if (degraded_) co_return FsStatus::kRoFs;
   ++stats_.fdatabarriers;
   BIO_CHECK_MSG(cfg_.journal == JournalKind::kBarrierFs,
                 "fdatabarrier() requires BarrierFS");
@@ -643,24 +702,28 @@ sim::Task Filesystem::fdatabarrier(Inode& f) {
   std::vector<blk::RequestPtr> reqs =
       submit_data(f, /*ordered=*/true, /*barrier_last=*/!commit_needed);
   co_await request_backpressure();
+  std::uint64_t tid = 0;
   if (commit_needed) {
     // The journal commit (ORDERED|BARRIER writes) delimits the epoch; the
     // caller does not wait for anything.
     f.meta_dirty = false;
     f.size_dirty = false;
-    co_await journal_->commit(f.txn_id, Journal::WaitMode::kNone);
+    tid = f.txn_id;
+    co_await journal_->commit(tid, Journal::WaitMode::kNone);
   } else if (reqs.empty()) {
-    co_await journal_->commit(journal_->running_txn_id(),
-                              Journal::WaitMode::kNone);
+    tid = journal_->running_txn_id();
+    co_await journal_->commit(tid, Journal::WaitMode::kNone);
   }
+  co_return tid != 0 ? commit_outcome(tid) : FsStatus::kOk;
 }
 
-sim::Task Filesystem::osync(Inode& f, bool wait_transfer) {
+sim::TaskOf<FsStatus> Filesystem::osync(Inode& f, bool wait_transfer) {
+  if (degraded_) co_return FsStatus::kRoFs;
   ++stats_.osyncs;
-  co_await osync_impl(f, wait_transfer);
+  co_return co_await osync_impl(f, wait_transfer);
 }
 
-sim::Task Filesystem::osync_impl(Inode& f, bool wait_transfer) {
+sim::TaskOf<FsStatus> Filesystem::osync_impl(Inode& f, bool wait_transfer) {
   // OptFS: osync is filesystem-wide — it scans the *global* dirty list
   // (selective data journaling keeps that list long on overwrite-heavy
   // workloads), journals overwrites, writes allocating pages in place,
@@ -679,6 +742,9 @@ sim::Task Filesystem::osync_impl(Inode& f, bool wait_transfer) {
   std::uint32_t journaled = 0;
   std::uint64_t journaled_tid = 0;
   for (;;) {
+    // A journal that died under a previous lap's commit must not swallow
+    // more overwrite pages into a transaction nobody will ever write.
+    if (journal_->aborted()) co_return FsStatus::kIo;
     const std::size_t limit = journal_->max_txn_payload();
     std::size_t pending = 0;
     cache_.dirty_pages_of(f.ino, scratch_keys_);
@@ -704,31 +770,41 @@ sim::Task Filesystem::osync_impl(Inode& f, bool wait_transfer) {
     f.datasync_txn_id = std::max(f.datasync_txn_id, journaled_tid);
     if (batch < room) break;  // the file's overwrites all fit
     co_await journal_->commit(journaled_tid, Journal::WaitMode::kDurable);
+    if (commit_outcome(journaled_tid) != FsStatus::kOk)
+      co_return FsStatus::kIo;
   }
   std::vector<blk::RequestPtr> reqs = submit_data(f, false, false);
   // The osync transaction's commit checksum covers the allocating writes
   // going in place: attach them so recovery can validate atomicity.
   for (const blk::RequestPtr& r : reqs) journal_->attach_data(r);
-  if (wait_transfer) co_await wait_requests(reqs);
+  if (wait_transfer) {
+    co_await wait_requests(reqs);
+    note_writeback_failures(f, reqs);
+  }
+  FsStatus status = FsStatus::kOk;
   if (journaled > 0) {
     f.meta_dirty = false;
     f.size_dirty = false;
     co_await journal_->commit(journaled_tid, Journal::WaitMode::kDurable);
+    status = commit_outcome(journaled_tid);
   } else if (f.meta_dirty || f.size_dirty) {
-    co_await commit_metadata(f, Journal::WaitMode::kDurable);
+    status = co_await commit_metadata(f, Journal::WaitMode::kDurable);
   } else if (journal_->running_has_updates()) {
-    co_await journal_->commit(journal_->running_txn_id(),
-                              Journal::WaitMode::kDurable);
+    const std::uint64_t tid = journal_->running_txn_id();
+    co_await journal_->commit(tid, Journal::WaitMode::kDurable);
+    status = commit_outcome(tid);
   } else if (txn_in_flight(f.txn_id) || txn_in_flight(f.datasync_txn_id)) {
     // Nothing new to commit, but a concurrent syscall's transaction still
     // holds this file's metadata or journaled data (it may be stalled on
     // journal space): this osync orders after it — and dsync's trailing
     // flush must cover its records, so wait its transfer here.
-    co_await wait_txn_durable(std::max(f.txn_id, f.datasync_txn_id));
+    status = co_await wait_txn_durable(std::max(f.txn_id, f.datasync_txn_id));
   }
+  co_return status;
 }
 
-sim::Task Filesystem::dsync(Inode& f) {
+sim::TaskOf<FsStatus> Filesystem::dsync(Inode& f) {
+  if (degraded_) co_return FsStatus::kRoFs;
   ++stats_.dsyncs;
   BIO_CHECK_MSG(cfg_.journal == JournalKind::kOptFs,
                 "dsync() requires OptFS");
@@ -736,13 +812,18 @@ sim::Task Filesystem::dsync(Inode& f) {
   // journal commit itself never waits on a flush — followed by one cache
   // flush, so the data this call covered is on media at return while
   // metadata durability still arrives on the journal's own schedule.
-  co_await osync_impl(f, /*wait_transfer=*/true);
+  const FsStatus status = co_await osync_impl(f, /*wait_transfer=*/true);
   // Writebacks of this file still in flight from concurrent order points
   // must transfer before the flush below, or their (covered) data sits in
   // the volatile cache past this call's durable return.
-  std::vector<blk::RequestPtr> wb = cache_.writebacks_of(f.ino);
+  bool swept_failed = false;
+  std::vector<blk::RequestPtr> wb =
+      cache_.writebacks_of(f.ino, nullptr, &swept_failed);
+  if (swept_failed) ++f.wb_err_seq;
   for (const blk::RequestPtr& r : wb) co_await r->completion.wait();
+  note_writeback_failures(f, wb);
   co_await blk_.flush_and_wait();
+  co_return status;
 }
 
 // ---- pdflush -----------------------------------------------------------------
@@ -753,6 +834,7 @@ sim::Task Filesystem::pdflush_loop() {
   // suspends, so they cannot be observed half-filled.
   std::vector<PageCache::PageKey> keys;
   std::vector<blk::RequestPtr> reqs;
+  std::vector<std::uint32_t> req_inos;  // per-request owner (runs are 1 file)
   std::vector<blk::Block> run;
   std::vector<PageCache::PageKey> run_keys;
   std::vector<blk::Block> journaled_blocks;
@@ -765,6 +847,7 @@ sim::Task Filesystem::pdflush_loop() {
 
       // Group into contiguous runs per file.
       reqs.clear();
+      req_inos.clear();
       run.clear();
       run_keys.clear();
       auto flush_run = [&]() {
@@ -776,6 +859,7 @@ sim::Task Filesystem::pdflush_loop() {
         stats_.writeback_pages += run_keys.size();
         blk_.submit(r);
         reqs.push_back(std::move(r));
+        req_inos.push_back(run_keys.front().ino);
         run.clear();
         run_keys.clear();
       };
@@ -796,6 +880,11 @@ sim::Task Filesystem::pdflush_loop() {
           // carrying transaction, as osync does (dsync attribution). The
           // batch stays within one transaction's payload — the remainder
           // keeps its dirty bit for the next pdflush pass.
+          // A dead journal can carry nothing: skip the page (writing the
+          // overwrite in place would destroy the committed old version it
+          // was journaled to protect). It stays dirty, memory-only, on the
+          // degraded volume.
+          if (journal_->aborted()) continue;
           if (journal_->running_payload() + journaled_blocks.size() >=
               journal_->max_txn_payload()) {
             journal_batch_full = true;
@@ -831,11 +920,24 @@ sim::Task Filesystem::pdflush_loop() {
         else if (journal_batch_full)
           co_await journal_->commit(journal_->running_txn_id(),
                                     Journal::WaitMode::kDurable);
+        else if (journal_->aborted())
+          // Every remaining dirty page needs the (dead) journal: park until
+          // something in-place-writable gets dirtied, instead of spinning.
+          co_await cache_.dirtied().wait();
         else
           break;
       }
 
-      for (const blk::RequestPtr& r : reqs) co_await r->completion.wait();
+      for (std::size_t i = 0; i < reqs.size(); ++i) {
+        co_await reqs[i]->completion.wait();
+        if (reqs[i]->failed()) {
+          // Background writeback failed: redirty and record the error on
+          // the owner, so the owner's next fsync reports EIO (AS_EIO).
+          cache_.redirty_failed(req_inos[i], reqs[i]);
+          if (auto fit = by_ino_.find(req_inos[i]); fit != by_ino_.end())
+            ++fit->second->wb_err_seq;
+        }
+      }
       writeback_progress_.notify_all();
     }
   }

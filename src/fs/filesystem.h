@@ -101,25 +101,41 @@ class Filesystem {
   /// the timestamp once per timer tick.
   sim::Task write(Inode& f, std::uint32_t page, std::uint32_t npages);
 
-  sim::Task read(Inode& f, std::uint32_t page, std::uint32_t npages);
+  /// kIo when any miss's device read hard-failed (transient read faults
+  /// are retried by the block layer and stay invisible here).
+  sim::TaskOf<FsStatus> read(Inode& f, std::uint32_t page,
+                             std::uint32_t npages);
 
   // ---- synchronization (the paper's API) ----------------------------------
+  //
+  // Every sync returns an FsStatus: kRoFs when the volume was already
+  // degraded read-only at entry, kIo when the call's own journal commit
+  // died under it (the abort degrades the volume — errors=remount-ro).
+  // Failed *data* writebacks do not fail the call here; they redirty the
+  // pages and bump the inode's wb_err_seq, and api::Vfs turns an advanced
+  // sequence into EIO exactly once per fd (Linux errseq_t semantics).
 
-  sim::Task fsync(Inode& f);
-  sim::Task fdatasync(Inode& f);
+  sim::TaskOf<FsStatus> fsync(Inode& f);
+  sim::TaskOf<FsStatus> fdatasync(Inode& f);
   /// Ordering-guarantee-only fsync (BarrierFS; osync on OptFS).
-  sim::Task fbarrier(Inode& f);
+  sim::TaskOf<FsStatus> fbarrier(Inode& f);
   /// Ordering-guarantee-only fdatasync: returns right after dispatch.
-  sim::Task fdatabarrier(Inode& f);
+  sim::TaskOf<FsStatus> fdatabarrier(Inode& f);
 
   /// OptFS osync(): ordering commit with Wait-on-Transfer, no flush.
-  sim::Task osync(Inode& f, bool wait_transfer);
+  sim::TaskOf<FsStatus> osync(Inode& f, bool wait_transfer);
 
   /// OptFS dsync(): osync plus a cache flush — the caller's *data* is on
   /// media at return, while the metadata commit itself keeps osync's
   /// asynchronous-durability protocol (no Wait-on-Flush inside the
   /// journal; the trailing flush is what makes the data stick).
-  sim::Task dsync(Inode& f);
+  sim::TaskOf<FsStatus> dsync(Inode& f);
+
+  /// True once the journal aborted and degraded this volume read-only
+  /// (errors=remount-ro). Reads keep working; api::Vfs fails writes and
+  /// syncs with EROFS. Recovery happens by remounting over the recovered
+  /// image (crash + fs::Recovery + mount()), not in place.
+  bool degraded() const noexcept { return degraded_; }
 
   Journal& journal() noexcept { return *journal_; }
   sim::Simulator& sim() noexcept { return sim_; }
@@ -141,7 +157,17 @@ class Filesystem {
 
   /// The osync protocol body, shared by osync() and dsync() (which counts
   /// under its own stat instead of osyncs).
-  sim::Task osync_impl(Inode& f, bool wait_transfer);
+  sim::TaskOf<FsStatus> osync_impl(Inode& f, bool wait_transfer);
+
+  /// Scans completed requests for IO failure: redirties the dead carriers'
+  /// pages and advances f.wb_err_seq once per failed request. Called at
+  /// every sync-path wait site (after the requests' completions fired).
+  void note_writeback_failures(Inode& f,
+                               const std::vector<blk::RequestPtr>& reqs);
+
+  /// Post-commit-wait verdict: kIo when the journal aborted without
+  /// durably retiring `tid` (this call's commit died), kOk otherwise.
+  FsStatus commit_outcome(std::uint64_t tid) const;
 
   /// Waits until no dirty page of `f` still has an in-flight writeback
   /// copy (stable resubmission; see the definition). Every sync path calls
@@ -184,12 +210,12 @@ class Filesystem {
   /// "a concurrent syscall's commit still holds this inode's metadata"
   /// test behind the i_sync_tid / i_datasync_tid waits in fsync/fdatasync.
   bool txn_in_flight(std::uint64_t tid) const;
-  sim::Task wait_txn_durable(std::uint64_t tid);
+  sim::TaskOf<FsStatus> wait_txn_durable(std::uint64_t tid);
   sim::Task remove_name(const std::string& name, bool reclaim_now);
   sim::Task pdflush_loop();
   sim::Task throttle_writer();
   flash::Lba dir_block_of(const std::string& name) const;
-  sim::Task commit_metadata(Inode& f, Journal::WaitMode mode);
+  sim::TaskOf<FsStatus> commit_metadata(Inode& f, Journal::WaitMode mode);
 
   sim::Simulator& sim_;
   blk::BlockLayer& blk_;
@@ -218,6 +244,8 @@ class Filesystem {
   Stats stats_;
   sim::LatencyRecorder fsync_latency_;
   bool started_ = false;
+  /// Journal aborted -> volume read-only (set by the journal's abort hook).
+  bool degraded_ = false;
 
   /// Scratch buffers reused by the suspension-free helpers (submit_data,
   /// journal_overwrites). The simulator is single-threaded and these

@@ -58,33 +58,44 @@ sim::Task Jbd2Journal::jbd_loop() {
           std::span<const blk::Block>(txn->jd_blocks));
       blk_.submit(jd_req);
       co_await jd_req->completion.wait();
+      if (jd_req->failed()) {
+        // A failed journal write is fatal (errors=remount-ro): the txn
+        // never retires, the volume degrades, this thread exits.
+        committing_ = nullptr;
+        abort_journal(*txn);
+        co_return;
+      }
     }
 
     // JC. Default: FLUSH|FUA. Checksum: FUA then one flush. nobarrier:
     // plain write, nothing durable.
     co_await reserve_jc(*txn);
     const blk::Block jc[1] = {txn->jc_block};
+    blk::RequestPtr jc_req;
     if (cfg_.nobarrier) {
-      blk::RequestPtr jc_req =
-          blk_.pool().make_write(std::span<const blk::Block>(jc));
+      jc_req = blk_.pool().make_write(std::span<const blk::Block>(jc));
       blk_.submit(jc_req);
       co_await jc_req->completion.wait();
       txn->flushed = false;
     } else if (cfg_.journal_checksum) {
-      blk::RequestPtr jc_req =
-          blk_.pool().make_write(std::span<const blk::Block>(jc), false,
-                                 false, /*flush=*/false, /*fua=*/true);
+      jc_req = blk_.pool().make_write(std::span<const blk::Block>(jc), false,
+                                      false, /*flush=*/false, /*fua=*/true);
       blk_.submit(jc_req);
       co_await jc_req->completion.wait();
-      co_await blk_.flush_and_wait();
+      if (!jc_req->failed()) co_await blk_.flush_and_wait();
       txn->flushed = true;
     } else {
-      blk::RequestPtr jc_req =
-          blk_.pool().make_write(std::span<const blk::Block>(jc), false,
-                                 false, /*flush=*/true, /*fua=*/true);
+      jc_req = blk_.pool().make_write(std::span<const blk::Block>(jc), false,
+                                      false, /*flush=*/true, /*fua=*/true);
       blk_.submit(jc_req);
       co_await jc_req->completion.wait();
       txn->flushed = true;
+    }
+    if (jc_req->failed()) {
+      // The commit record never landed: the transaction is not committed.
+      committing_ = nullptr;
+      abort_journal(*txn);
+      co_return;
     }
     txn->dispatched->trigger();
     committing_ = nullptr;

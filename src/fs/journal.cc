@@ -13,6 +13,15 @@ const char* to_string(JournalKind k) noexcept {
   return "?";
 }
 
+const char* to_string(FsStatus s) noexcept {
+  switch (s) {
+    case FsStatus::kOk: return "ok";
+    case FsStatus::kIo: return "io-error";
+    case FsStatus::kRoFs: return "read-only";
+  }
+  return "?";
+}
+
 Journal::Journal(sim::Simulator& sim, blk::BlockLayer& blk,
                  const FsConfig& cfg, const Layout& layout)
     : sim_(sim),
@@ -35,7 +44,7 @@ void Journal::add_journaled_data(std::span<const blk::Block> pages) {
 }
 
 sim::Task Journal::throttle_running_txn(std::size_t adding) {
-  while (!running_->empty() &&
+  while (!aborted_ && !running_->empty() &&
          1 + running_->buffers.size() + running_->journaled_data_blocks +
                  adding >
              max_txn_payload())
@@ -165,7 +174,17 @@ sim::Task Journal::force_tail_advance() {
     data_copies.push_back(std::move(r));
     ++stats_.checkpoint_writes;
   }
-  for (const blk::RequestPtr& r : data_copies) co_await r->completion.wait();
+  bool copy_failed = false;
+  for (const blk::RequestPtr& r : data_copies) {
+    co_await r->completion.wait();
+    if (r->failed()) copy_failed = true;
+  }
+  if (copy_failed) {
+    // As in checkpoint_tracker: a lost in-place copy means the journal
+    // span must never be reused. Abort instead of advancing the tail.
+    abort_journal(*live_spans_.front().txn);
+    co_return;
+  }
   // The data copies postdate the recorded checkpoint stamp; require a flush
   // entered after *their* completion before the space counts as durable.
   for (Txn* txn : copied)
@@ -183,6 +202,11 @@ sim::Task Journal::reserve_journal_blocks(Txn& txn, std::size_t n,
   const std::uint32_t cap = cfg_.journal_blocks;
   BIO_CHECK_MSG(n <= cap, "transaction larger than the journal");
   for (;;) {
+    // An aborted journal never hands out space: its commit machinery is
+    // dead and reusing a live span could clobber descriptor/commit
+    // evidence recovery still needs. Park until teardown — the abort
+    // already woke every commit waiter with its EIO verdict.
+    while (aborted_) co_await journal_space_.wait();
     // Free opportunistic releases first (no flush needed).
     if (!live_spans_.empty()) advance_tail();
     const bool wrap = journal_head_ + n > cap;
@@ -287,7 +311,11 @@ sim::Task Journal::checkpoint_tracker() {
       p.reqs.push_back(std::move(r));
       ++stats_.checkpoint_writes;
     }
-    for (const blk::RequestPtr& r : p.reqs) co_await r->completion.wait();
+    bool copy_failed = false;
+    for (const blk::RequestPtr& r : p.reqs) {
+      co_await r->completion.wait();
+      if (r->failed()) copy_failed = true;
+    }
     // Drop completed conflict-detection entries so the pooled requests can
     // recycle (a block checkpointed once and never again would otherwise
     // pin its request for the rest of the run).
@@ -295,6 +323,14 @@ sim::Task Journal::checkpoint_tracker() {
       auto it = inflight_ckpt_.find(r->blocks.front().first);
       if (it != inflight_ckpt_.end() && it->second == r)
         inflight_ckpt_.erase(it);
+    }
+    if (copy_failed) {
+      // A home copy never landed. Marking the checkpoint done would let
+      // the journal reuse the span recovery still needs to replay this
+      // transaction — acked data loss. jbd2's checkpoint-IO-error path:
+      // abort, degrade read-only, keep the log intact for recovery.
+      abort_journal(*p.txn);
+      co_return;
     }
     p.txn->checkpoint_done = true;
     // The stamp may postdate the actual completion (the tracker drains in
@@ -353,6 +389,28 @@ void Journal::retire(Txn& txn) {
   checkpoint(txn);
   txn.durable->trigger();
   journal_space_.notify_all();
+}
+
+void Journal::abort_journal(Txn& txn) {
+  if (aborted_) return;
+  aborted_ = true;
+  // Wake everyone. The failed txn stays kCommitting forever — it never
+  // enters commit_order_, so neither the live checkers nor recovery ever
+  // treat it as committed.
+  txn.dispatched->trigger();
+  txn.durable->trigger();
+  for (auto& [id, t] : txns_) {
+    (void)id;
+    if (t->state == Txn::State::kCommitting) {
+      t->dispatched->trigger();
+      t->durable->trigger();
+    }
+  }
+  running_->dispatched->trigger();
+  running_->durable->trigger();
+  journal_space_.notify_all();
+  ckpt_wake_.notify_all();
+  if (abort_hook_) abort_hook_();
 }
 
 }  // namespace bio::fs

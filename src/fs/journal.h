@@ -102,6 +102,9 @@ struct Txn {
   std::pair<flash::Lba, flash::Version> jc_block{0, 0};
   /// The in-flight JC request (BarrierFS flush thread waits on it).
   blk::RequestPtr jc_req;
+  /// The in-flight JD request (BarrierFS submits it without waiting; the
+  /// flush thread later checks it for IO failure before retiring).
+  blk::RequestPtr jd_req;
 
   /// JD and JC have been dispatched (fbarrier()'s wake-up point).
   std::unique_ptr<sim::Event> dispatched;
@@ -256,6 +259,18 @@ class Journal {
   using CloseHook = std::function<void(Txn&)>;
   void set_close_hook(CloseHook hook) { close_hook_ = std::move(hook); }
 
+  // ---- abort (errors=remount-ro, journal half) ----------------------------
+
+  /// True once a JD/JC write failed for good: the journal is dead, no
+  /// transaction commits after this point, and commit waiters have been
+  /// woken (they observe aborted() instead of durability).
+  bool aborted() const noexcept { return aborted_; }
+
+  /// Hook the filesystem installs to degrade the volume read-only when the
+  /// journal aborts. Runs synchronously inside abort_journal().
+  using AbortHook = std::function<void()>;
+  void set_abort_hook(AbortHook hook) { abort_hook_ = std::move(hook); }
+
  protected:
   /// Closes the running transaction and opens a new one. Returns nullptr if
   /// the running txn is empty and `allow_empty` is false.
@@ -277,6 +292,15 @@ class Journal {
   /// Marks the txn retired, fires its events and records commit order.
   void retire(Txn& txn);
 
+  /// Declares the journal dead after `txn`'s JD or JC write failed: wakes
+  /// every commit waiter (the failed txn's, every committing txn's and the
+  /// running txn's events fire, so syncs sleeping on them observe the abort
+  /// and fail with EIO instead of hanging), then notifies the filesystem.
+  /// The failed transaction never retires — its commit record never counts,
+  /// which is exactly what recovery relies on ("a torn or failed journal
+  /// write never replays as committed").
+  void abort_journal(Txn& txn);
+
   Txn& get_txn(std::uint64_t tid);
 
   sim::Simulator& sim_;
@@ -291,6 +315,8 @@ class Journal {
   flash::Lba journal_head_ = 0;
   Stats stats_;
   bool started_ = false;
+  bool aborted_ = false;
+  AbortHook abort_hook_;
 
  private:
   /// One reserved stretch of the journal area (offsets, not LBAs). A txn

@@ -62,6 +62,14 @@ sim::Task OptFsJournal::commit_loop() {
     blk_.submit(txn->jc_req);
     co_await jd_req->completion.wait();
     co_await txn->jc_req->completion.wait();
+    if (jd_req->failed() || txn->jc_req->failed()) {
+      // A journal write failed for good. The checksum would catch a torn
+      // descriptor at recovery anyway, but a dead journal cannot accept
+      // further osyncs: degrade (errors=remount-ro) like the others.
+      committing_ = nullptr;
+      abort_journal(*txn);
+      co_return;
+    }
 
     txn->dispatched->trigger();
     txn->flushed = false;  // never durable at osync return

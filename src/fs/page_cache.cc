@@ -39,14 +39,18 @@ std::vector<PageCache::PageKey> PageCache::dirty_pages_of(
 }
 
 std::vector<blk::RequestPtr> PageCache::writebacks_of(std::uint32_t ino,
-                                                      bool* swept_completed) {
+                                                      bool* swept_completed,
+                                                      bool* swept_failed) {
   std::vector<blk::RequestPtr> out;
   if (swept_completed != nullptr) *swept_completed = false;
+  if (swept_failed != nullptr) *swept_failed = false;
   auto it = wb_index_.find(ino);
   if (it == wb_index_.end()) return out;
   std::set<std::uint32_t>& pages = it->second;
+  bool dirtied_any = false;
   for (auto pit = pages.begin(); pit != pages.end();) {
-    auto mit = pages_.find(PageKey{ino, *pit});
+    const PageKey key{ino, *pit};
+    auto mit = pages_.find(key);
     BIO_CHECK_MSG(mit != pages_.end() && mit->second.writeback != nullptr,
                   "writeback index out of sync");
     blk::RequestPtr& wb = mit->second.writeback;
@@ -58,6 +62,18 @@ std::vector<blk::RequestPtr> PageCache::writebacks_of(std::uint32_t ino,
       // caller is told (`swept_completed`): a durability path must raise
       // the inode's persist floor, because "completed" only means
       // *transferred* — the data may still sit in the volatile cache.
+      // A carrier that completed with an IO failure never landed its data:
+      // redirty the page (its buffered version is intact) and tell the
+      // caller, who records the error on the inode.
+      if (wb->failed()) {
+        if (swept_failed != nullptr) *swept_failed = true;
+        if (!mit->second.dirty) {
+          mit->second.dirty = true;
+          ++dirty_count_;
+          index_insert(dirty_index_, key);
+          dirtied_any = true;
+        }
+      }
       if (swept_completed != nullptr) *swept_completed = true;
       wb = nullptr;
       pit = pages.erase(pit);
@@ -67,6 +83,7 @@ std::vector<blk::RequestPtr> PageCache::writebacks_of(std::uint32_t ino,
     ++pit;
   }
   if (pages.empty()) wb_index_.erase(it);
+  if (dirtied_any) dirtied_.notify_all();
   return out;
 }
 
@@ -94,6 +111,35 @@ void PageCache::end_writeback(const PageKey& key,
     it->second.writeback = nullptr;
     index_erase(wb_index_, key);
   }
+}
+
+std::size_t PageCache::redirty_failed(std::uint32_t ino,
+                                      const blk::RequestPtr& req) {
+  std::size_t redirtied = 0;
+  auto it = wb_index_.find(ino);
+  if (it == wb_index_.end()) return 0;
+  std::set<std::uint32_t>& wb_pages = it->second;
+  for (auto pit = wb_pages.begin(); pit != wb_pages.end();) {
+    const PageKey key{ino, *pit};
+    auto mit = pages_.find(key);
+    BIO_CHECK_MSG(mit != pages_.end() && mit->second.writeback != nullptr,
+                  "writeback index out of sync");
+    if (mit->second.writeback != req) {
+      ++pit;
+      continue;
+    }
+    mit->second.writeback = nullptr;
+    pit = wb_pages.erase(pit);
+    if (!mit->second.dirty) {
+      mit->second.dirty = true;
+      ++dirty_count_;
+      index_insert(dirty_index_, key);
+      ++redirtied;
+    }
+  }
+  if (wb_pages.empty()) wb_index_.erase(it);
+  if (redirtied > 0) dirtied_.notify_all();
+  return redirtied;
 }
 
 void PageCache::mark_clean(const PageKey& key) {

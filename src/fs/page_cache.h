@@ -59,20 +59,29 @@ class PageCache {
   void dirty_pages_of(std::uint32_t ino, std::vector<PageKey>& out) const;
   std::vector<PageKey> dirty_pages_of(std::uint32_t ino) const;
 
-  /// Requests currently writing back pages of `ino` (to wait on). Lazily
-  /// sweeps out carriers whose completion already fired, so the result is
-  /// the genuinely in-flight set.
   /// In-flight writeback carriers of `ino`'s pages; lazily sweeps carriers
   /// that already completed (and reports the sweep via `swept_completed`,
-  /// so durability paths can raise the inode's persist floor).
+  /// so durability paths can raise the inode's persist floor). A swept
+  /// carrier that completed with an IO failure redirties its pages (the
+  /// buffered content is still here — versions are identity, not bytes)
+  /// and is reported via `swept_failed`, so the caller can advance the
+  /// inode's wb_err_seq.
   std::vector<blk::RequestPtr> writebacks_of(std::uint32_t ino,
-                                             bool* swept_completed = nullptr);
+                                             bool* swept_completed = nullptr,
+                                             bool* swept_failed = nullptr);
 
   /// Marks `key` as under writeback by `req` (clears dirty).
   void begin_writeback(const PageKey& key, blk::RequestPtr req);
 
   /// Completes writeback for `key` if `req` is still its current carrier.
   void end_writeback(const PageKey& key, const blk::RequestPtr& req);
+
+  /// Failed-writeback path: redirties every page of `ino` whose current
+  /// carrier is `req` (the data never landed — Linux redirties the page and
+  /// records the error in the mapping's errseq). Pages rewritten while the
+  /// carrier was in flight are already dirty with newer content and only
+  /// drop the dead carrier. Returns the number of pages redirtied.
+  std::size_t redirty_failed(std::uint32_t ino, const blk::RequestPtr& req);
 
   /// Clears the dirty bit without a request (OptFS data journaling: the
   /// page's content travels inside the journal descriptor).

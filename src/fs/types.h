@@ -30,6 +30,18 @@ enum class JournalKind : std::uint8_t {
 
 const char* to_string(JournalKind k) noexcept;
 
+/// Outcome of a synchronization syscall (the filesystem's half of the
+/// errno story; api::Vfs maps these onto Errno::kIo / Errno::kRoFs).
+enum class FsStatus : std::uint8_t {
+  kOk,
+  /// The call's own journal commit failed (journal aborted under it).
+  kIo,
+  /// The volume was already degraded read-only when the call entered.
+  kRoFs,
+};
+
+const char* to_string(FsStatus s) noexcept;
+
 struct FsConfig {
   JournalKind journal = JournalKind::kJbd2;
 
@@ -141,6 +153,12 @@ struct Inode {
   /// persisted through this floor — or flush — before acking: the carrier
   /// may have transferred after the flush a group commit already counted.
   std::uint64_t persist_floor = 0;
+
+  /// Writeback-error sequence (Linux errseq_t / AS_EIO, per-inode half):
+  /// bumped every time a writeback of this file's pages fails for good
+  /// (retries exhausted or hard media error). Each fd records the sequence
+  /// it has seen; fsync reports EIO exactly once per fd per new failure.
+  std::uint64_t wb_err_seq = 0;
 
   flash::Lba lba_of_page(std::uint32_t page) const noexcept {
     return extent_base + page;

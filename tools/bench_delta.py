@@ -18,6 +18,17 @@ per-scenario best of several full runs, and several fresh runs may be
 passed — the guard takes each scenario's minimum ns/io across them (the
 standard noise-robust benchmark estimator) before comparing.
 
+Separately from wall-clock ratios, the *simulated* figures (ops, sim_ios,
+requests, events, sim_ops_per_sec) are deterministic: fixed seed,
+discrete-event sim, no machine-speed factor. The guard requires them to be
+bit-identical across all fresh runs, and bit-identical to the baseline for
+any scenario run at the same length (same ops). This is the
+instrumentation-cost gate: fault-injection hooks, counters, and similar
+observability machinery sit disabled on the hot path during perf runs, and
+"disabled" must mean zero simulated cost — a hook that adds even one sim
+delay or extra request when no fault plan is installed shifts events/sim_ios
+and fails here, long before it would move a noisy ns/io ratio.
+
 Usage:
   tools/bench_delta.py <baseline.json> <fresh.json> [<fresh2.json> ...]
                        [--threshold 1.25] [--warn-only]
@@ -29,6 +40,22 @@ import argparse
 import json
 import statistics
 import sys
+
+# Purely simulated, machine-independent figures. Deterministic for a given
+# scenario length (ops), so any drift means the simulated IO path changed —
+# e.g. a "disabled" fault hook that still costs sim time.
+SIM_KEYS = ("ops", "sim_ios", "requests", "events", "sim_ops_per_sec")
+
+
+def sim_fingerprint(s):
+    return {k: s[k] for k in SIM_KEYS if s.get(k) is not None}
+
+
+def sim_drift(a, b):
+    """Fields of SIM_KEYS present in both a and b whose values differ."""
+    fa, fb = sim_fingerprint(a), sim_fingerprint(b)
+    return [f"{k} {fa[k]} vs {fb[k]}"
+            for k in SIM_KEYS if k in fa and k in fb and fa[k] != fb[k]]
 
 
 def load_scenarios(path):
@@ -66,6 +93,31 @@ def main():
                 continue
             if name not in fresh or s["ns_per_io"] < fresh[name]["ns_per_io"]:
                 fresh[name] = s
+
+    # Determinism / instrumentation-cost gate on the simulated figures.
+    # Across fresh runs of the same binary the fingerprint must be
+    # bit-identical; against the baseline it must match whenever the
+    # scenario ran at the same length (a full run compared to a full run).
+    sim_broken = []
+    for name, s in fresh.items():
+        for run in runs:
+            other = run.get(name)
+            if other is None:
+                continue
+            drift = sim_drift(s, other)
+            if drift:
+                sim_broken.append(
+                    f"{name} differs between fresh runs ({'; '.join(drift)})")
+                break
+        b = base.get(name)
+        if b is not None and b.get("ops") == s.get("ops"):
+            drift = sim_drift(s, b)
+            if drift:
+                sim_broken.append(
+                    f"{name} drifted from the committed baseline at equal "
+                    f"ops ({'; '.join(drift)})")
+    for msg in sim_broken:
+        print(f"  sim-figure drift: {msg}")
 
     ratios = {}
     for name, s in fresh.items():
@@ -133,6 +185,11 @@ def main():
     if ring_broken:
         problems.append("ring QD sweep lost its batching win: "
                         + "; ".join(ring_broken))
+    if sim_broken:
+        problems.append(
+            f"{len(sim_broken)} scenario(s) with non-deterministic or "
+            f"drifted simulated figures (disabled instrumentation must "
+            f"cost zero sim time): " + "; ".join(sim_broken))
     if problems:
         verdict = "warning" if args.warn_only else "FAIL"
         for p in problems:
