@@ -13,7 +13,7 @@
 
 namespace bio::api {
 
-enum class Errno : std::uint8_t {
+enum class [[nodiscard]] Errno : std::uint8_t {
   kOk = 0,
   kNoEnt,   // ENOENT: no such file
   kBadF,    // EBADF: bad file descriptor

@@ -743,6 +743,8 @@ CrashCheckResult run_crash_check(StackKind kind, std::uint64_t seed,
   stack->start();
   api::Vfs vfs(*stack);
   Oracle oracle;
+  // iolint: detached-owner(run_until() below drives the task; the power
+  // cut discards any survivor before stack/vfs/oracle leave scope)
   stack->sim().spawn(
       "chk:wl", workload(stack->volume(0), vfs, "", oracle, opt, g, seed));
   stack->sim().run_until(crash_at);  // power cut
@@ -757,6 +759,8 @@ CrashCheckResult run_crash_check(StackKind kind, std::uint64_t seed,
     stack2->start();
     api::Vfs vfs2(*stack2);
     std::string err;
+    // iolint: detached-owner(run() below drains the verifier before
+    // vfs2/report/err leave scope)
     stack2->sim().spawn("chk:verify",
                         remount_verify(vfs2, "", report, err));
     stack2->sim().run();
@@ -837,6 +841,8 @@ CrashCheckResult run_fault_crash_check(StackKind kind, std::uint64_t seed,
   stack->start();
   api::Vfs vfs(*stack);
   Oracle oracle;
+  // iolint: detached-owner(run_until() below drives the task; the power
+  // cut discards any survivor before stack/vfs/oracle leave scope)
   stack->sim().spawn("chk:wl",
                      workload(stack->volume(0), vfs, "", oracle, opt.wl, g,
                               seed, /*fault_tolerant=*/true));
@@ -859,6 +865,8 @@ CrashCheckResult run_fault_crash_check(StackKind kind, std::uint64_t seed,
     stack2->start();
     api::Vfs vfs2(*stack2);
     std::string err;
+    // iolint: detached-owner(run() below drains the verifier before
+    // vfs2/report/err leave scope)
     stack2->sim().spawn("chk:verify", remount_verify(vfs2, "", report, err));
     stack2->sim().run();
     if (!err.empty()) res.violations.push_back("remount: " + err);
@@ -915,6 +923,8 @@ MultiVolumeCrashResult run_multi_volume_crash_check(
     // Distinct per-volume streams derived from the point seed.
     const std::uint64_t vseed =
         seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+    // iolint: detached-owner(run_until() below drives every volume's task;
+    // the power cut discards survivors before node/vfs/oracles leave scope)
     node->sim().spawn("chk:wl:v" + std::to_string(i),
                       workload(node->volume(i), vfs, prefix_of(i),
                                oracles[i], opt, gs[i], vseed));
@@ -940,6 +950,8 @@ MultiVolumeCrashResult run_multi_volume_crash_check(
     api::Vfs vfs2(*node2);
     std::vector<std::string> errs(kinds.size());
     for (std::size_t i = 0; i < kinds.size(); ++i)
+      // iolint: detached-owner(run() below drains every verifier before
+      // vfs2/reports/errs leave scope)
       node2->sim().spawn(
           "chk:verify:v" + std::to_string(i),
           remount_verify(vfs2, prefix_of(i), reports[i], errs[i]));
@@ -1236,6 +1248,8 @@ CrashCheckResult run_concurrent_crash_check(StackKind kind,
     stack2->start();
     api::Vfs vfs2(*stack2);
     std::string err;
+    // iolint: detached-owner(run() below drains the verifier before
+    // vfs2/report/err leave scope)
     stack2->sim().spawn("chk:verify", remount_verify(vfs2, "", report, err));
     stack2->sim().run();
     if (!err.empty()) res.violations.push_back("remount: " + err);
@@ -1295,6 +1309,8 @@ CrashCheckResult run_ring_crash_check(StackKind kind, std::uint64_t seed,
     stack2->start();
     api::Vfs vfs2(*stack2);
     std::string err;
+    // iolint: detached-owner(run() below drains the verifier before
+    // vfs2/report/err leave scope)
     stack2->sim().spawn("chk:verify", remount_verify(vfs2, "", report, err));
     stack2->sim().run();
     if (!err.empty()) res.violations.push_back("remount: " + err);

@@ -197,6 +197,8 @@ sim::Task SegmentLog::gc_loop() {
         static_cast<std::uint64_t>(victim) * geom_.pages_per_segment();
     for (std::uint32_t off = 0; off < geom_.pages_per_segment(); ++off) {
       if (!segments_[victim].slots[off].valid) continue;
+      // iolint: detached-owner(the join loop below waits every worker
+      // before the semaphore and segment state go away)
       sim::ThreadCtx& w =
           sim_.spawn("gc", relocate_slot(base + off, inflight));
       w.wake_latency = 0;

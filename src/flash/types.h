@@ -51,7 +51,7 @@ enum class BarrierMode : std::uint8_t {
 /// soft program/read error or a torn multi-block write a host retry will
 /// clear) or hard (a media error no retry helps). The block layer's retry
 /// policy keys off this distinction.
-enum class IoStatus : std::uint8_t {
+enum class [[nodiscard]] IoStatus : std::uint8_t {
   kOk,
   kTransientError,
   kHardError,

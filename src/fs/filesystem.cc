@@ -518,6 +518,8 @@ sim::TaskOf<FsStatus> Filesystem::commit_metadata(Inode& f,
   // commit must cover both (commits retire in order, so the max covers
   // the min). On EXT4/BarrierFS datasync_txn_id never exceeds txn_id.
   const std::uint64_t inode_tid = std::max(f.txn_id, f.datasync_txn_id);
+  // iolint: stable-across-suspend(commit targets this id; the outcome
+  // check must name the id the commit waited on, not a later txn)
   const std::uint64_t tid =
       inode_tid != 0 ? inode_tid : journal_->running_txn_id();
   f.meta_dirty = false;
@@ -676,6 +678,8 @@ sim::TaskOf<FsStatus> Filesystem::fbarrier(Inode& f) {
       } else if (reqs.empty()) {
         // Nothing dirty at all: force an (empty) journal commit so the
         // epoch is still delimited (§4.2).
+        // iolint: stable-across-suspend(the outcome check must name the id
+        // this commit waited on, not whatever txn runs after it)
         const std::uint64_t tid = journal_->running_txn_id();
         co_await journal_->commit(tid, Journal::WaitMode::kNone);
         status = commit_outcome(tid);
@@ -711,6 +715,8 @@ sim::TaskOf<FsStatus> Filesystem::fdatabarrier(Inode& f) {
     tid = f.txn_id;
     co_await journal_->commit(tid, Journal::WaitMode::kNone);
   } else if (reqs.empty()) {
+    // iolint: stable-across-suspend(the outcome below must name the id
+    // this empty-epoch commit targeted)
     tid = journal_->running_txn_id();
     co_await journal_->commit(tid, Journal::WaitMode::kNone);
   }
@@ -766,6 +772,8 @@ sim::TaskOf<FsStatus> Filesystem::osync_impl(Inode& f, bool wait_transfer) {
     // syscall (dsync) must know which transaction carries this file's
     // data — and the commits below must name exactly this id, because the
     // waits in between can outlive the transaction's close.
+    // iolint: stable-across-suspend(see above — the commits must target
+    // the txn that carried the batch, never a re-read of the running id)
     journaled_tid = journal_->running_txn_id();
     f.datasync_txn_id = std::max(f.datasync_txn_id, journaled_tid);
     if (batch < room) break;  // the file's overwrites all fit
@@ -790,6 +798,7 @@ sim::TaskOf<FsStatus> Filesystem::osync_impl(Inode& f, bool wait_transfer) {
   } else if (f.meta_dirty || f.size_dirty) {
     status = co_await commit_metadata(f, Journal::WaitMode::kDurable);
   } else if (journal_->running_has_updates()) {
+    // iolint: stable-across-suspend(outcome must name the committed id)
     const std::uint64_t tid = journal_->running_txn_id();
     co_await journal_->commit(tid, Journal::WaitMode::kDurable);
     status = commit_outcome(tid);
@@ -891,6 +900,9 @@ sim::Task Filesystem::pdflush_loop() {
             continue;
           }
           journaled_blocks.emplace_back(st->lba, st->version);
+          // iolint: txn-registered(add_journaled_data below joins this
+          // batch to the running txn in the same synchronous stretch —
+          // registration is deferred past the loop, never past a suspend)
           if (auto fit = by_ino_.find(key.ino); fit != by_ino_.end())
             fit->second->datasync_txn_id = journal_->running_txn_id();
           cache_.mark_clean(key);

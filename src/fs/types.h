@@ -32,7 +32,7 @@ const char* to_string(JournalKind k) noexcept;
 
 /// Outcome of a synchronization syscall (the filesystem's half of the
 /// errno story; api::Vfs maps these onto Errno::kIo / Errno::kRoFs).
-enum class FsStatus : std::uint8_t {
+enum class [[nodiscard]] FsStatus : std::uint8_t {
   kOk,
   /// The call's own journal commit failed (journal aborted under it).
   kIo,

@@ -241,6 +241,8 @@ sim::Task writer_body(Ctx* ctxp, std::vector<std::size_t> my_files,
         if (rng.chance(0.5)) {
           const SyncPick pick = ctx.matrix[static_cast<std::size_t>(
               rng.uniform(0, ctx.matrix.size() - 1))];
+          // iolint: detached-owner(setup joins ctx.chaos after the writers
+          // finish; ctx and the Shared file records outlive every sync)
           ctx.chaos.push_back(&ctx.vol.sim().spawn(
               "conc:chaos",
               do_sync(&ctx, &f, policy_of(f), fds[li].fd(), pick, w)));
@@ -326,6 +328,8 @@ sim::Task setup_and_run(std::unique_ptr<Ctx> ctx) {
     for (std::uint32_t i = 0; i < p.shared_files; ++i) my_files.push_back(i);
     for (std::uint32_t j = 0; j < p.private_files; ++j)
       my_files.push_back(p.shared_files + w * p.private_files + j);
+    // iolint: detached-owner(the join loop below waits every writer and
+    // chaos task; the Ctx unique_ptr outlives them in this frame)
     threads.push_back(&ctx->vol.sim().spawn(
         "conc:w" + std::to_string(w),
         writer_body(ctx.get(), std::move(my_files), w, base.fork())));

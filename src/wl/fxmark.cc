@@ -54,6 +54,8 @@ ShardedFxmarkResult run_fxmark_dwsl_sharded(
   // until every one of them has finished.
   result.volume_ops.assign(nvol, 0);
   for (std::uint32_t c = 0; c < params.cores; ++c)
+    // iolint: detached-owner(run() below blocks until every thread is
+    // done; files/result outlive the run in this scope)
     node.sim().spawn("dwsl:" + std::to_string(c),
                      dwsl_thread(params, files[c],
                                  result.volume_ops[c % nvol]));

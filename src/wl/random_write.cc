@@ -92,6 +92,8 @@ RandomWriteResult run_random_write(core::Stack& stack,
   RandomWriteResult result;
   stack.start();
   api::Vfs vfs(stack);
+  // iolint: detached-owner(run() below blocks until the workload drains;
+  // vfs and result outlive the run in this scope)
   stack.sim().spawn("app", workload_body(stack, vfs, params, std::move(rng),
                                          result));
   stack.sim().run();

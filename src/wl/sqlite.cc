@@ -87,6 +87,8 @@ SqliteResult run_sqlite(core::Stack& stack, const SqliteParams& params,
   SqliteResult result;
   stack.start();
   api::Vfs vfs(stack);
+  // iolint: detached-owner(run() below blocks until the workload drains;
+  // vfs and result outlive the run in this scope)
   stack.sim().spawn("sqlite",
                     workload_body(stack, vfs, params, std::move(rng), result));
   stack.sim().run();

@@ -271,6 +271,8 @@ VarmailResult run_varmail(core::Stack& stack, const VarmailParams& params,
   stack.device().reset_qd_accounting();
   const sim::SimTime t0 = stack.sim().now();
   for (std::uint32_t t = 0; t < params.threads; ++t)
+    // iolint: detached-owner(run() below blocks until every thread is
+    // done; vfs and the Shared state outlive the run in this scope)
     stack.sim().spawn(
         "mail:" + std::to_string(t),
         params.ring_qd > 0

@@ -570,11 +570,14 @@ fs::Filesystem::Stats run_with_policy_rows(StackKind kind) {
     fs::Inode* f = nullptr;
     co_await x.fs().create("a", f, 64);
     co_await x.fs().write(*f, 0, 1);
-    co_await api::issue(x.fs(), *f, policy.order);
+    EXPECT_EQ(co_await api::issue(x.fs(), *f, policy.order),
+              fs::FsStatus::kOk);
     co_await x.fs().write(*f, 1, 1);
-    co_await api::issue(x.fs(), *f, policy.durability);
+    EXPECT_EQ(co_await api::issue(x.fs(), *f, policy.durability),
+              fs::FsStatus::kOk);
     co_await x.fs().write(*f, 2, 1);
-    co_await api::issue(x.fs(), *f, policy.full_sync);
+    EXPECT_EQ(co_await api::issue(x.fs(), *f, policy.full_sync),
+              fs::FsStatus::kOk);
   };
   x.sim().spawn("t", body());
   x.sim().run();
@@ -635,11 +638,14 @@ TEST(SyncPolicyTest, DsyncVfsIntentsMatchDirectPolicyIssuance) {
       fs::Inode* f = nullptr;
       co_await x.fs().create("a", f, 64);
       co_await x.fs().write(*f, 0, 1);
-      co_await api::issue(x.fs(), *f, policy.order);
+      EXPECT_EQ(co_await api::issue(x.fs(), *f, policy.order),
+                fs::FsStatus::kOk);
       co_await x.fs().write(*f, 1, 1);
-      co_await api::issue(x.fs(), *f, policy.durability);
+      EXPECT_EQ(co_await api::issue(x.fs(), *f, policy.durability),
+                fs::FsStatus::kOk);
       co_await x.fs().write(*f, 2, 1);
-      co_await api::issue(x.fs(), *f, policy.full_sync);
+      EXPECT_EQ(co_await api::issue(x.fs(), *f, policy.full_sync),
+                fs::FsStatus::kOk);
     };
     x.sim().spawn("t", body());
     x.sim().run();

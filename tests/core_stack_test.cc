@@ -20,7 +20,8 @@ using sim::Task;
 /// Issues the policy-resolved syscall for `kind`'s row and `intent`.
 sim::Task issue_intent(StackFixture& x, fs::Inode& f, api::SyncIntent intent) {
   const api::SyncPolicy policy = api::SyncPolicy::for_stack(x.stack->kind());
-  co_await api::issue(x.fs(), f, policy.resolve(intent));
+  EXPECT_EQ(co_await api::issue(x.fs(), f, policy.resolve(intent)),
+            fs::FsStatus::kOk);
 }
 
 TEST(StackConfigTest, Ext4WiresLegacyLayers) {

@@ -1,0 +1,2 @@
+"""iolint — suspension-safety & status-discipline static analysis for the
+BarrierIO coroutine stack.  Entry point: tools/iolint/iolint.py."""

@@ -1,0 +1,166 @@
+"""detached-task capture: detached/chaos tasks must not capture
+references or `this` to non-refcounted objects.
+
+`Simulator::spawn()` detaches the coroutine frame: it self-destroys at
+final suspend, long after the spawning scope is gone.  Anything the task
+holds by reference — a capturing lambda, a `&local`, a `this`, a raw
+pointer pulled out of a smart pointer with `.get()` — is a
+use-after-free the crash sweeps can only catch probabilistically.
+
+Rule: at every configured spawn call site,
+  * a capturing lambda (`[&]`, `[=]`, `[this]`, any non-empty capture
+    list) as the task argument is a finding — detached coroutine lambdas
+    destroy the closure at first suspend, the classic C++ coroutine trap;
+  * `this`, address-of arguments (`&obj`) and `.get()` raw-pointer
+    escapes are findings unless the site is annotated
+    `// iolint: detached-owner(<who joins/outlives the task>)` naming
+    the lifetime argument.
+
+The callee's parameter list (when defined in the same file) refines the
+textual scan: a spawned call whose callee takes only by-value parameters
+and whose arguments show no escape pattern is silent.
+"""
+
+from ..model import KIND_ID, Finding, SourceFile, make_fingerprint
+
+NAME = "detached-task-capture"
+ANNOTATION = "detached-owner"
+
+
+def _spawn_arg_ranges(stmt, spawn_calls):
+    """Token ranges (start, end) of each spawn(...) argument list."""
+    toks = stmt.tokens
+    out = []
+    for i, t in enumerate(toks):
+        if (t.kind == KIND_ID and t.text in spawn_calls and
+                i + 1 < len(toks) and toks[i + 1].text == "("):
+            depth = 0
+            for j in range(i + 1, len(toks)):
+                if toks[j].text == "(":
+                    depth += 1
+                elif toks[j].text == ")":
+                    depth -= 1
+                    if depth == 0:
+                        out.append((i + 2, j))
+                        break
+    return out
+
+
+def _lambda_capture(toks, start, end):
+    """Non-empty lambda capture list inside the range, or None."""
+    i = start
+    while i < end:
+        if toks[i].text == "[":
+            # subscript vs lambda-intro: a lambda `[` follows a comma,
+            # paren or operator, not a value.
+            prev = toks[i - 1].text if i > start else ","
+            if prev in (",", "(", "=", "return", "{"):
+                j = i + 1
+                caps = []
+                depth = 1
+                while j < end and depth > 0:
+                    if toks[j].text == "[":
+                        depth += 1
+                    elif toks[j].text == "]":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    caps.append(toks[j].text)
+                    j += 1
+                if caps:
+                    return " ".join(caps)
+        i += 1
+    return None
+
+
+def _escapes(toks, start, end):
+    """Textual lifetime-escape patterns in the argument range."""
+    found = []
+    i = start
+    while i < end:
+        t = toks[i]
+        if t.kind == KIND_ID and t.text == "this":
+            found.append("this")
+        elif t.text == "&" and i + 1 < end and toks[i + 1].kind == KIND_ID \
+                and toks[i - 1].text in ("(", ",", "&"):
+            found.append(f"&{toks[i + 1].text}")
+        elif (t.text == "get" and i >= 1 and toks[i - 1].text in (".", "->")
+              and i + 1 < end and toks[i + 1].text == "("):
+            found.append(".get()")
+        i += 1
+    return found
+
+
+def _callee_takes_refs(src, toks, start, end):
+    """When the spawned expression is `callee(...)` with `callee` defined
+    in this file: does it take any pointer/reference parameter?"""
+    # Find the last top-level call inside the range (the task argument).
+    depth = 0
+    callee = None
+    for i in range(start, end):
+        t = toks[i]
+        if t.text == "(":
+            if depth == 0 and i > start and toks[i - 1].kind == KIND_ID:
+                callee = toks[i - 1].text
+            depth += 1
+        elif t.text == ")":
+            depth -= 1
+    if callee is None:
+        return None
+    for fn in src.functions:
+        if fn.name == callee and fn.params:
+            ptypes = " ".join(t.text for t in fn.params)
+            if "*" in ptypes or "&" in ptypes:
+                return callee
+            return None
+    return None
+
+
+def run(src: SourceFile, config, symbols):
+    findings: list[Finding] = []
+    spawn_calls = set(config.get("spawn_calls", []))
+    if not spawn_calls:
+        return findings
+    for fn in src.functions:
+        for stmt in fn.statements:
+            for (a, b) in _spawn_arg_ranges(stmt, spawn_calls):
+                toks = stmt.tokens
+                cap = _lambda_capture(toks, a, b)
+                if cap is not None:
+                    if src.annotation_between(ANNOTATION, stmt.first_line,
+                                              stmt.last_line):
+                        continue
+                    findings.append(Finding(
+                        check=NAME, path=src.path, line=stmt.first_line,
+                        function=fn.qualified,
+                        message=(f"detached task is a capturing lambda "
+                                 f"(`[{cap}]`): the closure dies when the "
+                                 f"spawning scope unwinds while the frame "
+                                 f"lives on — pass state by value / via a "
+                                 f"coroutine parameter, or annotate "
+                                 f"`// iolint: {ANNOTATION}(<owner>)`"),
+                        fingerprint=make_fingerprint(
+                            NAME, src.path, fn.qualified,
+                            f"lambda|{stmt.fingerprint_text()}")))
+                    continue
+                esc = _escapes(toks, a, b)
+                ref_callee = _callee_takes_refs(src, toks, a, b)
+                if not esc and ref_callee is None:
+                    continue
+                if src.annotation_between(ANNOTATION, stmt.first_line,
+                                          stmt.last_line):
+                    continue
+                what = ", ".join(f"`{e}`" for e in esc) if esc else \
+                    f"reference parameters of `{ref_callee}()`"
+                findings.append(Finding(
+                    check=NAME, path=src.path, line=stmt.first_line,
+                    function=fn.qualified,
+                    message=(f"detached task captures non-owned state "
+                             f"({what}); the frame outlives the spawning "
+                             f"scope — hand over ownership or annotate "
+                             f"`// iolint: {ANNOTATION}(<who joins/outlives "
+                             f"the task>)`"),
+                    fingerprint=make_fingerprint(
+                        NAME, src.path, fn.qualified,
+                        stmt.fingerprint_text())))
+    return findings

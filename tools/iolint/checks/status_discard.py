@@ -1,0 +1,181 @@
+"""status-discard: every call returning a status-like type must be
+consumed.
+
+Complements the `[[nodiscard]]` attributes on api::Status, api::Result,
+api::Errno, fs::FsStatus and flash::IoStatus (this check runs without a
+compiler, before the build, and also polices the `(void)` escape hatch).
+
+The symbol table is harvested by the runner from every scanned file:
+any function declared or defined with a watched return type — including
+`sim::TaskOf<Status>`-shaped coroutine signatures — joins the watched
+set by *name*.  Names that are ALSO declared somewhere with a
+non-status return (`sim::Task SegmentLog::read` vs
+`TaskOf<Result<...>> Vfs::read`) are ambiguous without type info and
+are dropped from the watched set — for those, the `[[nodiscard]]`
+attributes and -Werror are the precise tool; `always_watch` in the
+config re-pins a name despite ambiguity.  A statement whose root
+expression is a call to a watched name and whose value goes nowhere is
+a finding:
+
+    vfs.close(fd);                       // finding: Status discarded
+    co_await vfs.fsync(fd);              // finding: Status discarded
+    (void)co_await ring.wait_cqe();      // finding unless annotated
+
+`(void)` is the sanctioned suppression, but it must say why:
+`(void)call();  // iolint: discard-ok(<why>)`.  Consumptions — `return`,
+assignment, a condition, wrapping in `must(...)` — are silent.
+"""
+
+from ..model import KIND_ID, Finding, SourceFile, make_fingerprint
+
+NAME = "status-discard"
+ANNOTATION = "discard-ok"
+
+#: statement-leading keywords whose parenthesised clause consumes values
+_CONSUMING_HEADS = {"return", "co_return", "if", "while", "for", "switch",
+                    "case", "do", "else", "throw", "co_yield", "delete",
+                    "using", "typedef", "goto", "break", "continue",
+                    "static_assert", "public", "private", "protected"}
+
+
+#: return-type roots that say nothing about the *declared* type (the name
+#: to their right is usually a variable or a keyword-led expression)
+_NOT_A_TYPE = {"auto", "return", "co_return", "co_await", "new", "const",
+               "constexpr", "static", "virtual", "inline", "explicit",
+               "operator", "case", "goto", "throw", "else", "sizeof",
+               "decltype", "typename", "template", "friend", "mutable",
+               "extern", "register", "thread_local", "volatile"}
+
+
+def harvest(src: SourceFile, config):
+    """(status_names, other_names): function names in `src` declared with a
+    (possibly TaskOf-wrapped) watched status return type, and names declared
+    with any other return type.  The runner subtracts the second set from
+    the first — a name used both ways is ambiguous at a call site."""
+    status_types = set(config.get("status_types", []))
+    wrappers = set(config.get("task_wrappers", []))
+    ignore = set(config.get("ignore_functions", []))
+    toks = src.tokens
+    names = set()
+    others = set()
+    n = len(toks)
+    for i in range(1, n - 1):
+        t = toks[i]
+        if t.kind != KIND_ID or toks[i + 1].text != "(":
+            continue
+        if t.text in _CONSUMING_HEADS or t.text in ignore:
+            continue
+        # Walk back across the return type: `Type name(`, `Tmpl<...> name(`,
+        # `ns::Type name(`.
+        j = i - 1
+        if j >= 0 and toks[j].text == ">":
+            # Template return type: find the matching `<` backwards.
+            depth = 0
+            while j >= 0:
+                if toks[j].text == ">":
+                    depth += 1
+                elif toks[j].text == "<":
+                    depth -= 1
+                    if depth == 0:
+                        j -= 1
+                        break
+                j -= 1
+        if j < 0 or toks[j].kind != KIND_ID:
+            continue
+        root = toks[j].text
+        if root == t.text:
+            continue  # constructor (`Status()` inside class Status)
+        if root in _NOT_A_TYPE:
+            continue
+        inner = None
+        if root in wrappers:
+            # TaskOf<Status>, TaskOf<Result<T>>: first type id inside <>.
+            k = j + 1
+            if k < n and toks[k].text == "<":
+                k += 1
+                while k < n and toks[k].text == "::":
+                    k += 1
+                while k < n and toks[k].kind == KIND_ID:
+                    if toks[k + 1].text == "::":
+                        k += 2
+                        continue
+                    inner = toks[k].text
+                    break
+            (names if inner in status_types else others).add(t.text)
+        elif root in status_types:
+            names.add(t.text)
+        else:
+            others.add(t.text)
+    return names, others
+
+
+def _root_call(stmt):
+    """(root_name, void_cast) when the statement is a bare call expression
+    `[ (void) ] [co_await] chain.root( ... ) ;` — else (None, False)."""
+    toks = [t for t in stmt.tokens]
+    if not toks or toks[-1].text != ";":
+        return None, False
+    toks = toks[:-1]
+    void_cast = False
+    if len(toks) >= 3 and toks[0].text == "(" and toks[1].text == "void" \
+            and toks[2].text == ")":
+        void_cast = True
+        toks = toks[3:]
+    if toks and toks[0].text == "co_await":
+        toks = toks[1:]
+    if not toks or toks[0].kind != KIND_ID:
+        return None, False
+    if toks[0].text in _CONSUMING_HEADS:
+        return None, False
+    # The chain before the first top-level `(` must be pure member access;
+    # any operator (especially `=`) means the value is consumed.
+    root = None
+    i = 0
+    n = len(toks)
+    while i < n:
+        t = toks[i]
+        if t.text == "(":
+            break
+        if t.kind == KIND_ID:
+            root = t.text
+        elif t.text not in (".", "->", "::"):
+            return None, False
+        i += 1
+    if root is None or i >= n:
+        return None, False
+    # The call's closing paren must end the statement.
+    depth = 0
+    j = i
+    while j < n:
+        if toks[j].text == "(":
+            depth += 1
+        elif toks[j].text == ")":
+            depth -= 1
+            if depth == 0:
+                return (root, void_cast) if j == n - 1 else (None, False)
+        j += 1
+    return None, False
+
+
+def run(src: SourceFile, config, symbols):
+    findings: list[Finding] = []
+    watched = symbols.get("status_returning", set())
+    for fn in src.functions:
+        for stmt in fn.statements:
+            root, void_cast = _root_call(stmt)
+            if root is None or root not in watched:
+                continue
+            if src.annotation_between(ANNOTATION, stmt.first_line,
+                                      stmt.last_line):
+                continue
+            how = ("explicitly `(void)`-discarded without a reason"
+                   if void_cast else "discarded")
+            findings.append(Finding(
+                check=NAME, path=src.path, line=stmt.first_line,
+                function=fn.qualified,
+                message=(f"status result of `{root}()` is {how}; consume "
+                         f"it (must()/check/return) or annotate "
+                         f"`// iolint: {ANNOTATION}(<why>)`"),
+                fingerprint=make_fingerprint(NAME, src.path, fn.qualified,
+                                             stmt.fingerprint_text())))
+    return findings

@@ -1,0 +1,178 @@
+"""suspend-hazard: txn-/pool-scoped state captured before a `co_await`
+and used after it.
+
+The recurring bug class behind PR 5 §9.2-3 and PR 7 §11.4: a coroutine
+reads state whose validity is scoped to the running transaction, the
+current epoch, or a shared scratch buffer, suspends, and then acts on the
+stale copy.  The rule:
+
+  * A local assigned from a watched call (`running_txn_id()`, ...) must
+    not be used after a later suspension point unless it is re-read after
+    resuming, or the capture is annotated
+    `// iolint: stable-across-suspend(<why>)` — which blesses the
+    variable for the whole function and documents the lifetime argument.
+  * A watched member (`scratch_keys_`, ...) must be re-filled (a
+    configured refill call) after any suspension before it is read again.
+  * Loops get the next-iteration rule: if a loop body suspends, a use
+    inside it of a variable captured *outside* the loop crosses a
+    suspension on every iteration after the first — this is exactly the
+    shape of PR 7's host-retry re-entering a later epoch.
+
+Annotations go on the capture statement (blesses every use) or on an
+individual use (blesses just that one).
+"""
+
+from ..model import (KIND_ID, Finding, FunctionDef, SourceFile,
+                     make_fingerprint)
+
+NAME = "suspend-hazard"
+ANNOTATION = "stable-across-suspend"
+
+
+def _captures_in(stmt, watched_calls):
+    """Variables assigned from a watched call in this statement:
+    `... var = ... watched( ... ) ...` -> [(var, call)]."""
+    out = []
+    toks = stmt.tokens
+    for i, t in enumerate(toks):
+        if (t.kind == KIND_ID and t.text in watched_calls and
+                i + 1 < len(toks) and toks[i + 1].text == "("):
+            # Walk back to the nearest top-level `=` and take the
+            # identifier before it as the captured variable.
+            j = i - 1
+            depth = 0
+            while j >= 0:
+                tj = toks[j].text
+                if tj in (")", "}", "]"):
+                    depth += 1
+                elif tj in ("(", "{", "["):
+                    depth -= 1
+                    if depth < 0:
+                        break  # the call is an argument, not an assignment
+                elif depth == 0 and tj == "=":
+                    if j >= 1 and toks[j - 1].kind == KIND_ID:
+                        out.append((toks[j - 1].text, t.text))
+                    break
+                elif depth == 0 and tj == ";":
+                    break
+                j -= 1
+    return out
+
+
+def _is_recapture(stmt, var):
+    """`var = ...` (assignment or fresh declaration) in this statement."""
+    toks = stmt.tokens
+    for i, t in enumerate(toks):
+        if (t.kind == KIND_ID and t.text == var and
+                i + 1 < len(toks) and toks[i + 1].text == "="):
+            return True
+    return False
+
+
+def _scan_variable(src: SourceFile, fn: FunctionDef, cap_idx: int, var: str,
+                   call: str, config, findings):
+    """Linear dataflow for one captured variable; reports the first
+    hazardous use (one finding per capture keeps the output reviewable)."""
+    cap_stmt = fn.statements[cap_idx]
+    if src.annotation_between(ANNOTATION, cap_stmt.first_line,
+                              cap_stmt.last_line):
+        return
+    crossed = False
+    for s in fn.statements[cap_idx + 1:]:
+        if _is_recapture(s, var):
+            crossed = False
+            continue
+        if crossed and s.has_ident(var):
+            if src.annotation_between(ANNOTATION, s.first_line, s.last_line):
+                return  # an annotated use ends the variable's scan
+            findings.append(Finding(
+                check=NAME, path=src.path, line=s.first_line,
+                function=fn.qualified,
+                message=(f"`{var}` (captured from txn-scoped `{call}()` at "
+                         f"line {cap_stmt.first_line}) is used after a "
+                         f"suspension point; re-read it after resuming or "
+                         f"annotate the capture with "
+                         f"`// iolint: {ANNOTATION}(<why>)`"),
+                fingerprint=make_fingerprint(NAME, src.path, fn.qualified,
+                                             f"{var}|{s.fingerprint_text()}")))
+            return
+        if s.has_co_await:
+            crossed = True
+    # Next-iteration rule: a loop that suspends re-runs its uses with the
+    # pre-loop capture unless the loop re-captures first.
+    for loop in fn.loops:
+        if loop.first <= cap_idx:
+            continue  # capture inside (or after) the loop: linear scan wins
+        body = fn.statements[loop.first:loop.last + 1]
+        if not any(s.has_co_await for s in body):
+            continue
+        for s in body:
+            if _is_recapture(s, var):
+                break  # loop refreshes the capture before further uses
+            if s.has_ident(var):
+                if src.annotation_between(ANNOTATION, s.first_line,
+                                          s.last_line):
+                    break
+                findings.append(Finding(
+                    check=NAME, path=src.path, line=s.first_line,
+                    function=fn.qualified,
+                    message=(f"`{var}` (captured from txn-scoped `{call}()` "
+                             f"at line {cap_stmt.first_line}, outside the "
+                             f"loop) is used inside a loop that suspends — "
+                             f"every iteration after the first acts on a "
+                             f"stale capture; re-read inside the loop or "
+                             f"annotate the capture with "
+                             f"`// iolint: {ANNOTATION}(<why>)`"),
+                    fingerprint=make_fingerprint(
+                        NAME, src.path, fn.qualified,
+                        f"loop|{var}|{s.fingerprint_text()}")))
+                return
+        break
+
+
+def _scan_members(src: SourceFile, fn: FunctionDef, config, findings):
+    members = config.get("watched_members", [])
+    refills = set(config.get("refill_calls", []))
+    for member in members:
+        filled = False
+        crossed = False
+        for s in fn.statements:
+            uses = s.has_ident(member)
+            refilled = uses and any(s.has_ident(r) for r in refills)
+            if refilled:
+                filled = True
+                crossed = False
+                continue
+            if uses and filled and crossed:
+                if src.annotation_between(ANNOTATION, s.first_line,
+                                          s.last_line):
+                    crossed = False  # annotated use: treat as blessed
+                    continue
+                findings.append(Finding(
+                    check=NAME, path=src.path, line=s.first_line,
+                    function=fn.qualified,
+                    message=(f"shared scratch member `{member}` is read "
+                             f"after a suspension point without being "
+                             f"re-filled ({'/'.join(sorted(refills))}); "
+                             f"re-fill after resuming or annotate with "
+                             f"`// iolint: {ANNOTATION}(<why>)`"),
+                    fingerprint=make_fingerprint(
+                        NAME, src.path, fn.qualified,
+                        f"{member}|{s.fingerprint_text()}")))
+                break
+            if s.has_co_await:
+                crossed = True
+
+
+def run(src: SourceFile, config, symbols):
+    findings: list[Finding] = []
+    watched = set(config.get("watched_calls", []))
+    for fn in src.functions:
+        if not fn.is_coroutine:
+            continue
+        if watched:
+            for idx, stmt in enumerate(fn.statements):
+                for var, call in _captures_in(stmt, watched):
+                    _scan_variable(src, fn, idx, var, call, config, findings)
+        _scan_members(src, fn, config, findings)
+    return findings

@@ -1,0 +1,71 @@
+"""txn-join-before-mutate: journaled inode state joins the running
+transaction before it is mutated.
+
+The jbd2 discipline (`jbd2_journal_get_write_access` before touching the
+buffer) that PR 6 §10.4 violated: `fs::write` grew `i_size` and stamped
+mtime before `dirty_metadata()` — which can suspend — so a concurrent
+writer skipped its own registration and a durably-acked size belonged to
+a transaction that never committed.
+
+Rule, scoped to the configured fs/ files: inside a coroutine, a statement
+mutating a journaled inode field (configured regexes over the statement's
+token text — growth/dirtying assignments, not the `= false` clears of the
+commit paths) must be preceded in the same body by a txn-registration
+call (`dirty_metadata`, `journal_overwrites`, ...).  Paths that mutate
+legitimately without a live journal (recovery replay, mount) stay out of
+the configured file set or carry
+`// iolint: txn-registered(<which registration covers this>)`.
+"""
+
+import re
+
+from ..model import Finding, SourceFile, make_fingerprint
+
+NAME = "txn-join-before-mutate"
+ANNOTATION = "txn-registered"
+
+
+def run(src: SourceFile, config, symbols):
+    findings: list[Finding] = []
+    mutation_res = [re.compile(p) for p in config.get("mutation_patterns", [])]
+    registrations = set(config.get("registration_calls", []))
+    exempt = set(config.get("exempt_functions", []))
+    if not mutation_res:
+        return findings
+    for fn in src.functions:
+        if not fn.is_coroutine or fn.name in exempt:
+            continue
+        registered = False
+        for stmt in fn.statements:
+            if any(stmt.has_ident(r) for r in registrations):
+                registered = True
+                # Registration and mutation can share one statement; the
+                # registration call resolves first in this codebase's
+                # idiom (`co_await journal_->dirty_metadata(...)`), so
+                # same-statement order is accepted.
+                continue
+            text = stmt.text
+            for mre in mutation_res:
+                m = mre.search(text)
+                if m is None:
+                    continue
+                if registered:
+                    break
+                if src.annotation_between(ANNOTATION, stmt.first_line,
+                                          stmt.last_line):
+                    break
+                findings.append(Finding(
+                    check=NAME, path=src.path, line=stmt.first_line,
+                    function=fn.qualified,
+                    message=(f"journaled inode state mutated "
+                             f"(`{m.group(0).strip()}`) before any "
+                             f"txn-registration call "
+                             f"({'/'.join(sorted(registrations))}) in this "
+                             f"coroutine — the get-write-access discipline; "
+                             f"register first or annotate "
+                             f"`// iolint: {ANNOTATION}(<why>)`"),
+                    fingerprint=make_fingerprint(
+                        NAME, src.path, fn.qualified,
+                        stmt.fingerprint_text())))
+                break
+    return findings

@@ -1,0 +1,45 @@
+// iolint fixture — detached-task-capture.
+//
+// Simulator::spawn() detaches the coroutine frame: it self-destroys at
+// final suspend, long after the spawning scope unwinds.  The shapes: a
+// capturing lambda (the classic coroutine-lambda trap — the closure dies
+// at the spawner's `}` while the frame lives on), `&local` / `.get()`
+// escapes, and a same-file callee taking reference parameters — versus a
+// by-value callee and an annotated site whose owner provably joins.
+//
+// Never compiled: scanned by tools/iolint/selftest.py with
+// fixtures.iolint.toml.
+
+sim::Task by_value_worker(int rounds, Params params) {
+  for (int i = 0; i < rounds; ++i) co_await tick(params);
+}
+
+sim::Task ref_worker(Counter& shared, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    co_await tick(rounds);
+    ++shared.n;
+  }
+}
+
+void launch(Simulator& sim, Ctx& ctx) {
+  Counter local;
+  auto owned = std::make_unique<Counter>();
+
+  // The closure is destroyed when launch() returns; the detached frame
+  // resumes into freed captures.
+  sim.spawn("bad:lambda", [&]() -> sim::Task {  // iolint-expect: detached-task-capture
+    ++local.n;
+    co_return;
+  }());
+
+  sim.spawn("bad:addr", chaos_task(&local, 3));  // iolint-expect: detached-task-capture
+  sim.spawn("bad:get", chaos_task(owned.get(), 3));  // iolint-expect: detached-task-capture
+  sim.spawn("bad:ref", ref_worker(local, 3));  // iolint-expect: detached-task-capture
+
+  // By-value callee, no escape pattern: silent.
+  sim.spawn("ok:value", by_value_worker(3, ctx.params));
+
+  // iolint: detached-owner(fixture — launch() joins this worker below
+  // before local leaves scope)
+  sim.spawn("ok:annotated", ref_worker(local, 3));
+}

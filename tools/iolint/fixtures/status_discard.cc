@@ -1,0 +1,39 @@
+// iolint fixture — status-discard.
+//
+// Every call returning a status-like type must be consumed.  The shapes:
+// a plain discarded call, a discarded co_await of a TaskOf<status>
+// coroutine, and a `(void)` cast without a reason — versus consumption by
+// assignment, condition, must(), and an annotated `(void)`.
+//
+// The harvest is name-based with ambiguity subtraction: `probe()` below
+// is declared both status- and void-returning, so discarding it is NOT a
+// finding (the [[nodiscard]] attributes own that case).
+//
+// Never compiled: scanned by tools/iolint/selftest.py with
+// fixtures.iolint.toml.
+
+struct Vfs {
+  Status close_one(Fd fd);
+  Result<std::size_t> read_some(Fd fd);
+  sim::TaskOf<FsStatus> sync_epoch(Inode& f);
+  Errno map_status(FsStatus s);
+};
+
+Status probe(int which);   // status flavour...
+void probe(double which);  // ...and void flavour: ambiguous, not watched
+
+sim::Task exercise(Vfs& vfs, Inode& f, Fd fd) {
+  vfs.close_one(fd);  // iolint-expect: status-discard
+  vfs.read_some(fd);  // iolint-expect: status-discard
+  co_await vfs.sync_epoch(f);  // iolint-expect: status-discard
+  (void)vfs.close_one(fd);  // iolint-expect: status-discard
+  probe(1);  // ambiguous name: silent here, the compiler's job
+
+  // Consumptions are silent.
+  const Status s = vfs.close_one(fd);
+  if (!vfs.close_one(fd).ok()) co_return;
+  must(vfs.close_one(fd));
+  const FsStatus st = co_await vfs.sync_epoch(f);
+  co_await vfs.sync_epoch(f);  // iolint: discard-ok(fixture — traffic
+                               // shape is the assertion, not the status)
+}

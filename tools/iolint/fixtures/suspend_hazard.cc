@@ -1,0 +1,86 @@
+// iolint fixture — suspend-hazard.
+//
+// Reconstructs the two ledger shapes the check exists for:
+//   * DESIGN.md §9.2-3: OptFS journaled-data transaction misattribution —
+//     a txn id read in one synchronous stretch is acted on after transfer
+//     waits, by which time the transaction may have closed.
+//   * DESIGN.md §11.4-1: host-retry re-entering a later epoch — a capture
+//     made outside a retry loop is stale on every iteration after the
+//     first.
+// Plus the scratch-member rule and the good (re-read / annotated) forms.
+//
+// Never compiled: scanned by tools/iolint/selftest.py with
+// fixtures.iolint.toml.  `iolint-expect:` markers pin the finding lines.
+
+#include <cstdint>
+
+struct Journal {
+  std::uint64_t running_txn_id() const;
+  std::size_t running_payload() const;
+  sim::Task commit(std::uint64_t tid, int mode);
+};
+
+struct PageCache {
+  void dirty_pages_of(std::uint32_t ino, std::vector<PageKey>& out);
+};
+
+struct Fs {
+  Journal* journal_;
+  PageCache cache_;
+  std::vector<PageKey> scratch_keys_;
+
+  sim::Task osync_misattributed(Inode& f);
+  sim::Task osync_reread(Inode& f);
+  sim::Task osync_annotated(Inode& f);
+  sim::Task retry_stale_epoch(Request& r);
+  sim::Task scratch_stale(Inode& f);
+};
+
+// §9.2-3 shape: tid is read before the transfer wait and the commit after
+// the wait names it — by then a concurrent osync may have closed that
+// transaction and the journaled pages live in a later one.
+sim::Task Fs::osync_misattributed(Inode& f) {
+  const std::uint64_t tid = journal_->running_txn_id();
+  co_await wait_requests(f);
+  record_attribution(f, tid);  // iolint-expect: suspend-hazard
+  co_await journal_->commit(tid, kDurable);
+}
+
+// Good: the id is re-read after resuming, in the same synchronous stretch
+// as the code that acts on it.
+sim::Task Fs::osync_reread(Inode& f) {
+  std::uint64_t tid = journal_->running_txn_id();
+  co_await wait_requests(f);
+  tid = journal_->running_txn_id();
+  record_attribution(f, tid);
+  co_await journal_->commit(tid, kDurable);
+}
+
+// Good: the capture documents why crossing the suspension is the point
+// (the commit must name the txn that carried the batch).
+sim::Task Fs::osync_annotated(Inode& f) {
+  // iolint: stable-across-suspend(fixture — commit must name this id)
+  const std::uint64_t tid = journal_->running_txn_id();
+  co_await wait_requests(f);
+  record_attribution(f, tid);
+  co_await journal_->commit(tid, kDurable);
+}
+
+// §11.4-1 shape: the epoch-scoped capture is made once, outside the
+// bounded-retry loop; iteration two re-submits into a later epoch.
+sim::Task Fs::retry_stale_epoch(Request& r) {
+  const std::uint64_t tid = journal_->running_txn_id();
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    stamp_epoch(r, tid);  // iolint-expect: suspend-hazard
+    co_await resubmit(r);
+  }
+}
+
+// Scratch-member rule: scratch_keys_ is shared storage, stale after any
+// suspension until dirty_pages_of() re-fills it.
+sim::Task Fs::scratch_stale(Inode& f) {
+  cache_.dirty_pages_of(f.ino, scratch_keys_);
+  submit_batch(scratch_keys_);
+  co_await wait_requests(f);
+  submit_batch(scratch_keys_);  // iolint-expect: suspend-hazard
+}

@@ -1,0 +1,44 @@
+// iolint fixture — txn-join-before-mutate.
+//
+// Reconstructs DESIGN.md §10.4-1: the buffered-write path grew i_size and
+// stamped mtime BEFORE dirty_metadata() — which can suspend — so a
+// concurrent writer skipped its own registration and a durably-acked size
+// belonged to a transaction that never committed.  The good form is the
+// jbd2 get-write-access discipline: register in the running transaction
+// first, then mutate in the same synchronous stretch.
+//
+// Never compiled: scanned by tools/iolint/selftest.py with
+// fixtures.iolint.toml.
+
+struct Fs {
+  Journal* journal_;
+  sim::Task write_unregistered(Inode& f, int n);
+  sim::Task write_registered(Inode& f, int n);
+  sim::Task write_annotated(Inode& f, int n);
+};
+
+// §10.4-1 shape: size/mtime/dirty flags mutate before the inode block has
+// joined the running transaction; dirty_metadata() below can suspend.
+sim::Task Fs::write_unregistered(Inode& f, int n) {
+  f.size_blocks += n;  // iolint-expect: txn-join-before-mutate
+  f.mtime_tick = 1;    // iolint-expect: txn-join-before-mutate
+  f.meta_dirty = true;  // iolint-expect: txn-join-before-mutate
+  co_await journal_->dirty_metadata(f);
+}
+
+// Good: registration precedes every mutation (the fixed write() shape).
+sim::Task Fs::write_registered(Inode& f, int n) {
+  co_await journal_->dirty_metadata(f);
+  f.size_blocks += n;
+  f.mtime_tick = 1;
+  f.meta_dirty = true;
+}
+
+// Good: a deferred registration in the same synchronous stretch, carried
+// by an annotation naming it.
+sim::Task Fs::write_annotated(Inode& f, int n) {
+  // iolint: txn-registered(fixture — batch joins the txn two lines down,
+  // in this same synchronous stretch)
+  f.size_blocks += n;
+  co_await journal_->dirty_metadata(f);
+}

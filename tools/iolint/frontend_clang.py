@@ -1,0 +1,74 @@
+"""Optional libclang frontend.
+
+When the `clang.cindex` python bindings are installed (CI installs
+python3-clang; the dev container may not have it), iolint can tokenize
+through libclang instead of the built-in lexer — same Token tuples, so
+the structural model and every check are frontend-agnostic.  The libclang
+major version is pinned by `.iolint.toml` (`libclang_versions`): an
+unpinned version falls back to the built-in lexer with a notice rather
+than risking a token stream the checks were never validated against.
+
+Everything here is defensive: any import/parse failure degrades to the
+built-in frontend.  iolint must produce identical findings on a machine
+with no libclang at all — the built-in lexer is the reference frontend,
+and the selftest runs under both when available.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .model import KIND_ID, KIND_NUM, KIND_PUNCT, KIND_STR, Token
+
+_IDENT_RE = re.compile(r"[A-Za-z_]\w*\Z")
+
+
+def load(pinned_versions):
+    """Returns (tokenize_fn, version_str) or (None, reason)."""
+    try:
+        from clang import cindex  # noqa: PLC0415 - gated optional dep
+    except Exception as e:  # ModuleNotFoundError, libclang.so load errors
+        return None, f"clang.cindex unavailable ({e.__class__.__name__})"
+    try:
+        idx = cindex.Index.create()
+        version = cindex.conf.lib.clang_getClangVersion()
+        if hasattr(version, "decode"):
+            version = version.decode()
+        version = str(version)
+    except Exception as e:
+        return None, f"libclang failed to initialize ({e})"
+    m = re.search(r"version\s+(\d+)", version)
+    major = m.group(1) if m else "?"
+    if pinned_versions and major not in {str(v) for v in pinned_versions}:
+        return None, (f"libclang major {major} not in pinned set "
+                      f"{sorted(pinned_versions)}")
+
+    def tokenize(path: str, text: str):
+        try:
+            tu = cindex.TranslationUnit.from_source(
+                path, args=["-std=c++20", "-fsyntax-only"],
+                unsaved_files=[(path, text)], index=idx)
+            extent = tu.get_extent(path, (0, len(text)))
+            out = []
+            for tok in tu.get_tokens(extent=extent):
+                kind = tok.kind.name
+                sp = tok.spelling
+                if kind == "COMMENT":
+                    continue  # annotations come from the shared comment scan
+                if kind == "LITERAL":
+                    out.append(Token(
+                        KIND_STR if sp[:1] in "\"'RuUL" and "\"" in sp
+                        else KIND_NUM, sp, tok.location.line))
+                elif kind in ("IDENTIFIER", "KEYWORD"):
+                    out.append(Token(KIND_ID, sp, tok.location.line))
+                elif kind == "PUNCTUATION":
+                    out.append(Token(KIND_PUNCT, sp, tok.location.line))
+                else:  # pragma: no cover - future token kinds
+                    out.append(Token(
+                        KIND_ID if _IDENT_RE.match(sp) else KIND_PUNCT,
+                        sp, tok.location.line))
+            return out
+        except Exception:
+            return None  # caller falls back to the built-in lexer
+
+    return tokenize, f"libclang {major} ({version.strip()})"

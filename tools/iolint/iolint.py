@@ -1,0 +1,15 @@
+#!/usr/bin/env python3
+"""iolint launcher — see cli.py for the implementation.
+
+Run from anywhere:  python3 tools/iolint/iolint.py [--ci] [paths...]
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from iolint.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
