@@ -4,10 +4,12 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/stack.h"
 #include "core/table.h"
 #include "flash/profile.h"
+#include "sim/host_pool.h"
 
 namespace bio::bench {
 
@@ -27,6 +29,18 @@ inline std::string k_of(double v, int precision = 2) {
 /// Prints PASS/WARN for a shape expectation so EXPERIMENTS.md can quote it.
 inline void expect_shape(bool ok, const char* description) {
   std::printf("  [%s] %s\n", ok ? "PASS" : "WARN", description);
+}
+
+/// Compute-parallel / print-serial driver for figure benches: runs one
+/// simulation cell per index across the host pool (each cell builds its
+/// own core::Stack — figure metrics are simulated, so host parallelism
+/// cannot perturb them) and returns the results in index order, so the
+/// caller's serial print loop emits output bit-identical to a serial run.
+/// Figure benches honour BIO_SWEEP_JOBS like the sweeps (jobs = 0).
+template <typename R, typename Fn>
+std::vector<R> run_cells(int n, Fn&& fn) {
+  const sim::HostPool pool;
+  return pool.map<R>(n, static_cast<Fn&&>(fn));
 }
 
 }  // namespace bio::bench

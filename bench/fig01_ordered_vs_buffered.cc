@@ -27,40 +27,57 @@ int main() {
   double ratio_at_min = 0.0, ratio_at_max = 0.0;
   double min_buf = 1e18, max_buf = 0.0;
 
-  for (const auto& dev : devices) {
-    // Ordered: allocating 4K writes + fdatasync on EXT4-DR (journal commit
-    // per write, transfer-and-flush all the way).
-    wl::RandomWriteParams ordered_params;
-    ordered_params.mode = wl::RandomWriteParams::Mode::kAllocFdatasync;
-    ordered_params.ops = 300;
-    auto ordered_stack = make_stack(core::StackKind::kExt4DR, dev);
-    auto ordered =
-        wl::run_random_write(*ordered_stack, ordered_params, sim::Rng(1));
+  // Each device cell simulates its two stacks independently; compute in
+  // parallel, print (and fit) in device order below.
+  struct Cell {
+    double ordered_iops = 0.0;
+    double buffered_iops = 0.0;
+  };
+  const std::vector<Cell> cells = bench::run_cells<Cell>(
+      static_cast<int>(devices.size()), [&devices](int i) {
+        const auto& dev = devices[static_cast<std::size_t>(i)];
+        // Ordered: allocating 4K writes + fdatasync on EXT4-DR (journal
+        // commit per write, transfer-and-flush all the way).
+        wl::RandomWriteParams ordered_params;
+        ordered_params.mode = wl::RandomWriteParams::Mode::kAllocFdatasync;
+        ordered_params.ops = 300;
+        auto ordered_stack = make_stack(core::StackKind::kExt4DR, dev);
+        auto ordered =
+            wl::run_random_write(*ordered_stack, ordered_params, sim::Rng(1));
 
-    // Buffered: plain write() stream, throttled by writeback.
-    wl::RandomWriteParams buf_params;
-    buf_params.mode = wl::RandomWriteParams::Mode::kBuffered;
-    buf_params.ops = 30000;
-    buf_params.working_set_pages = static_cast<std::uint32_t>(std::min<std::uint64_t>(
-        32768, dev.geometry.physical_pages() * 2 / 5));
-    auto buf_stack = make_stack(core::StackKind::kExt4DR, dev);
-    auto buffered = wl::run_random_write(*buf_stack, buf_params, sim::Rng(2));
+        // Buffered: plain write() stream, throttled by writeback.
+        wl::RandomWriteParams buf_params;
+        buf_params.mode = wl::RandomWriteParams::Mode::kBuffered;
+        buf_params.ops = 30000;
+        buf_params.working_set_pages =
+            static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                32768, dev.geometry.physical_pages() * 2 / 5));
+        auto buf_stack = make_stack(core::StackKind::kExt4DR, dev);
+        auto buffered =
+            wl::run_random_write(*buf_stack, buf_params, sim::Rng(2));
+        return Cell{ordered.iops, buffered.iops};
+      });
 
-    const double ratio = 100.0 * ordered.iops / buffered.iops;
-    table.add_row({dev.name, bench::k_of(buffered.iops),
-                   core::Table::num(ordered.iops, 0),
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    const auto& dev = devices[d];
+    const double ordered_iops = cells[d].ordered_iops;
+    const double buffered_iops = cells[d].buffered_iops;
+
+    const double ratio = 100.0 * ordered_iops / buffered_iops;
+    table.add_row({dev.name, bench::k_of(buffered_iops),
+                   core::Table::num(ordered_iops, 0),
                    core::Table::num(ratio, 2)});
     if (dev.name != "HDD") {
-      xs.push_back(std::log(buffered.iops));
+      xs.push_back(std::log(buffered_iops));
       ys.push_back(std::log(ratio));
       if (dev.name == "supercap-SSD") supercap_ratio = ratio;
-      max_flash_buffered = std::max(max_flash_buffered, buffered.iops);
-      if (buffered.iops < min_buf) {
-        min_buf = buffered.iops;
+      max_flash_buffered = std::max(max_flash_buffered, buffered_iops);
+      if (buffered_iops < min_buf) {
+        min_buf = buffered_iops;
         ratio_at_min = ratio;
       }
-      if (buffered.iops > max_buf) {
-        max_buf = buffered.iops;
+      if (buffered_iops > max_buf) {
+        max_buf = buffered_iops;
         ratio_at_max = ratio;
       }
     }

@@ -38,20 +38,33 @@ double commit_interval_ms(core::Stack& stack, std::uint64_t ops,
 int main() {
   bench::banner("Fig 8", "journal commit interval by commit discipline");
 
-  auto full = make_stack(core::StackKind::kExt4DR,
-                         flash::DeviceProfile::plain_ssd());
-  auto quick = make_stack(core::StackKind::kExt4DR,
-                          flash::DeviceProfile::supercap_ssd());
-  auto noflush = make_stack(core::StackKind::kExt4OD,
-                            flash::DeviceProfile::plain_ssd());
-  auto bfs = make_stack(core::StackKind::kBfsOD,
-                        flash::DeviceProfile::plain_ssd());
-
-  const double t_full = commit_interval_ms(*full, 200, false);
-  const double t_quick = commit_interval_ms(*quick, 800, false);
-  const double t_noflush = commit_interval_ms(*noflush, 800, false);
-  // BFS-OD: fdatabarrier on allocating writes -> pipelined commits.
-  const double t_bfs = commit_interval_ms(*bfs, 4000, true);
+  // One cell per discipline, each building its own stack so the four
+  // simulations can run on separate host threads.
+  struct Case {
+    core::StackKind kind;
+    bool supercap;
+    std::uint64_t ops;
+    bool ordering_only;
+  };
+  const Case cases[] = {
+      {core::StackKind::kExt4DR, false, 200, false},
+      {core::StackKind::kExt4DR, true, 800, false},
+      {core::StackKind::kExt4OD, false, 800, false},
+      // BFS-OD: fdatabarrier on allocating writes -> pipelined commits.
+      {core::StackKind::kBfsOD, false, 4000, true},
+  };
+  const std::vector<double> intervals =
+      bench::run_cells<double>(4, [&cases](int i) {
+        const Case& c = cases[i];
+        auto stack = make_stack(c.kind, c.supercap
+                                            ? flash::DeviceProfile::supercap_ssd()
+                                            : flash::DeviceProfile::plain_ssd());
+        return commit_interval_ms(*stack, c.ops, c.ordering_only);
+      });
+  const double t_full = intervals[0];
+  const double t_quick = intervals[1];
+  const double t_noflush = intervals[2];
+  const double t_bfs = intervals[3];
 
   core::Table t({"discipline", "commit interval (ms)", "paper's bound"});
   t.add_row({"EXT4 (full flush)", core::Table::num(t_full, 3),

@@ -47,16 +47,30 @@ int main() {
 
   core::Table table({"device", "XnF KIOPS", "X KIOPS", "B KIOPS", "P KIOPS",
                      "QD(XnF)", "QD(X)", "QD(B)", "QD(P)"});
-  for (const auto& dev : devices) {
-    const Cell xnf =
-        run_mode(dev, core::StackKind::kExt4DR,
-                 wl::RandomWriteParams::Mode::kFdatasync, 400);
-    const Cell x = run_mode(dev, core::StackKind::kExt4OD,
-                            wl::RandomWriteParams::Mode::kFdatasync, 2000);
-    const Cell b = run_mode(dev, core::StackKind::kBfsOD,
-                            wl::RandomWriteParams::Mode::kFdatabarrier, 30000);
-    const Cell p = run_mode(dev, core::StackKind::kExt4DR,
-                            wl::RandomWriteParams::Mode::kBuffered, 60000);
+  // 3 devices x 4 modes, one independent simulation per cell; printed in
+  // device order below.
+  struct Row {
+    Cell xnf, x, b, p;
+  };
+  const std::vector<Row> rows = bench::run_cells<Row>(
+      static_cast<int>(devices.size()), [&devices](int i) {
+        const auto& dev = devices[static_cast<std::size_t>(i)];
+        return Row{
+            run_mode(dev, core::StackKind::kExt4DR,
+                     wl::RandomWriteParams::Mode::kFdatasync, 400),
+            run_mode(dev, core::StackKind::kExt4OD,
+                     wl::RandomWriteParams::Mode::kFdatasync, 2000),
+            run_mode(dev, core::StackKind::kBfsOD,
+                     wl::RandomWriteParams::Mode::kFdatabarrier, 30000),
+            run_mode(dev, core::StackKind::kExt4DR,
+                     wl::RandomWriteParams::Mode::kBuffered, 60000)};
+      });
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    const auto& dev = devices[d];
+    const Cell xnf = rows[d].xnf;
+    const Cell x = rows[d].x;
+    const Cell b = rows[d].b;
+    const Cell p = rows[d].p;
     table.add_row({dev.name, core::Table::num(xnf.kiops),
                    core::Table::num(x.kiops), core::Table::num(b.kiops),
                    core::Table::num(p.kiops), core::Table::num(xnf.qd, 2),

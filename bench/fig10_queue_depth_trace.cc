@@ -2,6 +2,7 @@
 // on plain-SSD and UFS. The paper's picture: X hugs QD<=1; B saturates the
 // queue. We print a downsampled (time, depth) series per configuration.
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
@@ -12,9 +13,17 @@ using bench::make_stack;
 
 namespace {
 
-void run_and_print(const char* label, const flash::DeviceProfile& dev,
-                   core::StackKind kind, wl::RandomWriteParams::Mode mode,
-                   std::uint64_t ops) {
+/// One configuration's trace, computed in a cell and printed serially:
+/// the summary numbers plus the downsampled (time, depth) series.
+struct TraceCell {
+  double avg_qd = 0.0;
+  double max_qd = 0.0;
+  std::size_t transitions = 0;
+  std::vector<std::pair<double, double>> series;  // (ms, depth)
+};
+
+TraceCell run_trace(const flash::DeviceProfile& dev, core::StackKind kind,
+                    wl::RandomWriteParams::Mode mode, std::uint64_t ops) {
   wl::RandomWriteParams p;
   p.mode = mode;
   p.ops = ops;
@@ -22,16 +31,25 @@ void run_and_print(const char* label, const flash::DeviceProfile& dev,
   stack->device().enable_qd_trace();
   auto r = wl::run_random_write(*stack, p, sim::Rng(3));
 
+  TraceCell cell;
   const auto& points = stack->device().qd_trace().points();
-  std::printf("\n%s (%s): avg QD %.2f, max QD %.0f, %zu transitions\n",
-              label, dev.name.c_str(), r.avg_queue_depth,
-              stack->device().qd_trace().max_value(), points.size());
+  cell.avg_qd = r.avg_queue_depth;
+  cell.max_qd = stack->device().qd_trace().max_value();
+  cell.transitions = points.size();
   // Downsample to ~32 samples for the printed series.
   const std::size_t stride = std::max<std::size_t>(1, points.size() / 32);
-  std::printf("  t(ms):QD ");
   for (std::size_t i = 0; i < points.size(); i += stride)
-    std::printf("%.2f:%.0f ", sim::to_millis(points[i].at),
-                points[i].value);
+    cell.series.emplace_back(sim::to_millis(points[i].at), points[i].value);
+  return cell;
+}
+
+void print_trace(const char* label, const flash::DeviceProfile& dev,
+                 const TraceCell& cell) {
+  std::printf("\n%s (%s): avg QD %.2f, max QD %.0f, %zu transitions\n",
+              label, dev.name.c_str(), cell.avg_qd, cell.max_qd,
+              cell.transitions);
+  std::printf("  t(ms):QD ");
+  for (const auto& [ms, qd] : cell.series) std::printf("%.2f:%.0f ", ms, qd);
   std::printf("\n");
 }
 
@@ -39,12 +57,23 @@ void run_and_print(const char* label, const flash::DeviceProfile& dev,
 
 int main() {
   bench::banner("Fig 10", "queue depth: Wait-on-Transfer vs barrier");
-  for (const auto& dev :
-       {flash::DeviceProfile::plain_ssd(), flash::DeviceProfile::ufs()}) {
-    run_and_print("Wait-on-Transfer (X)", dev, core::StackKind::kExt4OD,
-                  wl::RandomWriteParams::Mode::kFdatasync, 600);
-    run_and_print("Barrier (B)", dev, core::StackKind::kBfsOD,
-                  wl::RandomWriteParams::Mode::kFdatabarrier, 3000);
+  const std::vector<flash::DeviceProfile> devices = {
+      flash::DeviceProfile::plain_ssd(), flash::DeviceProfile::ufs()};
+  // 2 devices x 2 configurations: compute all four traces in parallel,
+  // print in the original order.
+  const std::vector<TraceCell> cells = bench::run_cells<TraceCell>(
+      static_cast<int>(devices.size()) * 2, [&devices](int i) {
+        const auto& dev = devices[static_cast<std::size_t>(i / 2)];
+        return i % 2 == 0
+                   ? run_trace(dev, core::StackKind::kExt4OD,
+                               wl::RandomWriteParams::Mode::kFdatasync, 600)
+                   : run_trace(dev, core::StackKind::kBfsOD,
+                               wl::RandomWriteParams::Mode::kFdatabarrier,
+                               3000);
+      });
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    print_trace("Wait-on-Transfer (X)", devices[d], cells[d * 2]);
+    print_trace("Barrier (B)", devices[d], cells[d * 2 + 1]);
   }
   return 0;
 }

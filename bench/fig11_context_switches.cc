@@ -29,13 +29,24 @@ int main() {
   bench::banner("Fig 11", "context switches per write+sync");
   core::Table table(
       {"device", "EXT4-DR", "BFS-DR", "EXT4-OD", "BFS-OD"});
-  for (const auto& dev :
-       {flash::DeviceProfile::ufs(), flash::DeviceProfile::plain_ssd(),
-        flash::DeviceProfile::supercap_ssd()}) {
-    const double ext4_dr = run_case(dev, core::StackKind::kExt4DR);
-    const double bfs_dr = run_case(dev, core::StackKind::kBfsDR);
-    const double ext4_od = run_case(dev, core::StackKind::kExt4OD);
-    const double bfs_od = run_case(dev, core::StackKind::kBfsOD);
+  const std::vector<flash::DeviceProfile> devices = {
+      flash::DeviceProfile::ufs(), flash::DeviceProfile::plain_ssd(),
+      flash::DeviceProfile::supercap_ssd()};
+  const core::StackKind kinds[] = {
+      core::StackKind::kExt4DR, core::StackKind::kBfsDR,
+      core::StackKind::kExt4OD, core::StackKind::kBfsOD};
+  // 3 devices x 4 stacks, one simulation per cell, printed in order below.
+  const std::vector<double> cells = bench::run_cells<double>(
+      static_cast<int>(devices.size()) * 4, [&devices, &kinds](int i) {
+        return run_case(devices[static_cast<std::size_t>(i / 4)],
+                        kinds[i % 4]);
+      });
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    const auto& dev = devices[d];
+    const double ext4_dr = cells[d * 4];
+    const double bfs_dr = cells[d * 4 + 1];
+    const double ext4_od = cells[d * 4 + 2];
+    const double bfs_od = cells[d * 4 + 3];
     table.add_row({dev.name, core::Table::num(ext4_dr),
                    core::Table::num(bfs_dr), core::Table::num(ext4_od),
                    core::Table::num(bfs_od)});

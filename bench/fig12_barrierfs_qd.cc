@@ -3,6 +3,8 @@
 // couple of commands in flight; fbarrier saturates the queue because the
 // commit pipeline never waits.
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "bench_util.h"
 #include "wl/random_write.h"
@@ -12,37 +14,50 @@ using bench::make_stack;
 
 namespace {
 
+/// Computed in a cell, printed serially after both cells finish.
 struct Out {
-  double avg_qd;
-  double max_qd;
+  double avg_qd = 0.0;
+  double max_qd = 0.0;
+  std::vector<std::pair<double, double>> series;  // (ms, depth)
 };
 
-Out run_case(core::StackKind kind, std::uint64_t ops, const char* label) {
+Out run_case(core::StackKind kind, std::uint64_t ops) {
   wl::RandomWriteParams p;
   p.mode = wl::RandomWriteParams::Mode::kSyncFile;
   p.ops = ops;
   auto stack = make_stack(kind, flash::DeviceProfile::ufs());
   stack->device().enable_qd_trace();
   auto r = wl::run_random_write(*stack, p, sim::Rng(4));
+  Out out;
+  out.avg_qd = r.avg_queue_depth;
+  out.max_qd = stack->device().qd_trace().max_value();
   const auto& points = stack->device().qd_trace().points();
-  std::printf("\n%s: avg QD %.2f, max QD %.0f\n", label, r.avg_queue_depth,
-              stack->device().qd_trace().max_value());
   const std::size_t stride = std::max<std::size_t>(1, points.size() / 32);
-  std::printf("  t(ms):QD ");
   for (std::size_t i = 0; i < points.size(); i += stride)
-    std::printf("%.2f:%.0f ", sim::to_millis(points[i].at), points[i].value);
+    out.series.emplace_back(sim::to_millis(points[i].at), points[i].value);
+  return out;
+}
+
+void print_case(const char* label, const Out& out) {
+  std::printf("\n%s: avg QD %.2f, max QD %.0f\n", label, out.avg_qd,
+              out.max_qd);
+  std::printf("  t(ms):QD ");
+  for (const auto& [ms, qd] : out.series) std::printf("%.2f:%.0f ", ms, qd);
   std::printf("\n");
-  return Out{r.avg_queue_depth, stack->device().qd_trace().max_value()};
 }
 
 }  // namespace
 
 int main() {
   bench::banner("Fig 12", "BarrierFS queue depth: fsync vs fbarrier");
-  const Out durability =
-      run_case(core::StackKind::kBfsDR, 400, "durability (fsync)");
-  const Out ordering =
-      run_case(core::StackKind::kBfsOD, 4000, "ordering (fbarrier)");
+  const std::vector<Out> cells = bench::run_cells<Out>(2, [](int i) {
+    return i == 0 ? run_case(core::StackKind::kBfsDR, 400)
+                  : run_case(core::StackKind::kBfsOD, 4000);
+  });
+  const Out& durability = cells[0];
+  const Out& ordering = cells[1];
+  print_case("durability (fsync)", durability);
+  print_case("ordering (fbarrier)", ordering);
   std::printf("\n");
   bench::expect_shape(durability.max_qd <= 4,
                       "fsync keeps only a couple of commands in flight");

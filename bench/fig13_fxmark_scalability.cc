@@ -28,15 +28,33 @@ double run_case(const flash::DeviceProfile& dev, core::StackKind kind,
 int main() {
   bench::banner("Fig 13", "fxmark DWSL journaling scalability (ops/s)");
   const std::vector<std::uint32_t> cores = {1, 2, 4, 6, 8, 10, 12};
-  for (const auto& dev : {flash::DeviceProfile::plain_ssd(),
-                          flash::DeviceProfile::supercap_ssd()}) {
+  const std::vector<flash::DeviceProfile> devices = {
+      flash::DeviceProfile::plain_ssd(), flash::DeviceProfile::supercap_ssd()};
+  // 2 devices x 7 core counts x 2 stacks = 28 independent cells; printed
+  // per device below in core-count order.
+  const int per_dev = static_cast<int>(cores.size()) * 2;
+  const std::vector<double> cells = bench::run_cells<double>(
+      static_cast<int>(devices.size()) * per_dev,
+      [&devices, &cores, per_dev](int i) {
+        const auto& dev = devices[static_cast<std::size_t>(i / per_dev)];
+        const int within = i % per_dev;
+        const std::uint32_t c = cores[static_cast<std::size_t>(within / 2)];
+        return run_case(dev,
+                        within % 2 == 0 ? core::StackKind::kExt4DR
+                                        : core::StackKind::kBfsDR,
+                        c);
+      });
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    const auto& dev = devices[d];
     std::printf("\n[%s]\n", dev.name.c_str());
     core::Table table({"cores", "EXT4-DR ops/s", "BFS-DR ops/s", "BFS/EXT4"});
     double ext4_max = 0, bfs_max = 0, ext4_1 = 0, bfs_1 = 0;
     double ext4_6 = 0, ext4_12 = 0;
-    for (std::uint32_t c : cores) {
-      const double e = run_case(dev, core::StackKind::kExt4DR, c);
-      const double b = run_case(dev, core::StackKind::kBfsDR, c);
+    for (std::size_t ci = 0; ci < cores.size(); ++ci) {
+      const std::uint32_t c = cores[ci];
+      const double e = cells[d * static_cast<std::size_t>(per_dev) + ci * 2];
+      const double b =
+          cells[d * static_cast<std::size_t>(per_dev) + ci * 2 + 1];
       table.add_row({std::to_string(c), core::Table::num(e, 0),
                      core::Table::num(b, 0), core::Table::num(b / e, 2)});
       ext4_max = std::max(ext4_max, e);

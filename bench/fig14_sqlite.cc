@@ -27,22 +27,43 @@ double run_case(const flash::DeviceProfile& dev, core::StackKind kind,
 int main() {
   bench::banner("Fig 14", "SQLite inserts/sec");
 
+  // All nine cells (5 UFS + 4 plain-SSD) are independent simulations;
+  // compute across the pool, print in the original order below.
+  struct Case {
+    bool ufs;
+    core::StackKind kind;
+    wl::SqliteParams::Mode mode;
+    std::uint64_t tx;
+  };
+  const Case cases[] = {
+      {true, core::StackKind::kExt4DR, wl::SqliteParams::Mode::kPersist, 400},
+      {true, core::StackKind::kBfsDR, wl::SqliteParams::Mode::kPersist, 800},
+      {true, core::StackKind::kBfsOD, wl::SqliteParams::Mode::kPersist, 3000},
+      {true, core::StackKind::kExt4DR, wl::SqliteParams::Mode::kWal, 800},
+      {true, core::StackKind::kBfsDR, wl::SqliteParams::Mode::kWal, 800},
+      {false, core::StackKind::kExt4DR, wl::SqliteParams::Mode::kPersist, 300},
+      {false, core::StackKind::kExt4OD, wl::SqliteParams::Mode::kPersist,
+       3000},
+      {false, core::StackKind::kOptFs, wl::SqliteParams::Mode::kPersist,
+       3000},
+      {false, core::StackKind::kBfsOD, wl::SqliteParams::Mode::kPersist,
+       8000},
+  };
+  const std::vector<double> cells =
+      bench::run_cells<double>(9, [&cases](int i) {
+        const Case& c = cases[i];
+        return run_case(c.ufs ? flash::DeviceProfile::ufs()
+                              : flash::DeviceProfile::plain_ssd(),
+                        c.kind, c.mode, c.tx);
+      });
+
   // ---- (a) UFS ------------------------------------------------------------
   {
-    const auto ufs = flash::DeviceProfile::ufs();
-    const double persist_ext4 =
-        run_case(ufs, core::StackKind::kExt4DR,
-                 wl::SqliteParams::Mode::kPersist, 400);
-    const double persist_bfs_dr =
-        run_case(ufs, core::StackKind::kBfsDR,
-                 wl::SqliteParams::Mode::kPersist, 800);
-    const double persist_bfs_od =
-        run_case(ufs, core::StackKind::kBfsOD,
-                 wl::SqliteParams::Mode::kPersist, 3000);
-    const double wal_ext4 = run_case(
-        ufs, core::StackKind::kExt4DR, wl::SqliteParams::Mode::kWal, 800);
-    const double wal_bfs_dr = run_case(
-        ufs, core::StackKind::kBfsDR, wl::SqliteParams::Mode::kWal, 800);
+    const double persist_ext4 = cells[0];
+    const double persist_bfs_dr = cells[1];
+    const double persist_bfs_od = cells[2];
+    const double wal_ext4 = cells[3];
+    const double wal_bfs_dr = cells[4];
 
     std::printf("\n[UFS]\n");
     core::Table t({"mode", "EXT4-DR tx/s", "BFS-DR tx/s", "BFS-OD tx/s",
@@ -68,19 +89,10 @@ int main() {
 
   // ---- (b) plain-SSD --------------------------------------------------------
   {
-    const auto ssd = flash::DeviceProfile::plain_ssd();
-    const double dr_baseline =
-        run_case(ssd, core::StackKind::kExt4DR,
-                 wl::SqliteParams::Mode::kPersist, 300);
-    const double ext4_od = run_case(
-        ssd, core::StackKind::kExt4OD, wl::SqliteParams::Mode::kPersist,
-        3000);
-    const double optfs = run_case(
-        ssd, core::StackKind::kOptFs, wl::SqliteParams::Mode::kPersist,
-        3000);
-    const double bfs_od = run_case(
-        ssd, core::StackKind::kBfsOD, wl::SqliteParams::Mode::kPersist,
-        8000);
+    const double dr_baseline = cells[5];
+    const double ext4_od = cells[6];
+    const double optfs = cells[7];
+    const double bfs_od = cells[8];
 
     std::printf("\n[plain-SSD]\n");
     core::Table t({"stack", "tx/s", "vs EXT4-DR"});

@@ -42,24 +42,39 @@ double run_oltp_case(const flash::DeviceProfile& dev, core::StackKind kind,
 int main() {
   bench::banner("Fig 15", "varmail (ops/s) and OLTP-insert (tx/s)");
 
-  for (const auto& dev : {flash::DeviceProfile::plain_ssd(),
-                          flash::DeviceProfile::supercap_ssd()}) {
+  const std::vector<flash::DeviceProfile> devices = {
+      flash::DeviceProfile::plain_ssd(), flash::DeviceProfile::supercap_ssd()};
+  const core::StackKind kinds[] = {
+      core::StackKind::kExt4DR, core::StackKind::kBfsDR,
+      core::StackKind::kOptFs, core::StackKind::kExt4OD,
+      core::StackKind::kBfsOD};
+  const std::uint64_t oltp_tx[] = {40, 60, 150, 200, 400};
+  // 2 devices x (5 varmail + 5 OLTP) = 20 independent cells; per-device
+  // layout: [0..4] varmail, [5..9] OLTP in `kinds` order.
+  const std::vector<double> cells = bench::run_cells<double>(
+      static_cast<int>(devices.size()) * 10,
+      [&devices, &kinds, &oltp_tx](int i) {
+        const auto& dev = devices[static_cast<std::size_t>(i / 10)];
+        const int within = i % 10;
+        return within < 5
+                   ? run_varmail_case(dev, kinds[within])
+                   : run_oltp_case(dev, kinds[within - 5],
+                                   oltp_tx[within - 5]);
+      });
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    const auto& dev = devices[d];
     std::printf("\n[%s]\n", dev.name.c_str());
-    const double vm_ext4_dr =
-        run_varmail_case(dev, core::StackKind::kExt4DR);
-    const double vm_bfs_dr = run_varmail_case(dev, core::StackKind::kBfsDR);
-    const double vm_optfs = run_varmail_case(dev, core::StackKind::kOptFs);
-    const double vm_ext4_od =
-        run_varmail_case(dev, core::StackKind::kExt4OD);
-    const double vm_bfs_od = run_varmail_case(dev, core::StackKind::kBfsOD);
+    const double vm_ext4_dr = cells[d * 10];
+    const double vm_bfs_dr = cells[d * 10 + 1];
+    const double vm_optfs = cells[d * 10 + 2];
+    const double vm_ext4_od = cells[d * 10 + 3];
+    const double vm_bfs_od = cells[d * 10 + 4];
 
-    const double ol_ext4_dr =
-        run_oltp_case(dev, core::StackKind::kExt4DR, 40);
-    const double ol_bfs_dr = run_oltp_case(dev, core::StackKind::kBfsDR, 60);
-    const double ol_optfs = run_oltp_case(dev, core::StackKind::kOptFs, 150);
-    const double ol_ext4_od =
-        run_oltp_case(dev, core::StackKind::kExt4OD, 200);
-    const double ol_bfs_od = run_oltp_case(dev, core::StackKind::kBfsOD, 400);
+    const double ol_ext4_dr = cells[d * 10 + 5];
+    const double ol_bfs_dr = cells[d * 10 + 6];
+    const double ol_optfs = cells[d * 10 + 7];
+    const double ol_ext4_od = cells[d * 10 + 8];
+    const double ol_bfs_od = cells[d * 10 + 9];
 
     core::Table t({"stack", "varmail ops/s", "OLTP tx/s"});
     t.add_row({"EXT4-DR", core::Table::num(vm_ext4_dr, 0),

@@ -15,11 +15,18 @@
 //                          and all, from the override below
 //
 // Usage: perf_suite [--smoke] [--out <path>] [--sharded-out <path>]
-//                   [--list-scenarios]
+//                   [--list-scenarios] [--jobs N]
 //   --smoke  small op counts (CI); --out defaults to BENCH_perf.json in the
 //   current directory (CI runs from the repo root); --list-scenarios prints
 //   the scenario names one per line and exits (tooling introspects the
 //   suite instead of hard-coding names).
+//
+//   --jobs N runs scenarios on N host threads (smoke only, opt-in). The
+//   DEFAULT stays serial, on purpose: these are *wall-clock* measurements,
+//   and concurrent scenarios stealing cycles from each other would inflate
+//   every ns/io number. Parallel runs are for functional smoke (does the
+//   suite still pass, is the JSON well-formed), never for perf deltas.
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -34,21 +41,39 @@
 #include "api/vfs.h"
 #include "core/stack.h"
 #include "sim/frame_pool.h"
+#include "sim/host_pool.h"
 #include "wl/concurrent_writers.h"
 #include "wl/fxmark.h"
 #include "wl/varmail.h"
 
 // ---- global allocation counter ---------------------------------------------
 
-static std::uint64_t g_new_calls = 0;
+// Atomic (relaxed): with --jobs, scenario threads allocate concurrently.
+// Relaxed is exact for counting; per-scenario deltas under parallelism
+// include neighbours' allocations, which is fine for the smoke-only use.
+static std::atomic<std::uint64_t> g_new_calls{0};
 
+// Under TSan the replaced malloc-backed operator new/delete would sit
+// outside the sanitizer's allocator interception (and GCC rejects the
+// pair as -Wmismatched-new-delete); nobody reads the allocs/op column
+// from a sanitizer build, so keep the default allocator there and let
+// the counter stay at zero.
+#if defined(__SANITIZE_THREAD__)
+#define BIO_PERF_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define BIO_PERF_TSAN 1
+#endif
+#endif
+
+#if !defined(BIO_PERF_TSAN)
 void* operator new(std::size_t n) {
-  ++g_new_calls;
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(n)) return p;
   throw std::bad_alloc();
 }
 void* operator new[](std::size_t n) {
-  ++g_new_calls;
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(n)) return p;
   throw std::bad_alloc();
 }
@@ -56,6 +81,7 @@ void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif  // !BIO_PERF_TSAN
 
 using namespace bio;
 using Clock = std::chrono::steady_clock;
@@ -318,7 +344,9 @@ bool write_json(const char* path, const std::vector<ScenarioResult>& results,
     std::fprintf(stderr, "perf_suite: cannot open %s for writing\n", path);
     return false;
   }
-  const sim::FramePoolStats& fp = sim::frame_pool_stats();
+  // Aggregate across retired scenario threads (--jobs): serial runs see
+  // exactly the calling thread's pool, parallel runs the whole process.
+  const sim::FramePoolStats fp = sim::frame_pool_aggregate_stats();
   std::fprintf(f, "{\n  \"schema\": \"bio-perf/1\",\n");
   std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(f,
@@ -380,6 +408,7 @@ bool write_json(const char* path, const std::vector<ScenarioResult>& results,
 int main(int argc, char** argv) {
   bool smoke = false;
   bool list_scenarios = false;
+  int jobs = 1;  // serial by default: wall-clock numbers need isolation
   const char* out = "BENCH_perf.json";
   const char* sharded_out = nullptr;
   for (int i = 1; i < argc; ++i) {
@@ -391,10 +420,25 @@ int main(int argc, char** argv) {
       out = argv[++i];
     } else if (std::strcmp(argv[i], "--sharded-out") == 0 && i + 1 < argc) {
       sharded_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      // Strict positive decimal, like crash_consistency --jobs.
+      const char* s = argv[++i];
+      long v = 0;
+      bool digits = *s != '\0';
+      for (const char* p = s; *p != '\0'; ++p) {
+        if (*p < '0' || *p > '9') digits = false;
+        if (digits && v <= bio::sim::kMaxHostJobs) v = v * 10 + (*p - '0');
+      }
+      if (!digits || v < 1 || v > bio::sim::kMaxHostJobs) {
+        std::fprintf(stderr, "bad --jobs '%s' (want a decimal in [1, %d])\n",
+                     s, bio::sim::kMaxHostJobs);
+        return 2;
+      }
+      jobs = static_cast<int>(v);
     } else {
       std::fprintf(stderr,
                    "usage: perf_suite [--smoke] [--out <path>] "
-                   "[--sharded-out <path>] [--list-scenarios]\n");
+                   "[--sharded-out <path>] [--list-scenarios] [--jobs N]\n");
       return 2;
     }
   }
@@ -488,10 +532,16 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::vector<ScenarioResult> results;
-  std::printf("=== perf_suite — wall-clock cost of the simulator%s ===\n",
-              smoke ? " (smoke)" : "");
-  for (const ScenarioDef& d : defs) results.push_back(d.run());
+  std::printf("=== perf_suite — wall-clock cost of the simulator%s%s ===\n",
+              smoke ? " (smoke)" : "",
+              jobs > 1 ? " [parallel: timings not comparable]" : "");
+  // jobs=1 (default) runs inline in registry order; --jobs N > 1 fans the
+  // scenarios across host threads and map() restores registry order, so
+  // the table and JSON keep the same row order either way.
+  const sim::HostPool pool(jobs);
+  const std::vector<ScenarioResult> results = pool.map<ScenarioResult>(
+      static_cast<int>(defs.size()),
+      [&defs](int i) { return defs[static_cast<std::size_t>(i)].run(); });
 
   print_table(results);
   for (const ScenarioResult& r : results) {

@@ -44,11 +44,22 @@ int main() {
   core::Table table({"device", "fs", "mean", "median", "99th", "99.9th",
                      "99.99th"});
   const std::uint64_t kOps = 4000;
-  for (const auto& dev :
-       {flash::DeviceProfile::ufs(), flash::DeviceProfile::plain_ssd(),
-        flash::DeviceProfile::supercap_ssd()}) {
-    const Row ext4 = run_case(dev, core::StackKind::kExt4DR, kOps);
-    const Row bfs = run_case(dev, core::StackKind::kBfsDR, kOps);
+  const std::vector<flash::DeviceProfile> devices = {
+      flash::DeviceProfile::ufs(), flash::DeviceProfile::plain_ssd(),
+      flash::DeviceProfile::supercap_ssd()};
+  // 3 devices x 2 filesystems, each cell with its own aged stack; printed
+  // in device order below.
+  const std::vector<Row> cells = bench::run_cells<Row>(
+      static_cast<int>(devices.size()) * 2, [&devices, kOps](int i) {
+        return run_case(devices[static_cast<std::size_t>(i / 2)],
+                        i % 2 == 0 ? core::StackKind::kExt4DR
+                                   : core::StackKind::kBfsDR,
+                        kOps);
+      });
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    const auto& dev = devices[d];
+    const Row ext4 = cells[d * 2];
+    const Row bfs = cells[d * 2 + 1];
     table.add_row({dev.name, "EXT4", core::Table::num(ext4.mean_ms),
                    core::Table::num(ext4.median_ms),
                    core::Table::num(ext4.p99_ms),

@@ -52,13 +52,23 @@
 // replayed through run_crash_check / run_concurrent_crash_check using the
 // same options and the seed/crash pair from CrashSweepResult::failures.
 //
+// Parallelism: sweeps fan their points across host threads
+// (sim::HostPool). `--jobs N` picks the thread count (default: the
+// BIO_SWEEP_JOBS env var, else hardware concurrency; `--jobs 1` forces the
+// legacy serial path). Results are bit-identical at any jobs value —
+// deterministic seed partitioning plus canonical-order merging, DESIGN.md
+// §13. `--parallel-smoke` runs a short all-flavour parallel sweep (the CI
+// TSan leg's target).
+//
 // Build: cmake --build build && ./build/examples/crash_consistency
-// CI:    ./build/examples/crash_consistency --smoke
+// CI:    ./build/examples/crash_consistency --smoke --jobs 8
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "chk/crash_check.h"
+#include "sim/host_pool.h"
 
 using namespace bio;
 
@@ -182,26 +192,91 @@ int run_repro(const std::string& spec) {
   return r.ok() ? 0 : 1;
 }
 
+/// The CI TSan leg's target: a short sweep through every flavour's
+/// parallel driver (single-writer, concurrent, ring, fault — including the
+/// swallowed-EIO negative control — and the multi-volume node), sized so
+/// the race surface is fully exercised without a full smoke's wall clock.
+/// Verdict-only: the full contract expectations (EXT4-OD must break, ...)
+/// are --smoke's job; here a flavour fails only if a clean stack violates.
+int run_parallel_smoke(int jobs) {
+  const int n = 24;  // points per flavour; > any sane jobs value
+  const auto t0 = std::chrono::steady_clock::now();
+  bool ok = true;
+
+  const chk::CrashSweepResult sw =
+      chk::run_crash_sweep(core::StackKind::kBfsDR, n, 1, {}, jobs);
+  ok = ok && sw.ok();
+  const chk::CrashSweepResult conc =
+      chk::run_concurrent_crash_sweep(core::StackKind::kExt4DR, n, 1, {}, jobs);
+  ok = ok && conc.ok();
+  const chk::CrashSweepResult ring =
+      chk::run_ring_crash_sweep(core::StackKind::kBfsOD, n, 1, {}, jobs);
+  ok = ok && ring.ok();
+  const chk::CrashSweepResult fault =
+      chk::run_fault_crash_sweep(core::StackKind::kOptFs, n, 1, {}, jobs);
+  ok = ok && fault.ok();
+  chk::FaultCrashOptions swallow;
+  swallow.swallow_io_errors = true;
+  const chk::CrashSweepResult neg = chk::run_fault_crash_sweep(
+      core::StackKind::kExt4DR, 20, 1, swallow, jobs);
+  ok = ok && neg.failed_points > 0;  // the injected bug must be caught
+  const chk::MultiVolumeSweepResult mv = chk::run_multi_volume_crash_sweep(
+      {core::StackKind::kBfsDR, core::StackKind::kExt4DR}, n, 1, {}, jobs);
+  ok = ok && mv.ok();
+
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf(
+      "parallel smoke: jobs=%d points/flavour=%d wall=%.1fs "
+      "(sweep %d, conc %d, ring %d, fault %d, neg-control %d, node %d "
+      "failed points) -> %s\n",
+      bio::sim::resolve_host_jobs(jobs), n, secs, sw.failed_points,
+      conc.failed_points, ring.failed_points, fault.failed_points,
+      neg.failed_points, mv.failed_points, ok ? "ok" : "FAILED");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int points = 200;
+  int jobs = 0;  // 0 = BIO_SWEEP_JOBS env, else hardware concurrency
+  bool parallel_smoke = false;
   for (int i = 1; i < argc; ++i) {
     // Smoke stays large enough that the EXT4-OD expected-failure check is
     // deterministic (the first violating sweep seed is in the 90s).
     if (std::strcmp(argv[i], "--smoke") == 0) points = 120;
+    if (std::strcmp(argv[i], "--parallel-smoke") == 0) parallel_smoke = true;
     if (std::strcmp(argv[i], "--points") == 0 && i + 1 < argc)
       points = std::atoi(argv[++i]);
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      // Same strictness as --repro: a silently mis-parsed jobs count would
+      // run a different configuration than the one asked for.
+      std::uint64_t j = 0;
+      if (!parse_u64(argv[i + 1], j) || j < 1 ||
+          j > static_cast<std::uint64_t>(bio::sim::kMaxHostJobs)) {
+        std::fprintf(stderr,
+                     "bad --jobs '%s' (want a decimal in [1, %d])\n",
+                     argv[i + 1], bio::sim::kMaxHostJobs);
+        return 2;
+      }
+      jobs = static_cast<int>(j);
+      ++i;
+    }
     if (std::strcmp(argv[i], "--repro") == 0 && i + 1 < argc)
       return run_repro(argv[i + 1]);
   }
+  if (parallel_smoke) return run_parallel_smoke(jobs);
+  const auto sweep_t0 = std::chrono::steady_clock::now();
 
   const core::StackKind kinds[] = {
       core::StackKind::kExt4DR, core::StackKind::kBfsDR,
       core::StackKind::kBfsOD, core::StackKind::kOptFs,
       core::StackKind::kExt4OD};
 
-  std::printf("crash-recovery sweep: %d crash points per stack\n\n", points);
+  std::printf("crash-recovery sweep: %d crash points per stack, jobs=%d\n\n",
+              points, bio::sim::resolve_host_jobs(jobs));
   std::printf(
       "stack   | points | failed | quiesced | acked pgs | order wrs | wraps "
       "| verdict\n");
@@ -224,7 +299,7 @@ int main(int argc, char** argv) {
   bool ok = true;
   for (core::StackKind kind : kinds) {
     const bool expect_violations = kind == core::StackKind::kExt4OD;
-    chk::CrashSweepResult r = chk::run_crash_sweep(kind, points);
+    chk::CrashSweepResult r = chk::run_crash_sweep(kind, points, 1, {}, jobs);
     if (expect_violations && r.ok() && hunt_legacy_violation())
       r.failed_points = 1;  // found by the directed hunt
     const bool stack_ok = expect_violations ? !r.ok() : r.ok();
@@ -257,7 +332,7 @@ int main(int argc, char** argv) {
   for (core::StackKind kind : kinds) {
     const bool expect_violations = kind == core::StackKind::kExt4OD;
     const chk::CrashSweepResult r =
-        chk::run_concurrent_crash_sweep(kind, points);
+        chk::run_concurrent_crash_sweep(kind, points, 1, {}, jobs);
     const bool stack_ok = expect_violations ? !r.ok() : r.ok();
     ok = ok && stack_ok;
     std::printf(
@@ -288,7 +363,8 @@ int main(int argc, char** argv) {
       "fd-cyc | verdict\n");
   for (core::StackKind kind : kinds) {
     const bool expect_violations = kind == core::StackKind::kExt4OD;
-    const chk::CrashSweepResult r = chk::run_ring_crash_sweep(kind, points);
+    const chk::CrashSweepResult r =
+        chk::run_ring_crash_sweep(kind, points, 1, {}, jobs);
     const bool stack_ok = expect_violations ? !r.ok() : r.ok();
     ok = ok && stack_ok;
     std::printf(
@@ -319,7 +395,8 @@ int main(int argc, char** argv) {
       "| verdict\n");
   for (core::StackKind kind : kinds) {
     const bool expect_violations = kind == core::StackKind::kExt4OD;
-    const chk::CrashSweepResult r = chk::run_fault_crash_sweep(kind, points);
+    const chk::CrashSweepResult r =
+        chk::run_fault_crash_sweep(kind, points, 1, {}, jobs);
     const bool stack_ok = expect_violations ? !r.ok() : r.ok();
     ok = ok && stack_ok;
     std::printf(
@@ -345,7 +422,7 @@ int main(int argc, char** argv) {
     chk::FaultCrashOptions swallow;
     swallow.swallow_io_errors = true;
     const chk::CrashSweepResult r = chk::run_fault_crash_sweep(
-        core::StackKind::kExt4DR, 20, 1, swallow);
+        core::StackKind::kExt4DR, 20, 1, swallow, jobs);
     const bool caught = r.failed_points > 0;
     ok = ok && caught;
     std::printf("negative control (swallowed EIO, EXT4-DR, 20 points): %s\n",
@@ -361,7 +438,7 @@ int main(int argc, char** argv) {
     std::printf(" %s", core::to_string(k));
   std::printf("\n");
   const chk::MultiVolumeSweepResult mv =
-      chk::run_multi_volume_crash_sweep(node_kinds, points);
+      chk::run_multi_volume_crash_sweep(node_kinds, points, 1, {}, jobs);
   for (std::size_t v = 0; v < mv.volumes.size(); ++v) {
     const chk::CrashSweepResult& r = mv.volumes[v];
     std::printf(
@@ -377,6 +454,12 @@ int main(int argc, char** argv) {
   for (const std::string& v : mv.sample_violations)
     std::printf("        ! %s\n", v.c_str());
 
+  const double sweep_secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sweep_t0)
+          .count();
+  std::printf("\ntotal sweep wall time: %.1fs (jobs=%d)\n", sweep_secs,
+              bio::sim::resolve_host_jobs(jobs));
   std::printf(
       "\nThe four barrier/durability stacks keep their guarantees across "
       "every\npower cut — single-writer and concurrent, per volume, even "

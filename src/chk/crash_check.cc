@@ -11,6 +11,7 @@
 #include "api/vfs.h"
 #include "flash/fault.h"
 #include "fs/recovery.h"
+#include "sim/host_pool.h"
 #include "sim/rng.h"
 
 namespace bio::chk {
@@ -695,6 +696,46 @@ void note_failure(CrashSweepResult& sweep, const std::string& repro,
   }
 }
 
+/// Shared sweep driver, parallel-safe by construction: one serial
+/// CrashPointGen pass precomputes every point's crash instant (the exact
+/// draw order of the legacy loop), a sim::HostPool runs the points across
+/// up to `jobs` host threads — each point builds its own core::Stack and
+/// derives its seed from its index alone — and the results fold into the
+/// aggregate in canonical point order. accumulate() and note_failure()
+/// therefore see the identical sequence at any jobs value, making a
+/// parallel sweep bit-identical to a serial one (counters, first-32
+/// failure coordinates, first-8 --repro sample strings).
+template <typename CheckFn>
+CrashSweepResult sweep_points(int points, std::uint64_t base_seed, int jobs,
+                              const std::string& repro, const char* kind_tag,
+                              const CheckFn& check) {
+  CrashSweepResult sweep;
+  if (points <= 0) return sweep;
+  CrashPointGen gen(base_seed);
+  std::vector<sim::SimTime> crash_at(static_cast<std::size_t>(points));
+  for (sim::SimTime& t : crash_at) t = gen.next();
+
+  std::vector<CrashCheckResult> results(static_cast<std::size_t>(points));
+  const sim::HostPool pool(jobs);
+  // iolint: detached-owner(for_each_index joins its workers before
+  // returning; the capture cannot outlive this frame)
+  pool.for_each_index(points, [&](int i) {
+    const auto idx = static_cast<std::size_t>(i);
+    results[idx] =
+        check(base_seed + static_cast<std::uint64_t>(i), crash_at[idx]);
+  });
+
+  for (int i = 0; i < points; ++i) {
+    const CrashCheckResult& res = results[static_cast<std::size_t>(i)];
+    sweep.accumulate(res);
+    if (!res.ok()) {
+      ++sweep.failed_points;
+      note_failure(sweep, repro, kind_tag, i, base_seed, res);
+    }
+  }
+  return sweep;
+}
+
 /// Remount-phase verification: the recovered image must yield a fully
 /// usable volume behind the (possibly multi-volume) fresh node's Vfs.
 sim::Task remount_verify(api::Vfs& vfs, std::string prefix,
@@ -801,21 +842,12 @@ sim::SimTime sweep_crash_at(std::uint64_t base_seed, int point) {
 
 CrashSweepResult run_crash_sweep(StackKind kind, int points,
                                  std::uint64_t base_seed,
-                                 const CrashCheckOptions& opt) {
-  CrashSweepResult sweep;
-  CrashPointGen crash_points(base_seed);
-  for (int i = 0; i < points; ++i) {
-    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
-    const sim::SimTime crash_at = crash_points.next();
-    const CrashCheckResult res = run_crash_check(kind, seed, crash_at, opt);
-    sweep.accumulate(res);
-    if (!res.ok()) {
-      ++sweep.failed_points;
-      note_failure(sweep, core::to_string(kind), core::to_string(kind), i,
-                   base_seed, res);
-    }
-  }
-  return sweep;
+                                 const CrashCheckOptions& opt, int jobs) {
+  return sweep_points(points, base_seed, jobs, core::to_string(kind),
+                      core::to_string(kind),
+                      [kind, &opt](std::uint64_t seed, sim::SimTime crash_at) {
+                        return run_crash_check(kind, seed, crash_at, opt);
+                      });
 }
 
 // ---- fault-injection crash sweep --------------------------------------------
@@ -876,22 +908,14 @@ CrashCheckResult run_fault_crash_check(StackKind kind, std::uint64_t seed,
 
 CrashSweepResult run_fault_crash_sweep(StackKind kind, int points,
                                        std::uint64_t base_seed,
-                                       const FaultCrashOptions& opt) {
-  CrashSweepResult sweep;
-  CrashPointGen crash_points(base_seed);
-  const std::string repro = std::string("fault:") + core::to_string(kind);
-  for (int i = 0; i < points; ++i) {
-    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
-    const sim::SimTime crash_at = crash_points.next();
-    const CrashCheckResult res =
-        run_fault_crash_check(kind, seed, crash_at, opt);
-    sweep.accumulate(res);
-    if (!res.ok()) {
-      ++sweep.failed_points;
-      note_failure(sweep, repro, core::to_string(kind), i, base_seed, res);
-    }
-  }
-  return sweep;
+                                       const FaultCrashOptions& opt,
+                                       int jobs) {
+  return sweep_points(
+      points, base_seed, jobs, std::string("fault:") + core::to_string(kind),
+      core::to_string(kind),
+      [kind, &opt](std::uint64_t seed, sim::SimTime crash_at) {
+        return run_fault_crash_check(kind, seed, crash_at, opt);
+      });
 }
 
 // ---- multi-volume node ------------------------------------------------------
@@ -1259,22 +1283,14 @@ CrashCheckResult run_concurrent_crash_check(StackKind kind,
 
 CrashSweepResult run_concurrent_crash_sweep(StackKind kind, int points,
                                             std::uint64_t base_seed,
-                                            const ConcurrentCrashOptions& opt) {
-  CrashSweepResult sweep;
-  CrashPointGen crash_points(base_seed);
-  const std::string repro = std::string("conc:") + core::to_string(kind);
-  for (int i = 0; i < points; ++i) {
-    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
-    const sim::SimTime crash_at = crash_points.next();
-    const CrashCheckResult res =
-        run_concurrent_crash_check(kind, seed, crash_at, opt);
-    sweep.accumulate(res);
-    if (!res.ok()) {
-      ++sweep.failed_points;
-      note_failure(sweep, repro, core::to_string(kind), i, base_seed, res);
-    }
-  }
-  return sweep;
+                                            const ConcurrentCrashOptions& opt,
+                                            int jobs) {
+  return sweep_points(
+      points, base_seed, jobs, std::string("conc:") + core::to_string(kind),
+      core::to_string(kind),
+      [kind, &opt](std::uint64_t seed, sim::SimTime crash_at) {
+        return run_concurrent_crash_check(kind, seed, crash_at, opt);
+      });
 }
 
 // ---- ring-driven concurrent checker ----------------------------------------
@@ -1320,35 +1336,41 @@ CrashCheckResult run_ring_crash_check(StackKind kind, std::uint64_t seed,
 
 CrashSweepResult run_ring_crash_sweep(StackKind kind, int points,
                                       std::uint64_t base_seed,
-                                      const RingCrashOptions& opt) {
-  CrashSweepResult sweep;
-  CrashPointGen crash_points(base_seed);
-  const std::string repro = std::string("ring:") + core::to_string(kind);
-  for (int i = 0; i < points; ++i) {
-    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
-    const sim::SimTime crash_at = crash_points.next();
-    const CrashCheckResult res =
-        run_ring_crash_check(kind, seed, crash_at, opt);
-    sweep.accumulate(res);
-    if (!res.ok()) {
-      ++sweep.failed_points;
-      note_failure(sweep, repro, core::to_string(kind), i, base_seed, res);
-    }
-  }
-  return sweep;
+                                      const RingCrashOptions& opt, int jobs) {
+  return sweep_points(
+      points, base_seed, jobs, std::string("ring:") + core::to_string(kind),
+      core::to_string(kind),
+      [kind, &opt](std::uint64_t seed, sim::SimTime crash_at) {
+        return run_ring_crash_check(kind, seed, crash_at, opt);
+      });
 }
 
 MultiVolumeSweepResult run_multi_volume_crash_sweep(
     const std::vector<StackKind>& kinds, int points, std::uint64_t base_seed,
-    const CrashCheckOptions& opt) {
+    const CrashCheckOptions& opt, int jobs) {
   MultiVolumeSweepResult sweep;
   sweep.volumes.resize(kinds.size());
-  CrashPointGen crash_points(base_seed);
+  if (points <= 0) return sweep;
+  // Same shape as sweep_points, with the per-volume merge inline: serial
+  // instant precompute, parallel point execution, canonical-order fold.
+  CrashPointGen gen(base_seed);
+  std::vector<sim::SimTime> crash_ats(static_cast<std::size_t>(points));
+  for (sim::SimTime& t : crash_ats) t = gen.next();
+
+  std::vector<MultiVolumeCrashResult> results(
+      static_cast<std::size_t>(points));
+  const sim::HostPool hpool(jobs);
+  // iolint: detached-owner(for_each_index joins its workers before
+  // returning; the capture cannot outlive this frame)
+  hpool.for_each_index(points, [&](int p) {
+    const auto idx = static_cast<std::size_t>(p);
+    results[idx] = run_multi_volume_crash_check(
+        kinds, base_seed + static_cast<std::uint64_t>(p), crash_ats[idx],
+        opt);
+  });
+
   for (int i = 0; i < points; ++i) {
-    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
-    const sim::SimTime crash_at = crash_points.next();
-    const MultiVolumeCrashResult res =
-        run_multi_volume_crash_check(kinds, seed, crash_at, opt);
+    const MultiVolumeCrashResult& res = results[static_cast<std::size_t>(i)];
     ++sweep.points;
     bool failed = false;
     for (std::size_t v = 0; v < kinds.size(); ++v) {

@@ -171,9 +171,18 @@ sim::SimTime sweep_crash_at(std::uint64_t base_seed, int point);
 /// Sweeps `points` random (seed, crash instant) combinations derived from
 /// `base_seed`. Crash instants mix mid-workload cuts with post-quiescence
 /// ones (the delayed-durability cases).
+///
+/// Every sweep flavour takes a trailing `jobs` knob, resolved through
+/// sim::resolve_host_jobs (0 = BIO_SWEEP_JOBS env, else hardware
+/// concurrency; 1 = the legacy serial path). Points run across up to
+/// `jobs` host threads — each point builds its own core::Stack, its seed
+/// and crash instant derive from its index alone, and results fold in
+/// canonical point order, so every jobs value yields a bit-identical
+/// CrashSweepResult (counters, failure coordinates and --repro strings).
 CrashSweepResult run_crash_sweep(core::StackKind kind, int points,
                                  std::uint64_t base_seed = 1,
-                                 const CrashCheckOptions& opt = {});
+                                 const CrashCheckOptions& opt = {},
+                                 int jobs = 0);
 
 // ---- fault-injection crash sweep --------------------------------------------
 
@@ -214,7 +223,8 @@ CrashCheckResult run_fault_crash_check(core::StackKind kind,
 
 CrashSweepResult run_fault_crash_sweep(core::StackKind kind, int points,
                                        std::uint64_t base_seed = 1,
-                                       const FaultCrashOptions& opt = {});
+                                       const FaultCrashOptions& opt = {},
+                                       int jobs = 0);
 
 // ---- multi-volume node ------------------------------------------------------
 
@@ -252,7 +262,8 @@ struct MultiVolumeSweepResult {
 
 MultiVolumeSweepResult run_multi_volume_crash_sweep(
     const std::vector<core::StackKind>& kinds, int points,
-    std::uint64_t base_seed = 1, const CrashCheckOptions& opt = {});
+    std::uint64_t base_seed = 1, const CrashCheckOptions& opt = {},
+    int jobs = 0);
 
 // ---- concurrent multi-writer sweep ------------------------------------------
 
@@ -285,7 +296,7 @@ CrashCheckResult run_concurrent_crash_check(
 
 CrashSweepResult run_concurrent_crash_sweep(
     core::StackKind kind, int points, std::uint64_t base_seed = 1,
-    const ConcurrentCrashOptions& opt = {});
+    const ConcurrentCrashOptions& opt = {}, int jobs = 0);
 
 // ---- ring-driven concurrent sweep -------------------------------------------
 
@@ -315,6 +326,7 @@ CrashCheckResult run_ring_crash_check(core::StackKind kind,
 
 CrashSweepResult run_ring_crash_sweep(core::StackKind kind, int points,
                                       std::uint64_t base_seed = 1,
-                                      const RingCrashOptions& opt = {});
+                                      const RingCrashOptions& opt = {},
+                                      int jobs = 0);
 
 }  // namespace bio::chk

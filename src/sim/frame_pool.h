@@ -4,8 +4,15 @@
 // allocates a coroutine frame — by far the dominant heap traffic on the
 // simulated hot path. Task/TaskOf route their promise operator new/delete
 // here: freed frames park in per-size-class freelists (64-byte classes) and
-// are handed back on the next allocation of the same class. The pool is
-// thread-local, matching the simulator's single-threaded execution model.
+// are handed back on the next allocation of the same class.
+//
+// The pool — freelists AND stats — is thread_local: each host thread
+// (sim::HostPool sweep workers included) recycles its own frames with no
+// shared counters on the hot path, matching the one-simulator-per-thread
+// execution model. Reporting across threads goes through the aggregate
+// snapshot below: a worker folds its stats into a process-wide retired
+// aggregate when it exits, so after a pool has joined its workers the
+// calling thread sees the whole run's totals.
 #pragma once
 
 #include <cstddef>
@@ -20,10 +27,24 @@ struct FramePoolStats {
   std::uint64_t reuses = 0;
   /// Fell through to the heap (cold class or oversize frame).
   std::uint64_t fresh = 0;
+
+  FramePoolStats& operator+=(const FramePoolStats& o) noexcept {
+    allocs += o.allocs;
+    reuses += o.reuses;
+    fresh += o.fresh;
+    return *this;
+  }
 };
 
-/// Stats for the calling thread's pool.
+/// Stats for the calling thread's pool only.
 const FramePoolStats& frame_pool_stats() noexcept;
+
+/// Aggregate snapshot: the calling thread's pool plus every pool whose
+/// thread has already exited. Live *foreign* threads are deliberately
+/// excluded — their counters are hot-path thread_local state and reading
+/// them here would race; a joining executor (sim::HostPool) retires its
+/// workers before reporting, so after the join this is the exact total.
+FramePoolStats frame_pool_aggregate_stats();
 
 namespace detail {
 void* frame_alloc(std::size_t n);

@@ -1,0 +1,83 @@
+#include "sim/host_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+
+namespace bio::sim {
+
+namespace {
+
+int clamp_jobs(long v) {
+  if (v < 1) return 1;
+  if (v > kMaxHostJobs) return kMaxHostJobs;
+  return static_cast<int>(v);
+}
+
+/// Strict positive-decimal parse of the BIO_SWEEP_JOBS hook; anything else
+/// (empty, signs, trailing junk, zero) is ignored rather than silently
+/// running a different parallelism than the operator asked for.
+bool parse_jobs_env(const char* s, long& out) {
+  if (s == nullptr || *s == '\0') return false;
+  long v = 0;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;
+    v = v * 10 + (*p - '0');
+    if (v > kMaxHostJobs) v = kMaxHostJobs;  // saturate, keep scanning
+  }
+  if (v < 1) return false;
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+int resolve_host_jobs(int requested) {
+  if (requested >= 1) return clamp_jobs(requested);
+  long env_jobs = 0;
+  if (parse_jobs_env(std::getenv("BIO_SWEEP_JOBS"), env_jobs))
+    return clamp_jobs(env_jobs);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return clamp_jobs(hw == 0 ? 1 : static_cast<long>(hw));
+}
+
+void HostPool::for_each_index(int n, const std::function<void(int)>& fn) const {
+  if (n <= 0) return;
+  const int workers = jobs_ < n ? jobs_ : n;
+  if (workers <= 1) {
+    for (int i = 0; i < n; ++i) fn(i);  // legacy serial path, in order
+    return;
+  }
+  // Dynamic index partitioning: workers pull the next unclaimed index, so
+  // a slow unit (deep sweep point) never stalls the whole batch behind a
+  // static stripe. Determinism is unaffected — each unit derives its
+  // inputs from its index and writes only its own slot.
+  std::atomic<int> next{0};
+  // `failed` elects a single writer for first_error; thread::join gives
+  // the reader its happens-before edge.
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&next, &fn, &failed, &first_error, n] {
+      for (;;) {
+        const int i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        try {
+          fn(i);
+        } catch (...) {
+          // Keep only the first failure; losers keep draining so the
+          // join below never deadlocks on a half-claimed index space.
+          if (!failed.exchange(true, std::memory_order_acq_rel))
+            first_error = std::current_exception();
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace bio::sim

@@ -16,6 +16,16 @@ Rule: at every configured spawn call site,
     `// iolint: detached-owner(<who joins/outlives the task>)` naming
     the lifetime argument.
 
+Executor sites (`HostPool::for_each_index` in spawn_calls) follow the
+same grammar with a different ownership story: the pool JOINS every
+worker before the call returns, so a by-reference capture of frame
+locals is safe — the annotation names the joiner (e.g. `// iolint:
+detached-owner(for_each_index joins its workers before returning)`) and
+turns the implicit structured-concurrency argument into a checked,
+greppable fact at each site.  A worker closure that escapes the joining
+call (stored, returned, re-spawned) loses that cover and must not be
+annotated away.
+
 The callee's parameter list (when defined in the same file) refines the
 textual scan: a spawned call whose callee takes only by-value parameters
 and whose arguments show no escape pattern is silent.
