@@ -45,8 +45,13 @@
 //   --repro ring:<stack>:<base_seed>:<point>   ring sweep point
 //   --repro fault:<stack>:<plan-seed>:<point>  fault-injection sweep point
 //   --repro node:<base_seed>:<point>           multi-volume sweep point
-// Malformed specs (unknown prefix/stack, non-numeric or empty fields,
-// wrong arity) are rejected with a usage message and exit code 2.
+// Every form takes an optional `q<N>` segment after the stack (after
+// `node` for the multi-volume form) carrying the block layer's nr_queues —
+// multi-queue sweep failures print it and replay with the same queue
+// count: conc:BFS-DR:q4:<base>:<point>, node:q4:<base>:<point>. Malformed
+// specs (unknown prefix/stack, non-numeric or empty fields, wrong arity,
+// bad queue counts like q0 or qx) are rejected with a usage message and
+// exit code 2.
 // The CLI replays with DEFAULT sweep options (which is what the CLI
 // sweeps run); a failure from a library sweep with custom options must be
 // replayed through run_crash_check / run_concurrent_crash_check using the
@@ -105,11 +110,21 @@ bool parse_u64(const std::string& s, std::uint64_t& out) {
   return true;
 }
 
+/// Strict `q<N>` queue-count field: 'q' + decimal, N in [1, 64]. q0 (a
+/// block layer needs at least one queue) and junk like "qx" are malformed.
+bool parse_queues(const std::string& s, std::uint32_t& out) {
+  std::uint64_t v = 0;
+  if (s.size() < 2 || s[0] != 'q' || !parse_u64(s.substr(1), v)) return false;
+  if (v < 1 || v > 64) return false;
+  out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
 /// Replays one sweep point from a `--repro` spec; returns the process exit
 /// code (0 = the case is clean now, 2 = malformed spec).
 int run_repro(const std::string& spec) {
-  // Split on ':' — [conc|ring|fault:]<stack>:<base>:<point> or
-  // node:<base>:<point>.
+  // Split on ':' — [conc|ring|fault:]<stack>[:q<N>]:<base>:<point> or
+  // node[:q<N>]:<base>:<point>.
   std::vector<std::string> parts;
   std::size_t pos = 0;
   while (pos <= spec.size()) {
@@ -120,27 +135,45 @@ int run_repro(const std::string& spec) {
   }
   auto fail = [&] {
     std::fprintf(stderr,
-                 "bad --repro spec '%s'\nusage: --repro <stack>:<base>:<point>"
-                 " | conc:<stack>:<base>:<point> | ring:<stack>:<base>:<point>"
-                 " | fault:<stack>:<plan-seed>:<point> | node:<base>:<point>\n"
+                 "bad --repro spec '%s'\nusage: --repro "
+                 "<stack>[:q<N>]:<base>:<point>"
+                 " | conc:<stack>[:q<N>]:<base>:<point>"
+                 " | ring:<stack>[:q<N>]:<base>:<point>"
+                 " | fault:<stack>[:q<N>]:<plan-seed>:<point>"
+                 " | node[:q<N>]:<base>:<point>\n"
                  "       (stack: EXT4-DR EXT4-OD BFS-DR BFS-OD OptFS; "
-                 "base/point: decimal)\n",
+                 "base/point: decimal; qN: block-layer queues in [1, 64])\n",
                  spec.c_str());
     return 2;
   };
-  const bool conc = parts.size() == 4 && parts[0] == "conc";
-  const bool ring = parts.size() == 4 && parts[0] == "ring";
-  const bool fault = parts.size() == 4 && parts[0] == "fault";
-  const bool node = parts.size() == 3 && parts[0] == "node";
+  if (parts.size() < 3 || parts.size() > 5) return fail();
+  const bool conc = parts[0] == "conc";
+  const bool ring = parts[0] == "ring";
+  const bool fault = parts[0] == "fault";
+  const bool node = parts[0] == "node";
   const bool prefixed = conc || ring || fault;
-  if (!prefixed && !node && parts.size() != 3) return fail();
-  if (parts.size() == 4 && !prefixed) return fail();  // unknown prefix
 
-  const std::string& base_s = parts[prefixed ? 2 : 1];
-  const std::string& point_s = parts[prefixed ? 3 : 2];
+  // Consume the form tag and stack name, then the optional q<N> segment;
+  // exactly <base>:<point> must remain.
+  std::size_t idx = 0;
+  core::StackKind kind{};
+  if (node) {
+    idx = 1;
+  } else {
+    if (prefixed) idx = 1;
+    if (idx >= parts.size() || !parse_kind(parts[idx], kind)) return fail();
+    ++idx;
+  }
+  std::uint32_t nr_queues = 1;
+  if (parts.size() - idx == 3) {
+    if (!parse_queues(parts[idx], nr_queues)) return fail();
+    ++idx;
+  }
+  if (parts.size() - idx != 2) return fail();
+
   std::uint64_t base = 0;
   std::uint64_t point_u = 0;
-  if (!parse_u64(base_s, base) || !parse_u64(point_s, point_u) ||
+  if (!parse_u64(parts[idx], base) || !parse_u64(parts[idx + 1], point_u) ||
       point_u > 1'000'000) {
     return fail();
   }
@@ -151,10 +184,13 @@ int run_repro(const std::string& spec) {
   if (node) {
     const std::vector<core::StackKind> kinds = {core::StackKind::kBfsDR,
                                                 core::StackKind::kExt4DR};
-    std::printf("replaying node point %d: seed=%llu crash=%lluns\n", point,
-                (unsigned long long)seed, (unsigned long long)crash_at);
+    chk::CrashCheckOptions opt;
+    opt.nr_queues = nr_queues;
+    std::printf("replaying node point %d: seed=%llu crash=%lluns queues=%u\n",
+                point, (unsigned long long)seed, (unsigned long long)crash_at,
+                nr_queues);
     const chk::MultiVolumeCrashResult r =
-        chk::run_multi_volume_crash_check(kinds, seed, crash_at);
+        chk::run_multi_volume_crash_check(kinds, seed, crash_at, opt);
     for (std::size_t v = 0; v < r.volumes.size(); ++v) {
       std::printf("volume %zu (%s):\n", v, core::to_string(kinds[v]));
       print_violations(r.volumes[v].violations);
@@ -162,20 +198,26 @@ int run_repro(const std::string& spec) {
     return r.ok() ? 0 : 1;
   }
 
-  core::StackKind kind;
-  if (!parse_kind(parts[prefixed ? 1 : 0], kind)) return fail();
-  std::printf("replaying %s%s point %d: seed=%llu crash=%lluns\n",
+  std::printf("replaying %s%s point %d: seed=%llu crash=%lluns queues=%u\n",
               conc    ? "concurrent "
               : ring  ? "ring "
               : fault ? "fault "
                       : "",
               core::to_string(kind), point, (unsigned long long)seed,
-              (unsigned long long)crash_at);
+              (unsigned long long)crash_at, nr_queues);
+  chk::ConcurrentCrashOptions conc_opt;
+  conc_opt.nr_queues = nr_queues;
+  chk::RingCrashOptions ring_opt;
+  ring_opt.nr_queues = nr_queues;
+  chk::FaultCrashOptions fault_opt;
+  fault_opt.wl.nr_queues = nr_queues;
+  chk::CrashCheckOptions plain_opt;
+  plain_opt.nr_queues = nr_queues;
   const chk::CrashCheckResult r =
-      conc    ? chk::run_concurrent_crash_check(kind, seed, crash_at)
-      : ring  ? chk::run_ring_crash_check(kind, seed, crash_at)
-      : fault ? chk::run_fault_crash_check(kind, seed, crash_at)
-              : chk::run_crash_check(kind, seed, crash_at);
+      conc ? chk::run_concurrent_crash_check(kind, seed, crash_at, conc_opt)
+      : ring  ? chk::run_ring_crash_check(kind, seed, crash_at, ring_opt)
+      : fault ? chk::run_fault_crash_check(kind, seed, crash_at, fault_opt)
+              : chk::run_crash_check(kind, seed, crash_at, plain_opt);
   std::printf(
       "  quiesced=%d files=%u txns replayed=%u discarded=%u clean=%d "
       "wraps=%llu\n",
@@ -223,17 +265,30 @@ int run_parallel_smoke(int jobs) {
   const chk::MultiVolumeSweepResult mv = chk::run_multi_volume_crash_sweep(
       {core::StackKind::kBfsDR, core::StackKind::kExt4DR}, n, 1, {}, jobs);
   ok = ok && mv.ok();
+  // Multi-queue flavours: same race surface plus the cross-queue epoch
+  // fence (nr_queues=4 over the checker's 2-channel device).
+  chk::ConcurrentCrashOptions conc4;
+  conc4.nr_queues = 4;
+  const chk::CrashSweepResult conc_mq = chk::run_concurrent_crash_sweep(
+      core::StackKind::kBfsDR, n, 1, conc4, jobs);
+  ok = ok && conc_mq.ok();
+  chk::FaultCrashOptions fault4;
+  fault4.wl.nr_queues = 4;
+  const chk::CrashSweepResult fault_mq = chk::run_fault_crash_sweep(
+      core::StackKind::kBfsOD, n, 1, fault4, jobs);
+  ok = ok && fault_mq.ok();
 
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   std::printf(
       "parallel smoke: jobs=%d points/flavour=%d wall=%.1fs "
-      "(sweep %d, conc %d, ring %d, fault %d, neg-control %d, node %d "
-      "failed points) -> %s\n",
+      "(sweep %d, conc %d, ring %d, fault %d, neg-control %d, node %d, "
+      "conc-q4 %d, fault-q4 %d failed points) -> %s\n",
       bio::sim::resolve_host_jobs(jobs), n, secs, sw.failed_points,
       conc.failed_points, ring.failed_points, fault.failed_points,
-      neg.failed_points, mv.failed_points, ok ? "ok" : "FAILED");
+      neg.failed_points, mv.failed_points, conc_mq.failed_points,
+      fault_mq.failed_points, ok ? "ok" : "FAILED");
   return ok ? 0 : 1;
 }
 
@@ -414,6 +469,51 @@ int main(int argc, char** argv) {
     if (!stack_ok || expect_violations)
       for (const std::string& v : r.sample_violations)
         std::printf("        ! %s\n", v.c_str());
+  }
+
+  // ---- multi-queue sweeps: nr_queues=4 (DESIGN.md §14) ---------------------
+  // The concurrent + fault flavours again, with four block-layer software
+  // queues over the checker's 2-channel device: writer contexts spread
+  // across queues, so the cross-queue epoch fence is on every barrier's
+  // path. The clean stacks must stay clean; the nobarrier stack must stay
+  // deterministically broken (queue count does not change what the device
+  // promises).
+  {
+    std::printf(
+        "\nmulti-queue sweeps: nr_queues=4, %d crash points per stack "
+        "(concurrent + fault flavours)\n",
+        points);
+    std::printf(
+        "stack   | conc failed | fault failed | acked pgs | order wrs | "
+        "verdict\n");
+    chk::ConcurrentCrashOptions conc_opt;
+    conc_opt.nr_queues = 4;
+    chk::FaultCrashOptions fault_opt;
+    fault_opt.wl.nr_queues = 4;
+    for (core::StackKind kind : kinds) {
+      const bool expect_violations = kind == core::StackKind::kExt4OD;
+      const chk::CrashSweepResult rc =
+          chk::run_concurrent_crash_sweep(kind, points, 1, conc_opt, jobs);
+      const chk::CrashSweepResult rf =
+          chk::run_fault_crash_sweep(kind, points, 1, fault_opt, jobs);
+      const bool stack_ok = expect_violations ? !rc.ok() && !rf.ok()
+                                              : rc.ok() && rf.ok();
+      ok = ok && stack_ok;
+      std::printf(
+          "%-7s | %11d | %12d | %9llu | %9llu | %s\n", core::to_string(kind),
+          rc.failed_points, rf.failed_points,
+          static_cast<unsigned long long>(rc.acked_pages_checked),
+          static_cast<unsigned long long>(rc.order_writes_checked),
+          stack_ok ? (expect_violations ? "BROKEN (as the paper predicts)"
+                                        : "ok")
+                   : (expect_violations
+                          ? "UNEXPECTEDLY CLEAN (checker too weak?)"
+                          : "VIOLATED"));
+      if (!stack_ok)
+        for (const chk::CrashSweepResult* r : {&rc, &rf})
+          for (const std::string& v : r->sample_violations)
+            std::printf("        ! %s\n", v.c_str());
+    }
   }
 
   // Negative control: complete failed IOs as successes (the injected bug)

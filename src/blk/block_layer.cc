@@ -5,26 +5,65 @@ namespace bio::blk {
 BlockLayer::BlockLayer(sim::Simulator& sim, flash::StorageDevice& dev,
                        BlockLayerConfig config)
     : sim_(sim), dev_(dev), config_(std::move(config)), pool_(sim),
-      work_(sim), drained_(sim) {
-  std::unique_ptr<IoScheduler> base = make_scheduler(config_.scheduler);
-  if (config_.epoch_scheduling)
-    scheduler_ = std::make_unique<EpochScheduler>(std::move(base));
-  else
-    scheduler_ = std::move(base);
+      drained_(sim) {
+  BIO_CHECK_MSG(config_.nr_queues >= 1, "nr_queues must be >= 1");
+  // The fence exists only when there is something to fence across: several
+  // queues whose sequencers run epoch ordering independently. Single-queue
+  // stacks keep fence_ null and take none of the fence branches.
+  if (config_.nr_queues > 1 && config_.epoch_scheduling)
+    fence_ = std::make_unique<EpochFence>(sim);
+  queues_.reserve(config_.nr_queues);
+  for (std::uint32_t q = 0; q < config_.nr_queues; ++q) {
+    auto queue = std::make_unique<Queue>(sim);
+    std::unique_ptr<IoScheduler> base = make_scheduler(config_.scheduler);
+    if (config_.epoch_scheduling) {
+      auto epoch = std::make_unique<EpochScheduler>(std::move(base));
+      epoch->set_fence(fence_.get());
+      queue->epoch = epoch.get();
+      queue->scheduler = std::move(epoch);
+    } else {
+      queue->scheduler = std::move(base);
+    }
+    queues_.push_back(std::move(queue));
+  }
 }
 
 void BlockLayer::start() {
   BIO_CHECK(!started_);
   started_ = true;
-  sim_.spawn("blk:dispatch", dispatch_loop());
+  for (std::uint32_t q = 0; q < queues_.size(); ++q)
+    sim_.spawn("blk:dispatch", dispatch_loop(q));
 }
 
 void BlockLayer::submit(RequestPtr r) {
+  const sim::ThreadCtx* t = sim_.current_thread();
+  const std::uint32_t q =
+      t == nullptr ? 0 : static_cast<std::uint32_t>(t->id % queues_.size());
+  submit_on(q, std::move(r));
+}
+
+void BlockLayer::submit_on(std::uint32_t queue, RequestPtr r) {
   BIO_CHECK_MSG(started_, "BlockLayer::start() not called");
+  BIO_CHECK(queue < queues_.size());
   ++stats_.submitted;
-  scheduler_->enqueue(std::move(r));
-  if (scheduler_->size() > config_.nr_requests) congested_ = true;
-  work_.notify_all();
+  queues_[queue]->scheduler->enqueue(std::move(r));
+  if (backlog() > config_.nr_requests) congested_ = true;
+  queues_[queue]->work.notify_all();
+}
+
+std::size_t BlockLayer::backlog() const {
+  std::size_t n = 0;
+  for (const auto& q : queues_) n += q->scheduler->size();
+  return n;
+}
+
+bool BlockLayer::peers_drained(std::uint32_t queue,
+                               std::uint64_t epoch) const {
+  for (std::uint32_t j = 0; j < queues_.size(); ++j) {
+    if (j == queue) continue;
+    if (queues_[j]->epoch->min_pending_fence_epoch() <= epoch) return false;
+  }
+  return true;
 }
 
 sim::Task BlockLayer::throttle() {
@@ -42,6 +81,7 @@ std::shared_ptr<flash::Command> BlockLayer::to_command(const RequestPtr& r,
   // IRQ and the host-visible completion; otherwise the device IRQ *is* the
   // completion, exactly as before fault injection existed.
   cmd.done = fault_aware ? &r->device_done : &r->completion;
+  cmd.fence_epoch = r->fence_epoch;
   switch (r->op) {
     case ReqOp::kWrite:
       cmd.op = flash::OpCode::kWrite;
@@ -73,15 +113,29 @@ std::shared_ptr<flash::Command> BlockLayer::to_command(const RequestPtr& r,
   return std::shared_ptr<flash::Command>(r, &cmd);
 }
 
-sim::Task BlockLayer::dispatch_loop() {
+sim::Task BlockLayer::dispatch_loop(std::uint32_t q) {
+  Queue& queue = *queues_[q];
   for (;;) {
-    RequestPtr r = scheduler_->dequeue();
+    RequestPtr r = queue.scheduler->dequeue();
     if (r == nullptr) {
-      co_await work_.wait();
+      co_await queue.work.wait();
       continue;
+    }
+    // Cross-queue fence protocol; fence_ is null on single-queue stacks and
+    // every branch below collapses away.
+    const bool fenced = fence_ != nullptr && r->ordered;
+    if (fenced && r->barrier) {
+      // Submission gate: the device fences transfers by (fence_epoch, seq),
+      // but it cannot fence requests it has not seen. Hold the barrier until
+      // every peer queue has submitted its work stamped <= the epoch this
+      // barrier closes. Idle queues have nothing pending and never stall
+      // the gate; peers keep draining while it waits.
+      while (!peers_drained(q, r->fence_epoch))
+        co_await fence_->progress().wait();
     }
     const bool fault_aware = dev_.has_fault_plan();
     std::shared_ptr<flash::Command> cmd = to_command(r, fault_aware);
+    cmd->port = q % dev_.port_count();
     while (!dev_.try_submit(cmd)) {
       ++stats_.busy_retries;
       if (config_.busy_poll) {
@@ -92,7 +146,13 @@ sim::Task BlockLayer::dispatch_loop() {
       }
     }
     ++stats_.dispatched;
-    if (congested_ && scheduler_->size() <= config_.nr_requests / 2) {
+    if (fenced) {
+      // The request's stamp stops gating peer barriers; wake any gate
+      // waiting for this queue to drain.
+      queue.epoch->note_submitted(*r);
+      fence_->progress().notify_all();
+    }
+    if (congested_ && backlog() <= config_.nr_requests / 2) {
       congested_ = false;
       drained_.notify_all();
     }

@@ -9,12 +9,23 @@
 // In legacy mode the ordering flags are stripped: the stack behaves like the
 // orderless kernel the paper starts from, and ordering is whatever the
 // filesystem enforces with waits and flushes.
+//
+// Multi-queue (blk-mq) mode: with nr_queues > 1 the layer keeps one software
+// queue (scheduler + dispatch thread) per submission context, routed by the
+// submitting simulated thread's spawn ordinal, and maps queue q onto device
+// port q % port_count so independent queues drive independent flash-channel
+// pipelines. Epoch ordering across queues is kept by the EpochFence
+// (blk/epoch_fence.h): per-queue sequencers plus a lazy cross-queue join —
+// see that header for the protocol. nr_queues = 1 (the default) is
+// bit-identical to the classic single-queue layer.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "blk/epoch_fence.h"
 #include "blk/epoch_scheduler.h"
 #include "blk/io_scheduler.h"
 #include "blk/request.h"
@@ -49,6 +60,10 @@ struct BlockLayerConfig {
   /// through immediately, never retried.
   std::uint32_t max_io_retries = 3;
   sim::SimTime io_retry_backoff = 1'000'000;  // 1 ms
+  /// Software submission queues (blk-mq). Each queue has its own scheduler
+  /// instance and dispatch thread and feeds device port q % port_count.
+  /// 1 = the classic single-queue block layer, bit-identical.
+  std::uint32_t nr_queues = 1;
 };
 
 class BlockLayer {
@@ -75,8 +90,15 @@ class BlockLayer {
   void start();
 
   /// Hands a request to the IO scheduler (asynchronous). The request's
-  /// completion event fires on the device IRQ.
+  /// completion event fires on the device IRQ. Routed to software queue
+  /// (submitting thread's spawn ordinal) % nr_queues, so one submission
+  /// context — a writer thread, a ring chain's issue loop — always stays on
+  /// one queue and keeps its program order.
   void submit(RequestPtr r);
+
+  /// submit() with an explicit software queue (directed tests; the normal
+  /// path routes by submission context).
+  void submit_on(std::uint32_t queue, RequestPtr r);
 
   /// Blocks while the request queue is congested (> nr_requests pending).
   /// Callers issuing fire-and-forget writes use this as get_request()
@@ -99,7 +121,20 @@ class BlockLayer {
   sim::Task read_and_wait(flash::Lba lba);
 
   const Stats& stats() const noexcept { return stats_; }
-  const IoScheduler& scheduler() const noexcept { return *scheduler_; }
+  /// Queue 0's scheduler (the only one at nr_queues = 1).
+  const IoScheduler& scheduler() const noexcept {
+    return *queues_[0]->scheduler;
+  }
+  const IoScheduler& scheduler(std::uint32_t queue) const {
+    BIO_CHECK(queue < queues_.size());
+    return *queues_[queue]->scheduler;
+  }
+  std::uint32_t nr_queues() const noexcept {
+    return static_cast<std::uint32_t>(queues_.size());
+  }
+  /// The cross-queue fence; null at nr_queues = 1 or without epoch
+  /// scheduling (nothing to fence across).
+  const EpochFence* epoch_fence() const noexcept { return fence_.get(); }
   flash::StorageDevice& device() noexcept { return dev_; }
   const BlockLayerConfig& config() const noexcept { return config_; }
 
@@ -112,7 +147,18 @@ class BlockLayer {
   }
 
  private:
-  sim::Task dispatch_loop();
+  /// One software queue: its own scheduler instance and dispatch wakeup.
+  struct Queue {
+    explicit Queue(sim::Simulator& sim) : work(sim) {}
+    std::unique_ptr<IoScheduler> scheduler;
+    /// Borrowed view of `scheduler` when epoch scheduling wraps it (the
+    /// fence bookkeeping — stamp retirement, pending-epoch queries — goes
+    /// through it).
+    EpochScheduler* epoch = nullptr;
+    sim::Notify work;
+  };
+
+  sim::Task dispatch_loop(std::uint32_t queue);
   sim::Task fanout(RequestPtr r);
   /// Fault-aware dispatch interposer: owns the request's device round
   /// trips, applies the bounded retry policy, then fires `completion` with
@@ -120,13 +166,20 @@ class BlockLayer {
   sim::Task retry_watcher(RequestPtr r, std::shared_ptr<flash::Command> cmd);
   std::shared_ptr<flash::Command> to_command(const RequestPtr& r,
                                              bool fault_aware) const;
+  /// Pending requests across every queue (congestion accounting).
+  std::size_t backlog() const;
+  /// Barrier submission gate: every peer queue has drained (submitted to
+  /// the device) its requests stamped <= the barrier's epoch, so the
+  /// device's (fence_epoch, seq) transfer fencing sees everything it must
+  /// order below the barrier. See blk/epoch_fence.h.
+  bool peers_drained(std::uint32_t queue, std::uint64_t epoch) const;
 
   sim::Simulator& sim_;
   flash::StorageDevice& dev_;
   BlockLayerConfig config_;
   RequestPool pool_;
-  std::unique_ptr<IoScheduler> scheduler_;
-  sim::Notify work_;
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::unique_ptr<EpochFence> fence_;
   sim::Notify drained_;
   bool congested_ = false;
   flash::Version version_ = 0;

@@ -1,0 +1,70 @@
+// Cross-queue epoch fence for the multi-queue block layer.
+//
+// With N software queues, epoch-based barrier reassignment runs *per queue*
+// (each queue has its own EpochScheduler sequencer); this object is the only
+// cross-queue coupling: a single monotonically increasing epoch counter plus
+// a progress signal. No global lock is taken on the data path and queues
+// never block each other's non-barrier traffic.
+//
+// Protocol (lazy fence-token join):
+//
+//   1. Every order-preserving request is stamped at enqueue with the current
+//      epoch; a barrier takes the epoch it *closes* and advances the counter
+//      (close_epoch). The stamp is the fence token: it rides the request
+//      into the device as Command::fence_epoch.
+//   2. Queues join the fence lazily — they keep dispatching without ever
+//      consulting each other. The device's transfer fencing compares
+//      (fence_epoch, seq) lexicographically, so commands that were submitted
+//      out of epoch order across ports still *transfer* (become
+//      crash-durable) in epoch order.
+//   3. The device cannot fence work it has not seen, so a barrier's
+//      dispatcher gates its *submission* until every peer queue has drained
+//      (submitted) its requests stamped <= the barrier's epoch
+//      (EpochScheduler::min_pending_fence_epoch). An idle queue has nothing
+//      pending and never stalls the gate; peers keep draining freely while
+//      the gate waits, so the wait always terminates.
+//
+// Deadlock freedom: the gate's wait graph follows epoch order. A barrier
+// with epoch e only waits for requests stamped <= e; every other barrier's
+// stamp is distinct (close_epoch is atomic with enqueue), so two gating
+// barriers order themselves by epoch and the lower one never waits on the
+// higher. Requests never wait at all — only barrier dispatchers gate.
+//
+// Single-queue stacks create no fence: stamps stay 0 and the device's
+// (fence_epoch, seq) comparison degenerates to the classic seq order,
+// bit-identically.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/sync.h"
+
+namespace bio::blk {
+
+class EpochFence {
+ public:
+  explicit EpochFence(sim::Simulator& sim) : progress_(sim) {}
+
+  /// Epoch currently open: the stamp for order-preserving (non-barrier)
+  /// requests.
+  std::uint64_t current() const noexcept { return epoch_; }
+
+  /// A barrier request takes the epoch it closes and opens the next one.
+  /// Called at enqueue time, atomically with the stamp (the sim is
+  /// single-threaded and enqueue never suspends), so barrier stamps are
+  /// strictly ordered and later enqueues always land in a later epoch.
+  std::uint64_t close_epoch() noexcept { return epoch_++; }
+
+  /// Notified whenever a queue drains a stamped request into the device;
+  /// gating barrier dispatchers wait on it.
+  sim::Notify& progress() noexcept { return progress_; }
+
+  /// Epochs closed so far (== number of barrier stamps handed out).
+  std::uint64_t epochs_closed() const noexcept { return epoch_; }
+
+ private:
+  sim::Notify progress_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace bio::blk

@@ -10,11 +10,28 @@
 //      unblocks and feeds the staged requests in.
 //
 // Orderless requests staged while blocked simply join the next epoch.
+//
+// Under the multi-queue block layer each software queue owns one of these
+// sequencers and an EpochFence couples them. The sequencer's part of the
+// fence protocol is bookkeeping, never blocking:
+//   * it stamps order-preserving requests with their fence epoch at enqueue
+//     (barriers take the epoch they close and advance the counter),
+//   * it tracks which stamps are still *pending* — enqueued (staged, queued,
+//     or merged into a queued carrier) or popped but not yet accepted by the
+//     device. A barrier on a peer queue gates its own submission on
+//     min_pending_fence_epoch() of every other queue; the block layer calls
+//     note_submitted() when a request reaches the device.
+//   * barrier reassignment hands the *closing epoch* to the carrier along
+//     with the flag — the carrier fences as the barrier it now is.
+// With no fence attached (single-queue stacks) none of this runs and
+// behavior is exactly the classic sequencer.
 #pragma once
 
 #include <deque>
+#include <map>
 #include <memory>
 
+#include "blk/epoch_fence.h"
 #include "blk/io_scheduler.h"
 
 namespace bio::blk {
@@ -26,8 +43,16 @@ class EpochScheduler : public IoScheduler {
     BIO_CHECK(base_ != nullptr);
   }
 
+  /// Attaches the cross-queue fence (multi-queue stacks only; may be null).
+  void set_fence(EpochFence* fence) noexcept { fence_ = fence; }
+
   void enqueue(RequestPtr r) override {
     ++stats_.enqueued;
+    if (fence_ != nullptr && r->ordered) {
+      r->fence_epoch =
+          r->barrier ? fence_->close_epoch() : fence_->current();
+      ++pending_[r->fence_epoch];
+    }
     if (blocked_) {
       staged_.push_back(std::move(r));
       return;
@@ -39,24 +64,39 @@ class EpochScheduler : public IoScheduler {
     RequestPtr r = base_->dequeue();
     if (r == nullptr) return nullptr;
     ++stats_.dispatched;
+    if (fence_ != nullptr) retire_absorbed(*r);
     if (blocked_ && r->ordered && !base_->has_ordered()) {
       // This is the last order-preserving request of the closing epoch:
       // it becomes the new barrier (Fig 5, w1 in the paper's example).
+      if (fence_ != nullptr && r->fence_epoch != closing_epoch_) {
+        // The flag carries the *stripped barrier's* epoch with it: the
+        // carrier was enqueued earlier (lower stamp) but now closes the
+        // epoch, so it must fence — and be gated on by peers — as that
+        // epoch's barrier.
+        retire_stamp(r->fence_epoch);
+        ++pending_[closing_epoch_];
+        r->fence_epoch = closing_epoch_;
+      }
       r->barrier = true;
       ++reassignments_;
       blocked_ = false;
-      std::deque<RequestPtr> staged = std::move(staged_);
-      staged_.clear();
-      for (RequestPtr& s : staged) {
-        if (blocked_) {
-          // A staged barrier re-blocked the queue: keep the rest staged.
-          staged_.push_back(std::move(s));
-        } else {
-          accept(std::move(s));
-        }
-      }
+      feed();
     }
     return r;
+  }
+
+  /// The block layer accepted this request into the device: its stamp stops
+  /// gating peer barriers. (Absorbed requests retire with their carrier at
+  /// dequeue — their stamps are always >= the carrier's, so retiring them
+  /// before the carrier submits never unblocks a gate early.)
+  void note_submitted(const Request& r) {
+    if (fence_ != nullptr && r.ordered) retire_stamp(r.fence_epoch);
+  }
+
+  /// Smallest fence epoch still pending in this queue (~0 when none): the
+  /// quantity a peer barrier's submission gate compares its epoch against.
+  std::uint64_t min_pending_fence_epoch() const noexcept {
+    return pending_.empty() ? ~std::uint64_t{0} : pending_.begin()->first;
   }
 
   std::size_t size() const override { return base_->size() + staged_.size(); }
@@ -75,15 +115,46 @@ class EpochScheduler : public IoScheduler {
     if (r->barrier) {
       // Strip the flag; the epoch closes once this queue drains its
       // order-preserving requests (the flag is re-attached at dequeue).
+      closing_epoch_ = r->fence_epoch;
       r->barrier = false;
       blocked_ = true;
     }
     base_->enqueue(std::move(r));
   }
 
+  void retire_stamp(std::uint64_t epoch) {
+    auto it = pending_.find(epoch);
+    BIO_CHECK_MSG(it != pending_.end(), "retiring an untracked fence epoch");
+    if (--it->second == 0) pending_.erase(it);
+  }
+
+  /// Requests merged into `r` leave the queue with it; retire their stamps.
+  /// Merging only absorbs later-enqueued (hence >=-stamped) requests, and
+  /// absorption chains can nest one level per merge.
+  void retire_absorbed(const Request& r) {
+    for (const RequestPtr& a : r.absorbed) {
+      if (a->ordered) retire_stamp(a->fence_epoch);
+      retire_absorbed(*a);
+    }
+  }
+
+  /// Moves staged requests into the base scheduler, preserving their
+  /// relative order, until a staged barrier re-blocks the queue.
+  void feed() {
+    while (!staged_.empty() && !blocked_) {
+      RequestPtr s = std::move(staged_.front());
+      staged_.pop_front();
+      accept(std::move(s));
+    }
+  }
+
   std::unique_ptr<IoScheduler> base_;
+  EpochFence* fence_ = nullptr;
   bool blocked_ = false;
+  std::uint64_t closing_epoch_ = 0;
   std::deque<RequestPtr> staged_;
+  /// fence epoch -> number of this queue's pending requests stamped with it.
+  std::map<std::uint64_t, std::uint32_t> pending_;
   std::uint64_t reassignments_ = 0;
 };
 

@@ -120,6 +120,12 @@ struct Request {
   BlockList blocks;
   flash::Lba read_lba = 0;
 
+  /// Cross-queue ordering epoch (multi-queue stacks only; see
+  /// blk::EpochFence). Stamped by the owning queue's EpochScheduler at
+  /// enqueue: barriers take the epoch they close, order-preserving writes
+  /// the epoch they were issued under. Stays 0 on single-queue stacks.
+  std::uint64_t fence_epoch = 0;
+
   sim::SimTime queued_at = 0;
   /// Host completion IRQ (embedded; re-armed on recycle). Fires once the
   /// request is *finished* — for a fault-aware dispatch that includes the
@@ -159,6 +165,7 @@ struct Request {
     ordered = barrier = flush = fua = false;
     blocks.clear();
     read_lba = 0;
+    fence_epoch = 0;
     queued_at = 0;
     completion.recycle();
     device_done.recycle();

@@ -43,7 +43,8 @@ Guarantees guarantees_of(StackKind kind) {
 }
 
 core::StackConfig checker_config(StackKind kind, std::uint32_t journal_blocks,
-                                 std::uint32_t extent_blocks) {
+                                 std::uint32_t extent_blocks,
+                                 std::uint32_t nr_queues) {
   flash::DeviceProfile dev;
   dev.name = "chk";
   dev.geometry = flash::Geometry{.channels = 2,
@@ -66,12 +67,14 @@ core::StackConfig checker_config(StackKind kind, std::uint32_t journal_blocks,
   cfg.fs.max_inodes = 64;
   cfg.fs.default_extent_blocks = extent_blocks;
   cfg.fs.writeback_high_watermark = 1u << 20;  // pdflush off: explicit syncs
+  cfg.blk.nr_queues = nr_queues;
   return cfg;
 }
 
 core::StackConfig checker_config(StackKind kind,
                                  const CrashCheckOptions& opt) {
-  return checker_config(kind, opt.journal_blocks, opt.extent_blocks);
+  return checker_config(kind, opt.journal_blocks, opt.extent_blocks,
+                        opt.nr_queues);
 }
 
 /// One buffered write as the oracle remembers it.
@@ -676,9 +679,16 @@ class CrashPointGen {
   sim::Rng rng_;
 };
 
+/// The `q<N>` --repro segment carrying the block layer's queue count.
+/// Empty at the single-queue default, so pre-multi-queue specs stay valid
+/// and single-queue failures replay with the exact strings they always had.
+std::string repro_queue_segment(std::uint32_t nr_queues) {
+  return nr_queues == 1 ? std::string() : ":q" + std::to_string(nr_queues);
+}
+
 /// Records a failed point in both human-readable and machine-replayable
 /// form. `repro` is the examples/crash_consistency --repro spec prefix
-/// ("EXT4-DR", "conc:EXT4-DR", "node"); every failure line ends with the
+/// ("EXT4-DR", "conc:EXT4-DR:q4", "node"); every failure line ends with the
 /// exact flag that replays just that case.
 void note_failure(CrashSweepResult& sweep, const std::string& repro,
                   const char* kind_tag, int point, std::uint64_t base_seed,
@@ -843,7 +853,9 @@ sim::SimTime sweep_crash_at(std::uint64_t base_seed, int point) {
 CrashSweepResult run_crash_sweep(StackKind kind, int points,
                                  std::uint64_t base_seed,
                                  const CrashCheckOptions& opt, int jobs) {
-  return sweep_points(points, base_seed, jobs, core::to_string(kind),
+  return sweep_points(points, base_seed, jobs,
+                      core::to_string(kind) +
+                          repro_queue_segment(opt.nr_queues),
                       core::to_string(kind),
                       [kind, &opt](std::uint64_t seed, sim::SimTime crash_at) {
                         return run_crash_check(kind, seed, crash_at, opt);
@@ -911,7 +923,9 @@ CrashSweepResult run_fault_crash_sweep(StackKind kind, int points,
                                        const FaultCrashOptions& opt,
                                        int jobs) {
   return sweep_points(
-      points, base_seed, jobs, std::string("fault:") + core::to_string(kind),
+      points, base_seed, jobs,
+      std::string("fault:") + core::to_string(kind) +
+          repro_queue_segment(opt.wl.nr_queues),
       core::to_string(kind),
       [kind, &opt](std::uint64_t seed, sim::SimTime crash_at) {
         return run_fault_crash_check(kind, seed, crash_at, opt);
@@ -1248,8 +1262,8 @@ CrashCheckResult run_concurrent_crash_check(StackKind kind,
   CrashCheckResult res;
   res.seed = seed;
   res.crash_at = crash_at;
-  const core::StackConfig cfg =
-      checker_config(kind, opt.journal_blocks, opt.wl.extent_blocks);
+  const core::StackConfig cfg = checker_config(
+      kind, opt.journal_blocks, opt.wl.extent_blocks, opt.nr_queues);
 
   // The trace outlives the stack: suspended writer frames destroyed at
   // simulator teardown may still name it (they never touch it then, but
@@ -1286,7 +1300,9 @@ CrashSweepResult run_concurrent_crash_sweep(StackKind kind, int points,
                                             const ConcurrentCrashOptions& opt,
                                             int jobs) {
   return sweep_points(
-      points, base_seed, jobs, std::string("conc:") + core::to_string(kind),
+      points, base_seed, jobs,
+      std::string("conc:") + core::to_string(kind) +
+          repro_queue_segment(opt.nr_queues),
       core::to_string(kind),
       [kind, &opt](std::uint64_t seed, sim::SimTime crash_at) {
         return run_concurrent_crash_check(kind, seed, crash_at, opt);
@@ -1301,8 +1317,8 @@ CrashCheckResult run_ring_crash_check(StackKind kind, std::uint64_t seed,
   CrashCheckResult res;
   res.seed = seed;
   res.crash_at = crash_at;
-  const core::StackConfig cfg =
-      checker_config(kind, opt.journal_blocks, opt.wl.extent_blocks);
+  const core::StackConfig cfg = checker_config(
+      kind, opt.journal_blocks, opt.wl.extent_blocks, opt.nr_queues);
 
   // The trace outlives the stack, exactly as in the direct concurrent
   // check: ring drivers and writer frames destroyed at simulator teardown
@@ -1338,7 +1354,9 @@ CrashSweepResult run_ring_crash_sweep(StackKind kind, int points,
                                       std::uint64_t base_seed,
                                       const RingCrashOptions& opt, int jobs) {
   return sweep_points(
-      points, base_seed, jobs, std::string("ring:") + core::to_string(kind),
+      points, base_seed, jobs,
+      std::string("ring:") + core::to_string(kind) +
+          repro_queue_segment(opt.nr_queues),
       core::to_string(kind),
       [kind, &opt](std::uint64_t seed, sim::SimTime crash_at) {
         return run_ring_crash_check(kind, seed, crash_at, opt);
@@ -1386,7 +1404,8 @@ MultiVolumeSweepResult run_multi_volume_crash_sweep(
           std::ostringstream os;
           os << tag << " seed=" << r.seed << " crash=" << r.crash_at
              << "ns point=" << i << ": " << r.violations.front()
-             << " (replay: --repro node:" << base_seed << ":" << i << ")";
+             << " (replay: --repro node" << repro_queue_segment(opt.nr_queues)
+             << ":" << base_seed << ":" << i << ")";
           sweep.sample_violations.push_back(os.str());
         }
       }

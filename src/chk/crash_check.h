@@ -54,6 +54,11 @@ struct CrashCheckOptions {
   std::uint32_t journal_blocks = 256;
   /// Extent reserved per file (4 KiB pages).
   std::uint32_t extent_blocks = 64;
+  /// Software submission queues in the block layer (blk-mq). Sweeps run at
+  /// 1 (classic, bit-identical) and 4 (cross-queue epoch fence exercised);
+  /// the value rides in the --repro spec as a `q<N>` segment so multi-queue
+  /// failures replay exactly.
+  std::uint32_t nr_queues = 1;
   /// Remount a fresh stack over the recovered image and verify it works.
   bool remount = true;
 };
@@ -274,6 +279,8 @@ struct ConcurrentCrashOptions {
   wl::ConcurrentWritersParams wl;
   /// Journal size (small values force wraps under the churn). 0 = default.
   std::uint32_t journal_blocks = 256;
+  /// Block-layer software queues (see CrashCheckOptions::nr_queues).
+  std::uint32_t nr_queues = 1;
   bool remount = true;
 };
 
@@ -308,6 +315,8 @@ struct RingCrashOptions {
   wl::RingWorkloadParams wl;
   /// Journal size (small values force wraps under the churn). 0 = default.
   std::uint32_t journal_blocks = 256;
+  /// Block-layer software queues (see CrashCheckOptions::nr_queues).
+  std::uint32_t nr_queues = 1;
   bool remount = true;
 };
 

@@ -37,6 +37,19 @@ struct Command {
   /// Completion IRQ to the host. Must outlive the command.
   sim::Event* done = nullptr;
 
+  /// Hardware submission port (channel-affine dispatch queue) this command
+  /// enters the device through. The block layer maps its software queue onto
+  /// a port; a retry resubmits the same command and therefore stays on the
+  /// faulting channel's pipeline.
+  std::uint32_t port = 0;
+
+  /// Cross-queue ordering epoch (multi-queue block layer). Transfer fencing
+  /// compares (fence_epoch, seq) lexicographically, so commands submitted
+  /// out of epoch order across ports still transfer in epoch order. Single
+  /// queue leaves every command at epoch 0, collapsing the comparison to
+  /// the classic seq order.
+  std::uint64_t fence_epoch = 0;
+
   // Filled by the device.
   /// Completion status, valid once `done` fires. A torn write lands its
   /// leading blocks and reports kTransientError; the retry re-lands the

@@ -14,11 +14,15 @@ StorageDevice::StorageDevice(sim::Simulator& sim, DeviceProfile profile)
       log_(sim, nand_),
       cache_(sim, profile_.cache_entries),
       queue_event_(sim),
-      host_bus_(sim, 1),
       drain_slots_(sim, profile_.effective_drain_inflight()),
       epoch_drained_(sim),
       txn_wake_(sim),
-      txn_done_(sim) {}
+      txn_done_(sim) {
+  // One submission port per flash channel (blk-mq hardware queues).
+  ports_.reserve(profile_.geometry.channels);
+  for (std::uint32_t i = 0; i < profile_.geometry.channels; ++i)
+    ports_.push_back(std::make_unique<Port>(sim_));
+}
 
 void StorageDevice::start() {
   BIO_CHECK(!started_);
@@ -47,72 +51,96 @@ void StorageDevice::start() {
 bool StorageDevice::try_submit(std::shared_ptr<Command> cmd) {
   BIO_CHECK_MSG(started_, "StorageDevice::start() not called");
   BIO_CHECK_MSG(cmd->done != nullptr, "command without completion event");
-  if (window_.size() >= profile_.queue_depth) {
+  Port& port = *ports_[cmd->port % ports_.size()];
+  if (port.window.size() >= profile_.queue_depth) {
     ++stats_.busy_rejections;
     return false;
   }
   cmd->seq = next_seq_++;
-  window_.push_back(Slot{std::move(cmd), false, false});
+  ++port.submissions;
+  port.window.push_back(Slot{std::move(cmd), false, false});
   note_qd_change();
   queue_event_.notify_all();
   return true;
 }
 
-bool StorageDevice::transfer_eligible(
-    const std::list<Slot>::const_iterator& it) const {
+namespace {
+
+/// Transfer-fence precedence: epoch-major, seq-minor. Multi-queue hosts can
+/// submit commands out of epoch order across ports; a lower fence epoch
+/// always transfers first regardless of seq. Single-queue hosts stamp every
+/// command epoch 0, collapsing this to the classic seq comparison.
+bool precedes(const Command& a, const Command& b) {
+  return a.fence_epoch != b.fence_epoch ? a.fence_epoch < b.fence_epoch
+                                        : a.seq < b.seq;
+}
+
+}  // namespace
+
+bool StorageDevice::transfer_eligible(const Slot& slot) const {
   // §3.4: the command *processing* overlaps freely; only the order of the
-  // data transfers is fenced by ORDERED priorities.
-  const Command& cmd = *it->cmd;
+  // data transfers is fenced by ORDERED priorities. "Earlier" means lower
+  // (fence_epoch, seq), across every port's window — ports parallelise
+  // transfers, not the ordering contract.
+  const Command& cmd = *slot.cmd;
   if (cmd.priority == Priority::kHeadOfQueue) return true;
   if (cmd.op == OpCode::kFlush) return true;  // flushes never wait for data
   if (cmd.priority == Priority::kOrdered) {
     // Every earlier data command must have transferred.
-    for (auto p = window_.cbegin(); p != it; ++p)
-      if (is_data(*p) && !p->dma_done) return false;
+    for (const auto& port : ports_)
+      for (const Slot& p : port->window)
+        if (precedes(*p.cmd, cmd) && is_data(p) && !p.dma_done) return false;
     return true;
   }
   // SIMPLE: fenced only by earlier ORDERED data commands.
-  for (auto p = window_.cbegin(); p != it; ++p)
-    if (is_data(*p) && p->cmd->priority == Priority::kOrdered && !p->dma_done)
-      return false;
+  for (const auto& port : ports_)
+    for (const Slot& p : port->window)
+      if (precedes(*p.cmd, cmd) && is_data(p) &&
+          p.cmd->priority == Priority::kOrdered && !p.dma_done)
+        return false;
   return true;
 }
 
 sim::Task StorageDevice::wait_transfer_turn(SlotIter it) {
-  while (!transfer_eligible(it)) co_await queue_event_.wait();
+  while (!transfer_eligible(*it)) co_await queue_event_.wait();
 }
 
 sim::Task StorageDevice::controller_loop() {
   for (;;) {
-    for (auto it = window_.begin(); it != window_.end(); ++it) {
-      if (!it->started) {
-        it->started = true;
-        sim_.spawn("dev:cmd", handle(it)).wake_latency = 0;
+    for (auto& port : ports_) {
+      for (auto it = port->window.begin(); it != port->window.end(); ++it) {
+        if (!it->started) {
+          it->started = true;
+          // iolint: detached-owner(ports_ live on the device, which outlives
+          // every command handler; complete() erases only this handler's
+          // own slot)
+          sim_.spawn("dev:cmd", handle(*port, it)).wake_latency = 0;
+        }
       }
     }
     co_await queue_event_.wait();
   }
 }
 
-sim::Task StorageDevice::handle(SlotIter it) {
+sim::Task StorageDevice::handle(Port& port, SlotIter it) {
   switch (it->cmd->op) {
     case OpCode::kWrite:
-      co_await handle_write(it);
+      co_await handle_write(port, it);
       break;
     case OpCode::kRead:
-      co_await handle_read(it);
+      co_await handle_read(port, it);
       break;
     case OpCode::kFlush:
-      co_await handle_flush(it);
+      co_await handle_flush(port, it);
       break;
   }
 }
 
-void StorageDevice::complete(SlotIter it) {
+void StorageDevice::complete(Port& port, SlotIter it) {
   // Keep the command (and, through the aliased ownership, the originating
   // request) alive past the window erase: `done` points into that request.
   std::shared_ptr<Command> cmd = std::move(it->cmd);
-  window_.erase(it);
+  port.window.erase(it);
   note_qd_change();
   queue_event_.notify_all();
   cmd->done->trigger();
@@ -123,14 +151,14 @@ sim::Task StorageDevice::gc_stall() {
   while (log_.erasing()) co_await log_.erase_done().wait();
 }
 
-sim::Task StorageDevice::handle_write(SlotIter it) {
+sim::Task StorageDevice::handle_write(Port& port, SlotIter it) {
   std::shared_ptr<Command> cmd = it->cmd;
   co_await gc_stall();
   co_await sim_.delay(profile_.cmd_overhead);
   if (cmd->flush_before) co_await do_flush();
 
   co_await wait_transfer_turn(it);
-  co_await host_bus_.acquire();
+  co_await port.host_bus.acquire();
   co_await sim_.delay(profile_.dma_4k *
                       static_cast<sim::SimTime>(cmd->blocks.size()));
   // Fault injection decides how much of the payload lands. A transient
@@ -180,7 +208,7 @@ sim::Task StorageDevice::handle_write(SlotIter it) {
     co_await cache_.insert(cmd->blocks[i].first, cmd->blocks[i].second,
                            epoch_, honor_barrier && last);
   }
-  host_bus_.release();
+  port.host_bus.release();
   const std::uint64_t through = cache_.next_order();
   cmd->persist_through = land > 0 ? through : 0;
   if (honor_barrier) ++epoch_;
@@ -202,10 +230,10 @@ sim::Task StorageDevice::handle_write(SlotIter it) {
 
   ++stats_.writes;
   stats_.blocks_written += land;
-  complete(it);
+  complete(port, it);
 }
 
-sim::Task StorageDevice::handle_read(SlotIter it) {
+sim::Task StorageDevice::handle_read(Port& port, SlotIter it) {
   std::shared_ptr<Command> cmd = it->cmd;
   co_await sim_.delay(profile_.cmd_overhead);
   if (fault_plan_ != nullptr) {
@@ -225,22 +253,22 @@ sim::Task StorageDevice::handle_read(SlotIter it) {
     co_await log_.read(cmd->read_lba);
   }
   co_await wait_transfer_turn(it);
-  co_await host_bus_.acquire();
+  co_await port.host_bus.acquire();
   co_await sim_.delay(profile_.dma_4k);
-  host_bus_.release();
+  port.host_bus.release();
   it->dma_done = true;
   queue_event_.notify_all();
   ++stats_.reads;
-  complete(it);
+  complete(port, it);
 }
 
-sim::Task StorageDevice::handle_flush(SlotIter it) {
+sim::Task StorageDevice::handle_flush(Port& port, SlotIter it) {
   co_await gc_stall();
   co_await sim_.delay(profile_.cmd_overhead);
   co_await do_flush();
   it->dma_done = true;
   ++stats_.flushes;
-  complete(it);
+  complete(port, it);
 }
 
 sim::Task StorageDevice::do_flush() {
@@ -386,7 +414,7 @@ void StorageDevice::note_qd_change() {
   qd_area_ += static_cast<double>(qd_current_) *
               static_cast<double>(now - qd_last_change_);
   qd_last_change_ = now;
-  qd_current_ = static_cast<std::uint32_t>(window_.size());
+  qd_current_ = queue_depth();
   if (qd_trace_enabled_)
     qd_trace_.record(now, static_cast<double>(qd_current_));
 }

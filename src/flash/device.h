@@ -18,6 +18,16 @@
 // to the SegmentLog; durable_state() answers "what survives a power cut
 // right now", which the crash-consistency tests check against the paper's
 // epoch ordering guarantees.
+//
+// The device exposes one submission *port* per flash channel (blk-mq
+// hardware queues). Each port has its own NCQ window and host-side DMA bus,
+// so commands on different ports overlap their transfers in simulated time.
+// Ordering state stays global: seq numbers, the writeback cache, the device
+// epoch and the flush horizon span all ports, and ORDERED/SIMPLE transfer
+// fencing compares seq across every port's window — submission-order
+// guarantees established by the host survive multi-port dispatch. With all
+// traffic on port 0 (single-queue hosts) behavior is bit-identical to the
+// former single-window device.
 #pragma once
 
 #include <cstdint>
@@ -61,15 +71,33 @@ class StorageDevice {
   /// Spawns the controller, drain and GC threads. Call once.
   void start();
 
-  /// Queues a command; returns false (device busy) when the NCQ is full.
-  /// The dispatcher retries busy commands after a delay (Fig 6(b)).
+  /// Queues a command on port `cmd->port % port_count()`; returns false
+  /// (device busy) when that port's NCQ window is full. The dispatcher
+  /// retries busy commands after a delay (Fig 6(b)).
   bool try_submit(std::shared_ptr<Command> cmd);
 
-  std::uint32_t queue_depth() const noexcept {
-    return static_cast<std::uint32_t>(window_.size());
+  /// Hardware submission ports (one per flash channel).
+  std::uint32_t port_count() const noexcept {
+    return static_cast<std::uint32_t>(ports_.size());
   }
+
+  /// Outstanding commands across every port's window.
+  std::uint32_t queue_depth() const noexcept {
+    std::uint32_t n = 0;
+    for (const auto& p : ports_)
+      n += static_cast<std::uint32_t>(p->window.size());
+    return n;
+  }
+  /// Per-port NCQ window limit.
   std::uint32_t queue_depth_limit() const noexcept {
     return profile_.queue_depth;
+  }
+
+  /// Commands admitted through port `port` since start() (per-channel
+  /// pipeline utilisation; the mq perf scenarios assert spread).
+  std::uint64_t port_submissions(std::uint32_t port) const {
+    BIO_CHECK(port < ports_.size());
+    return ports_[port]->submissions;
   }
 
   const DeviceProfile& profile() const noexcept { return profile_; }
@@ -158,17 +186,27 @@ class StorageDevice {
   };
   using SlotIter = std::list<Slot>::iterator;
 
+  /// One hardware submission port: an NCQ window plus the channel's
+  /// host-side DMA lane. Ports transfer concurrently; ordering decisions
+  /// (transfer_eligible) read every port's window by global seq.
+  struct Port {
+    explicit Port(sim::Simulator& sim) : host_bus(sim, 1) {}
+    std::list<Slot> window;
+    sim::Semaphore host_bus;
+    std::uint64_t submissions = 0;
+  };
+
   bool is_data(const Slot& s) const noexcept {
     return s.cmd->op != OpCode::kFlush;
   }
-  bool transfer_eligible(const std::list<Slot>::const_iterator& it) const;
+  bool transfer_eligible(const Slot& slot) const;
   sim::Task wait_transfer_turn(SlotIter it);
   sim::Task controller_loop();
-  sim::Task handle(SlotIter it);
-  sim::Task handle_write(SlotIter it);
-  sim::Task handle_read(SlotIter it);
-  sim::Task handle_flush(SlotIter it);
-  void complete(SlotIter it);
+  sim::Task handle(Port& port, SlotIter it);
+  sim::Task handle_write(Port& port, SlotIter it);
+  sim::Task handle_read(Port& port, SlotIter it);
+  sim::Task handle_flush(Port& port, SlotIter it);
+  void complete(Port& port, SlotIter it);
 
   /// Waits until every cache entry with order < `through` is persistent
   /// (mode-aware: PLP short-circuits, transactional forces a batch).
@@ -191,7 +229,7 @@ class StorageDevice {
   SegmentLog log_;
   WritebackCache cache_;
 
-  std::list<Slot> window_;
+  std::vector<std::unique_ptr<Port>> ports_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t epoch_ = 0;
   // Fault injection: per-class op ordinals advance only while a plan is
@@ -201,7 +239,6 @@ class StorageDevice {
   std::uint64_t fault_write_ops_ = 0;
   std::uint64_t fault_read_ops_ = 0;
   sim::Notify queue_event_;
-  sim::Semaphore host_bus_;
   sim::Semaphore drain_slots_;
 
   // kInOrderWriteback bookkeeping.

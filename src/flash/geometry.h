@@ -17,6 +17,12 @@ struct Geometry {
   std::uint32_t ways_per_channel = 8;
   std::uint32_t blocks_per_chip = 256;
   std::uint32_t pages_per_block = 64;
+  /// Planes per die: concurrent page programs/reads one chip sustains
+  /// (multi-plane operation). Models concurrency only — capacity semantics
+  /// (pages_per_segment et al.) deliberately stay per-die so the FTL's
+  /// segment layout is plane-agnostic, like a striping FTL that treats the
+  /// planes of one die as one logical page queue.
+  std::uint32_t planes_per_chip = 1;
 
   std::uint32_t chips() const noexcept { return channels * ways_per_channel; }
 
@@ -37,6 +43,7 @@ struct Geometry {
     BIO_CHECK(ways_per_channel > 0);
     BIO_CHECK(blocks_per_chip >= 4);
     BIO_CHECK(pages_per_block > 0);
+    BIO_CHECK(planes_per_chip > 0);
   }
 };
 

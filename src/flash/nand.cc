@@ -13,16 +13,22 @@ NandArray::NandArray(sim::Simulator& sim, const Geometry& geom,
       std::llround(static_cast<double>(t.program_page) *
                    (1.0 + program_penalty)));
   chips_.reserve(geom_.chips());
+  // A die admits `planes_per_chip` concurrent array operations (multi-plane
+  // command support); the per-plane timing is unchanged.
   for (std::uint32_t i = 0; i < geom_.chips(); ++i)
-    chips_.push_back(std::make_unique<sim::Semaphore>(sim_, 1));
+    chips_.push_back(std::make_unique<sim::Semaphore>(
+        sim_, static_cast<int>(geom_.planes_per_chip)));
   channels_.reserve(geom_.channels);
   for (std::uint32_t i = 0; i < geom_.channels; ++i)
     channels_.push_back(std::make_unique<sim::Semaphore>(sim_, 1));
+  channel_programs_.assign(geom_.channels, 0);
+  channel_reads_.assign(geom_.channels, 0);
 }
 
 sim::Task NandArray::program(std::uint32_t chip_idx) {
   BIO_CHECK(chip_idx < geom_.chips());
   ++programs_;
+  ++channel_programs_[chip_idx % geom_.channels];
   // Move the page over the channel bus, then program the die.
   sim::Semaphore& bus = channel_of(chip_idx);
   co_await bus.acquire();
@@ -38,6 +44,7 @@ sim::Task NandArray::program(std::uint32_t chip_idx) {
 sim::Task NandArray::read(std::uint32_t chip_idx) {
   BIO_CHECK(chip_idx < geom_.chips());
   ++reads_;
+  ++channel_reads_[chip_idx % geom_.channels];
   sim::Semaphore& die = chip(chip_idx);
   co_await die.acquire();
   co_await sim_.delay(timing_.read_page);

@@ -36,6 +36,17 @@ class NandArray {
   std::uint64_t reads_issued() const noexcept { return reads_; }
   std::uint64_t erases_issued() const noexcept { return erases_; }
 
+  /// Per-channel operation counters (programs + reads routed through the
+  /// channel's bus). Index = channel.
+  std::uint64_t channel_programs(std::uint32_t channel) const {
+    BIO_CHECK(channel < geom_.channels);
+    return channel_programs_[channel];
+  }
+  std::uint64_t channel_reads(std::uint32_t channel) const {
+    BIO_CHECK(channel < geom_.channels);
+    return channel_reads_[channel];
+  }
+
   const Geometry& geometry() const noexcept { return geom_; }
 
  private:
@@ -53,6 +64,8 @@ class NandArray {
   std::uint64_t programs_ = 0;
   std::uint64_t reads_ = 0;
   std::uint64_t erases_ = 0;
+  std::vector<std::uint64_t> channel_programs_;
+  std::vector<std::uint64_t> channel_reads_;
 };
 
 }  // namespace bio::flash

@@ -38,6 +38,7 @@ ThreadCtx& Simulator::spawn(std::string name, Task task) {
   BIO_CHECK_MSG(task.valid(), "spawn of an empty task");
   auto ctx = std::make_unique<ThreadCtx>();
   ctx->name = std::move(name);
+  ctx->id = threads_.size();
   ThreadCtx& ref = *ctx;
   threads_.push_back(std::move(ctx));
 

@@ -27,6 +27,10 @@ namespace bio::sim {
 /// Bookkeeping for one simulated thread (one top-level Task).
 struct ThreadCtx {
   std::string name;
+  /// Spawn ordinal, unique within one Simulator (0, 1, 2, ... in spawn
+  /// order). Deterministic for a given workload, so per-context consumers
+  /// (the multi-queue block layer's software-queue routing) can key on it.
+  std::uint64_t id = 0;
   /// Number of times this thread blocked on a primitive and was woken.
   std::uint64_t context_switches = 0;
   /// Number of times this thread entered a blocked state.

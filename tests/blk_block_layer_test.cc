@@ -194,5 +194,100 @@ TEST(BlockLayerTest, VersionsAreUnique) {
   EXPECT_NE(a, b);
 }
 
+// ---- multi-queue (blk-mq) mode ---------------------------------------------
+
+BlockLayerConfig mq_config(std::uint32_t nr_queues) {
+  BlockLayerConfig cfg;
+  cfg.nr_queues = nr_queues;
+  return cfg;
+}
+
+TEST(BlockLayerMqTest, SingleQueueHasNoFence) {
+  Stack s;
+  EXPECT_EQ(s.blk.nr_queues(), 1u);
+  EXPECT_EQ(s.blk.epoch_fence(), nullptr) << "nothing to fence across";
+}
+
+TEST(BlockLayerMqTest, BarrierOnQueue0FencesLaterWriteOnQueue1) {
+  // The cross-queue contract: a write issued on queue 1 *after* queue 0's
+  // barrier closed the epoch must transfer (and land in a device epoch)
+  // after it — and the peer's pre-barrier write must drain below it.
+  Stack s(mq_config(4));
+  auto body = [&]() -> Task {
+    RequestPtr pre = make_write_request(s.sim, {{1, 1}}, /*ordered=*/true);
+    RequestPtr b = make_write_request(s.sim, {{2, 2}}, true, /*barrier=*/true);
+    RequestPtr post = make_write_request(s.sim, {{3, 3}}, true);
+    s.blk.submit_on(1, pre);   // peer queue, same epoch as the barrier
+    s.blk.submit_on(0, b);     // closes epoch 0
+    s.blk.submit_on(1, post);  // enqueued after the barrier: epoch 1
+    co_await pre->completion.wait();
+    co_await b->completion.wait();
+    co_await post->completion.wait();
+  };
+  s.sim.spawn("t", body());
+  s.sim.run();
+  ASSERT_NE(s.blk.epoch_fence(), nullptr);
+  EXPECT_EQ(s.blk.epoch_fence()->epochs_closed(), 1u);
+  const auto& h = s.dev.transfer_history();
+  ASSERT_EQ(h.size(), 3u);
+  EXPECT_EQ(h[0].lba, 1u) << "peer's pre-barrier write transferred below";
+  EXPECT_EQ(h[1].lba, 2u);
+  EXPECT_EQ(h[2].lba, 3u) << "post-barrier write transferred above";
+  EXPECT_EQ(h[2].epoch, 1u) << "and landed in the next device epoch";
+}
+
+TEST(BlockLayerMqTest, IdleQueuesNeverStallABarrier) {
+  // Three of the four queues never see a request; the barrier's submission
+  // gate must treat them as drained and complete promptly.
+  Stack s(mq_config(4));
+  sim::SimTime done_at = 0;
+  auto body = [&]() -> Task {
+    RequestPtr b = make_write_request(s.sim, {{1, 1}}, true, /*barrier=*/true);
+    s.blk.submit_on(0, b);
+    co_await b->completion.wait();
+    done_at = s.sim.now();
+  };
+  s.sim.spawn("t", body());
+  s.sim.run();
+  EXPECT_GT(done_at, 0u);
+  EXPECT_LT(done_at, 100_us) << "idle peers must not delay the gate";
+  EXPECT_EQ(s.dev.stats().barrier_writes, 1u);
+}
+
+TEST(BlockLayerMqTest, QueuesMapToDevicePorts) {
+  // Four software queues over the test device's two channels: queue q feeds
+  // port q % 2, so queues 0 and 2 share port 0 and queue 1 drives port 1.
+  Stack s(mq_config(4));
+  auto body = [&]() -> Task {
+    RequestPtr a = make_write_request(s.sim, {{1, 1}});
+    RequestPtr b = make_write_request(s.sim, {{2, 2}});
+    RequestPtr c = make_write_request(s.sim, {{3, 3}});
+    s.blk.submit_on(0, a);
+    s.blk.submit_on(1, b);
+    s.blk.submit_on(2, c);
+    co_await a->completion.wait();
+    co_await b->completion.wait();
+    co_await c->completion.wait();
+  };
+  s.sim.spawn("t", body());
+  s.sim.run();
+  EXPECT_EQ(s.dev.port_submissions(0), 2u);
+  EXPECT_EQ(s.dev.port_submissions(1), 1u);
+}
+
+TEST(BlockLayerMqTest, SubmitRoutesByThreadOrdinal) {
+  // Two writer coroutines spawned back to back get consecutive thread ids,
+  // so plain submit() routes them to different queues — and hence ports.
+  Stack s(mq_config(2));
+  auto writer = [&](Lba lba) -> Task {
+    co_await s.blk.write_and_wait(one_block(lba, 1));
+  };
+  s.sim.spawn("w0", writer(1));
+  s.sim.spawn("w1", writer(2));
+  s.sim.run();
+  EXPECT_EQ(s.dev.port_submissions(0), 1u);
+  EXPECT_EQ(s.dev.port_submissions(1), 1u);
+}
+
 }  // namespace
 }  // namespace bio::blk

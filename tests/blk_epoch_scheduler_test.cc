@@ -239,5 +239,131 @@ TEST(EpochSchedulerTest, MergingWithinEpochKeepsSingleBarrier) {
   EXPECT_TRUE(b->barrier);
 }
 
+// ---- cross-queue fence bookkeeping (multi-queue stacks) --------------------
+
+constexpr std::uint64_t kNoPending = ~std::uint64_t{0};
+
+TEST(EpochFenceTest, StampsOrderedRequestsAndClosesEpochsAtBarriers) {
+  Simulator sim;
+  EpochFence fence(sim);
+  EpochScheduler s(std::make_unique<NoopScheduler>());
+  s.set_fence(&fence);
+  RequestPtr w1 = wr(sim, 10, true);
+  RequestPtr b = wr(sim, 30, true, /*barrier=*/true);
+  RequestPtr w2 = wr(sim, 50, true);
+  RequestPtr orderless = wr(sim, 70);
+  s.enqueue(w1);
+  s.enqueue(b);
+  s.enqueue(w2);         // staged behind the barrier, but stamped at enqueue
+  s.enqueue(orderless);  // epoch-free, never stamped
+  EXPECT_EQ(w1->fence_epoch, 0u);
+  EXPECT_EQ(b->fence_epoch, 0u) << "a barrier takes the epoch it closes";
+  EXPECT_EQ(w2->fence_epoch, 1u) << "post-barrier enqueue joins the new epoch";
+  EXPECT_EQ(orderless->fence_epoch, 0u);
+  EXPECT_EQ(fence.epochs_closed(), 1u);
+  EXPECT_EQ(fence.current(), 1u);
+}
+
+TEST(EpochFenceTest, MinPendingTracksEnqueueToSubmission) {
+  // A stamp gates peer barriers from enqueue until note_submitted() — in
+  // particular, a request popped from the scheduler but not yet accepted by
+  // the device must still count as pending.
+  Simulator sim;
+  EpochFence fence(sim);
+  EpochScheduler s(std::make_unique<NoopScheduler>());
+  s.set_fence(&fence);
+  EXPECT_EQ(s.min_pending_fence_epoch(), kNoPending) << "idle queue";
+
+  s.enqueue(wr(sim, 10, true, /*barrier=*/true));  // epoch 0
+  s.enqueue(wr(sim, 30, true));                    // staged, epoch 1
+  EXPECT_EQ(s.min_pending_fence_epoch(), 0u);
+
+  RequestPtr b = s.dequeue();
+  EXPECT_TRUE(b->barrier);
+  EXPECT_EQ(s.min_pending_fence_epoch(), 0u) << "popped is not submitted";
+  s.note_submitted(*b);
+  EXPECT_EQ(s.min_pending_fence_epoch(), 1u) << "epoch-1 write still queued";
+
+  RequestPtr w = s.dequeue();
+  s.note_submitted(*w);
+  EXPECT_EQ(s.min_pending_fence_epoch(), kNoPending);
+}
+
+TEST(EpochFenceTest, OrderlessRequestsNeverGate) {
+  Simulator sim;
+  EpochFence fence(sim);
+  EpochScheduler s(std::make_unique<NoopScheduler>());
+  s.set_fence(&fence);
+  s.enqueue(wr(sim, 10));
+  EXPECT_EQ(s.min_pending_fence_epoch(), kNoPending);
+  RequestPtr r = s.dequeue();
+  s.note_submitted(*r);  // must be a no-op, not an untracked-stamp failure
+  EXPECT_EQ(s.min_pending_fence_epoch(), kNoPending);
+}
+
+TEST(EpochFenceTest, ReassignedCarrierAdoptsClosingEpoch) {
+  // The carrier was enqueued under an older epoch than the barrier it
+  // replaces (a peer queue's barrier closed an epoch in between). The flag
+  // must carry the closing epoch with it, so the carrier fences — and is
+  // gated on by peers — as that epoch's barrier.
+  Simulator sim;
+  EpochFence fence(sim);
+  EpochScheduler s(std::make_unique<ElevatorScheduler>());
+  s.set_fence(&fence);
+  RequestPtr w = wr(sim, 50, true);  // stamped with epoch 0
+  s.enqueue(w);
+  (void)fence.close_epoch();  // a peer queue's barrier closes epoch 0
+  RequestPtr b = wr(sim, 10, true, /*barrier=*/true);  // closes epoch 1
+  s.enqueue(b);
+  EXPECT_EQ(b->fence_epoch, 1u);
+
+  // Elevator order: the stripped barrier (lba 10) leaves first, so lba 50
+  // is the epoch's last ordered request and becomes the barrier.
+  RequestPtr first = s.dequeue();
+  EXPECT_EQ(first->first_lba(), 10u);
+  EXPECT_FALSE(first->barrier);
+  RequestPtr carrier = s.dequeue();
+  EXPECT_EQ(carrier->first_lba(), 50u);
+  EXPECT_TRUE(carrier->barrier);
+  EXPECT_EQ(carrier->fence_epoch, 1u) << "flag carries its closing epoch";
+  EXPECT_EQ(s.min_pending_fence_epoch(), 1u) << "old stamp 0 was retired";
+  s.note_submitted(*first);
+  s.note_submitted(*carrier);
+  EXPECT_EQ(s.min_pending_fence_epoch(), kNoPending);
+}
+
+TEST(EpochFenceTest, AbsorbedStampsRetireWithTheirCarrier) {
+  // A merged request leaves the queue inside its carrier: its stamp retires
+  // at dequeue (it can never be submitted on its own), and only the
+  // carrier's own stamp stays pending until submission.
+  Simulator sim;
+  EpochFence fence(sim);
+  EpochScheduler s(std::make_unique<NoopScheduler>());
+  s.set_fence(&fence);
+  s.enqueue(wr(sim, 10, true));
+  s.enqueue(wr(sim, 11, true));  // merges into lba 10
+  EXPECT_EQ(s.min_pending_fence_epoch(), 0u);
+  RequestPtr merged = s.dequeue();
+  ASSERT_EQ(merged->blocks.size(), 2u);
+  EXPECT_EQ(s.min_pending_fence_epoch(), 0u) << "carrier still pending";
+  s.note_submitted(*merged);
+  EXPECT_EQ(s.min_pending_fence_epoch(), kNoPending)
+      << "absorbed stamp retired at dequeue, carrier stamp at submission";
+}
+
+TEST(EpochFenceTest, WithoutFenceNothingIsStampedOrTracked) {
+  // Single-queue stacks attach no fence: requests keep epoch 0 and the
+  // pending map stays empty — the bit-identity precondition.
+  Simulator sim;
+  EpochScheduler s(std::make_unique<NoopScheduler>());
+  s.enqueue(wr(sim, 10, true));
+  s.enqueue(wr(sim, 30, true, /*barrier=*/true));
+  RequestPtr w = s.dequeue();
+  RequestPtr b = s.dequeue();
+  EXPECT_EQ(w->fence_epoch, 0u);
+  EXPECT_EQ(b->fence_epoch, 0u);
+  EXPECT_EQ(s.min_pending_fence_epoch(), kNoPending);
+}
+
 }  // namespace
 }  // namespace bio::blk

@@ -158,6 +158,28 @@ def main():
             print(f"  {name:24s} sim ops/s {v:10.0f}  "
                   f"x{v / serial:.2f} vs serial")
 
+    # Multi-queue scaling invariant: four software queues over four flash
+    # channels must beat the single-queue layer by >1.3x in *simulated*
+    # throughput. Like the ring sweep this is deterministic and compares
+    # within the fresh run alone.
+    mq_broken = []
+    mq_best = {}
+    for run in runs:
+        for name, s in run.items():
+            if name.startswith("mq-scaling-") and s.get("sim_ops_per_sec"):
+                mq_best[name] = max(mq_best.get(name, 0),
+                                    s["sim_ops_per_sec"])
+    mq_q1 = mq_best.get("mq-scaling-q1")
+    if mq_q1:
+        q4 = mq_best.get("mq-scaling-q4")
+        if q4 is not None and q4 <= 1.3 * mq_q1:
+            mq_broken.append(
+                f"mq-scaling-q4 ({q4:.0f} sim ops/s) is not >1.3x "
+                f"mq-scaling-q1 ({mq_q1:.0f})")
+        for name, v in sorted(mq_best.items()):
+            print(f"  {name:24s} sim ops/s {v:10.0f}  "
+                  f"x{v / mq_q1:.2f} vs q1")
+
     if not ratios:
         print("bench_delta: no comparable ns/io scenarios", file=sys.stderr)
         sys.exit(2)
@@ -185,6 +207,9 @@ def main():
     if ring_broken:
         problems.append("ring QD sweep lost its batching win: "
                         + "; ".join(ring_broken))
+    if mq_broken:
+        problems.append("multi-queue scaling lost its channel-parallel win: "
+                        + "; ".join(mq_broken))
     if sim_broken:
         problems.append(
             f"{len(sim_broken)} scenario(s) with non-deterministic or "
