@@ -123,7 +123,7 @@ sim::Task BlockLayer::dispatch_loop(std::uint32_t q) {
     }
     // Cross-queue fence protocol; fence_ is null on single-queue stacks and
     // every branch below collapses away.
-    const bool fenced = fence_ != nullptr && r->ordered;
+    const bool fenced = fence_ != nullptr;
     if (fenced && r->barrier) {
       // Submission gate: the device fences transfers by (fence_epoch, seq),
       // but it cannot fence requests it has not seen. Hold the barrier until
@@ -146,8 +146,8 @@ sim::Task BlockLayer::dispatch_loop(std::uint32_t q) {
       }
     }
     ++stats_.dispatched;
-    if (fenced) {
-      // The request's stamp stops gating peer barriers; wake any gate
+    if (fenced && r->is_write()) {
+      // The write's stamp stops gating peer barriers; wake any gate
       // waiting for this queue to drain.
       queue.epoch->note_submitted(*r);
       fence_->progress().notify_all();

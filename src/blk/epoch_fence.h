@@ -8,10 +8,14 @@
 //
 // Protocol (lazy fence-token join):
 //
-//   1. Every order-preserving request is stamped at enqueue with the current
-//      epoch; a barrier takes the epoch it *closes* and advances the counter
-//      (close_epoch). The stamp is the fence token: it rides the request
-//      into the device as Command::fence_epoch.
+//   1. Every request — ordered or not, reads included — is stamped at
+//      enqueue with the current epoch; a barrier takes the epoch it *closes*
+//      and advances the counter (close_epoch). The stamp is the fence token:
+//      it rides the request into the device as Command::fence_epoch. Blanket
+//      stamping keeps epoch order and enqueue order in agreement, so the
+//      device's SIMPLE-behind-ORDERED fencing survives multi-queue dispatch
+//      and merges can fold ordered payload into an orderless write without
+//      the carrier losing its place in the fence.
 //   2. Queues join the fence lazily — they keep dispatching without ever
 //      consulting each other. The device's transfer fencing compares
 //      (fence_epoch, seq) lexicographically, so commands that were submitted
@@ -19,16 +23,27 @@
 //      crash-durable) in epoch order.
 //   3. The device cannot fence work it has not seen, so a barrier's
 //      dispatcher gates its *submission* until every peer queue has drained
-//      (submitted) its requests stamped <= the barrier's epoch
-//      (EpochScheduler::min_pending_fence_epoch). An idle queue has nothing
+//      (submitted) its writes stamped <= the barrier's epoch
+//      (EpochScheduler::min_pending_fence_epoch; orderless writes gate too —
+//      a merge can fold ordered payload into one). An idle queue has nothing
 //      pending and never stalls the gate; peers keep draining freely while
 //      the gate waits, so the wait always terminates.
 //
+// A fenced sequencer never reassigns the barrier flag: the barrier is held
+// aside and dispatched, with its own stamp, after everything enqueued before
+// it has been submitted (see blk/epoch_scheduler.h). A carrier with an older
+// stamp than the epoch it closes would have to transfer both before any peer
+// barrier between the two epochs and after that barrier's payload — no
+// single command can.
+//
 // Deadlock freedom: the gate's wait graph follows epoch order. A barrier
-// with epoch e only waits for requests stamped <= e; every other barrier's
+// with epoch e only waits for writes stamped <= e; every other barrier's
 // stamp is distinct (close_epoch is atomic with enqueue), so two gating
 // barriers order themselves by epoch and the lower one never waits on the
-// higher. Requests never wait at all — only barrier dispatchers gate.
+// higher. Because a barrier leaves its queue only after the queue drained
+// everything enqueued before it, a gating barrier's own queue has no pending
+// stamps below its epoch — peers gating at lower epochs never wait on it.
+// Requests never wait at all — only barrier dispatchers gate.
 //
 // Single-queue stacks create no fence: stamps stay 0 and the device's
 // (fence_epoch, seq) comparison degenerates to the classic seq order,

@@ -14,17 +14,28 @@
 // Under the multi-queue block layer each software queue owns one of these
 // sequencers and an EpochFence couples them. The sequencer's part of the
 // fence protocol is bookkeeping, never blocking:
-//   * it stamps order-preserving requests with their fence epoch at enqueue
-//     (barriers take the epoch they close and advance the counter),
-//   * it tracks which stamps are still *pending* — enqueued (staged, queued,
-//     or merged into a queued carrier) or popped but not yet accepted by the
-//     device. A barrier on a peer queue gates its own submission on
+//   * it stamps EVERY request with its fence epoch at enqueue (barriers take
+//     the epoch they close and advance the counter; everything else — ordered
+//     or not, reads included — takes the open epoch), so the device's
+//     (fence_epoch, seq) transfer fencing agrees with enqueue order and no
+//     command carries a stale epoch-0 stamp,
+//   * it tracks which *write* stamps are still pending — enqueued (staged,
+//     queued, or merged into a queued carrier) or popped but not yet accepted
+//     by the device. Orderless writes are tracked too: a merge can fold
+//     ordered payload into one (§3.3), so any write may end up carrying
+//     ordered data. A barrier on a peer queue gates its own submission on
 //     min_pending_fence_epoch() of every other queue; the block layer calls
 //     note_submitted() when a request reaches the device.
-//   * barrier reassignment hands the *closing epoch* to the carrier along
-//     with the flag — the carrier fences as the barrier it now is.
+//   * barrier reassignment is NOT used under a fence. A reassigned carrier
+//     with an older stamp than the epoch it closes would have to transfer
+//     both before any peer barrier between the two epochs (it is old-epoch
+//     data) and after that barrier's payload (it is the new epoch's
+//     delimiter) — unsatisfiable. Instead the barrier is held aside and
+//     dispatched, with its own stamp, once the queue has drained everything
+//     enqueued before it; staging of later requests works exactly as in the
+//     classic mode.
 // With no fence attached (single-queue stacks) none of this runs and
-// behavior is exactly the classic sequencer.
+// behavior is exactly the classic sequencer, reassignment included.
 #pragma once
 
 #include <deque>
@@ -48,10 +59,13 @@ class EpochScheduler : public IoScheduler {
 
   void enqueue(RequestPtr r) override {
     ++stats_.enqueued;
-    if (fence_ != nullptr && r->ordered) {
+    if (fence_ != nullptr) {
       r->fence_epoch =
           r->barrier ? fence_->close_epoch() : fence_->current();
-      ++pending_[r->fence_epoch];
+      // Every write gates peer barriers until it reaches the device; reads
+      // and flushes carry the stamp for device-side fencing but have no
+      // crash-state footprint, so they never gate.
+      if (r->is_write()) ++pending_[r->fence_epoch];
     }
     if (blocked_) {
       staged_.push_back(std::move(r));
@@ -61,22 +75,28 @@ class EpochScheduler : public IoScheduler {
   }
 
   RequestPtr dequeue() override {
+    // Fenced mode: the held barrier leaves once everything enqueued before
+    // it has left. Waiting for the base to fully drain (not just its
+    // ordered requests) keeps the gate wait-graph acyclic: when a popped
+    // barrier gates on its peers, its own queue has no pending stamps below
+    // its epoch left behind it.
+    if (held_barrier_ != nullptr && base_->size() == 0) {
+      RequestPtr r = std::move(held_barrier_);
+      held_barrier_ = nullptr;
+      ++stats_.dispatched;
+      blocked_ = false;
+      feed();
+      return r;
+    }
     RequestPtr r = base_->dequeue();
     if (r == nullptr) return nullptr;
     ++stats_.dispatched;
     if (fence_ != nullptr) retire_absorbed(*r);
-    if (blocked_ && r->ordered && !base_->has_ordered()) {
-      // This is the last order-preserving request of the closing epoch:
-      // it becomes the new barrier (Fig 5, w1 in the paper's example).
-      if (fence_ != nullptr && r->fence_epoch != closing_epoch_) {
-        // The flag carries the *stripped barrier's* epoch with it: the
-        // carrier was enqueued earlier (lower stamp) but now closes the
-        // epoch, so it must fence — and be gated on by peers — as that
-        // epoch's barrier.
-        retire_stamp(r->fence_epoch);
-        ++pending_[closing_epoch_];
-        r->fence_epoch = closing_epoch_;
-      }
+    if (blocked_ && held_barrier_ == nullptr && r->ordered &&
+        !base_->has_ordered()) {
+      // Classic (no-fence) path: this is the last order-preserving request
+      // of the closing epoch — it becomes the new barrier (Fig 5, w1 in the
+      // paper's example).
       r->barrier = true;
       ++reassignments_;
       blocked_ = false;
@@ -87,10 +107,11 @@ class EpochScheduler : public IoScheduler {
 
   /// The block layer accepted this request into the device: its stamp stops
   /// gating peer barriers. (Absorbed requests retire with their carrier at
-  /// dequeue — their stamps are always >= the carrier's, so retiring them
-  /// before the carrier submits never unblocks a gate early.)
+  /// dequeue — merging never crosses fence epochs, so their stamps equal the
+  /// carrier's, and the carrier's own stamp stays pending until here; early
+  /// retirement can never unblock a gate.)
   void note_submitted(const Request& r) {
-    if (fence_ != nullptr && r.ordered) retire_stamp(r.fence_epoch);
+    if (fence_ != nullptr && r.is_write()) retire_stamp(r.fence_epoch);
   }
 
   /// Smallest fence epoch still pending in this queue (~0 when none): the
@@ -99,8 +120,12 @@ class EpochScheduler : public IoScheduler {
     return pending_.empty() ? ~std::uint64_t{0} : pending_.begin()->first;
   }
 
-  std::size_t size() const override { return base_->size() + staged_.size(); }
-  bool has_ordered() const override { return base_->has_ordered(); }
+  std::size_t size() const override {
+    return base_->size() + staged_.size() + (held_barrier_ != nullptr ? 1 : 0);
+  }
+  bool has_ordered() const override {
+    return base_->has_ordered() || held_barrier_ != nullptr;
+  }
   const char* name() const override { return "epoch"; }
 
   bool blocked() const noexcept { return blocked_; }
@@ -113,11 +138,16 @@ class EpochScheduler : public IoScheduler {
  private:
   void accept(RequestPtr r) {
     if (r->barrier) {
+      blocked_ = true;
+      if (fence_ != nullptr) {
+        // Fenced mode: hold the barrier aside with flag and stamp intact
+        // (see the header comment for why reassignment is unsound here).
+        held_barrier_ = std::move(r);
+        return;
+      }
       // Strip the flag; the epoch closes once this queue drains its
       // order-preserving requests (the flag is re-attached at dequeue).
-      closing_epoch_ = r->fence_epoch;
       r->barrier = false;
-      blocked_ = true;
     }
     base_->enqueue(std::move(r));
   }
@@ -129,11 +159,12 @@ class EpochScheduler : public IoScheduler {
   }
 
   /// Requests merged into `r` leave the queue with it; retire their stamps.
-  /// Merging only absorbs later-enqueued (hence >=-stamped) requests, and
-  /// absorption chains can nest one level per merge.
+  /// Merging is write-only and never crosses fence epochs (try_back_merge),
+  /// so every absorbed stamp equals the carrier's — which stays pending
+  /// until note_submitted. Absorption chains nest one level per merge.
   void retire_absorbed(const Request& r) {
     for (const RequestPtr& a : r.absorbed) {
-      if (a->ordered) retire_stamp(a->fence_epoch);
+      retire_stamp(a->fence_epoch);
       retire_absorbed(*a);
     }
   }
@@ -151,9 +182,11 @@ class EpochScheduler : public IoScheduler {
   std::unique_ptr<IoScheduler> base_;
   EpochFence* fence_ = nullptr;
   bool blocked_ = false;
-  std::uint64_t closing_epoch_ = 0;
   std::deque<RequestPtr> staged_;
-  /// fence epoch -> number of this queue's pending requests stamped with it.
+  /// Fenced mode only: the blocking barrier, kept out of the base scheduler
+  /// so the flag (and its closing-epoch stamp) never migrates.
+  RequestPtr held_barrier_;
+  /// fence epoch -> number of this queue's pending writes stamped with it.
   std::map<std::uint64_t, std::uint32_t> pending_;
   std::uint64_t reassignments_ = 0;
 };

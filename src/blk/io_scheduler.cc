@@ -13,6 +13,11 @@ bool IoScheduler::try_back_merge(Request& back, const Request& r) {
   // them), but be defensive: a barrier must stay the last block of its
   // epoch, so nothing may merge behind it.
   if (back.barrier || r.barrier) return false;
+  // Under the cross-queue fence a merged request transfers as one command
+  // with one stamp, so merging across fence epochs would either promote
+  // old-epoch data past a peer barrier or pull new-epoch data below one
+  // (front-merge). Single-queue stacks stamp nothing: both sides are 0.
+  if (back.fence_epoch != r.fence_epoch) return false;
   if (back.blocks.size() + r.blocks.size() > kMaxMergedBlocks) return false;
   if (back.last_lba() + 1 != r.first_lba()) return false;
   back.blocks.append(r.blocks.data(), r.blocks.size());

@@ -68,8 +68,11 @@ namespace {
 
 /// Transfer-fence precedence: epoch-major, seq-minor. Multi-queue hosts can
 /// submit commands out of epoch order across ports; a lower fence epoch
-/// always transfers first regardless of seq. Single-queue hosts stamp every
-/// command epoch 0, collapsing this to the classic seq comparison.
+/// always transfers first regardless of seq. Fenced hosts stamp EVERY
+/// command (reads and orderless writes included) with its enqueue-time
+/// epoch, so epoch-major order agrees with enqueue order and no command
+/// jumps the fence with a stale epoch-0 stamp. Single-queue hosts stamp
+/// every command epoch 0, collapsing this to the classic seq comparison.
 bool precedes(const Command& a, const Command& b) {
   return a.fence_epoch != b.fence_epoch ? a.fence_epoch < b.fence_epoch
                                         : a.seq < b.seq;

@@ -236,6 +236,35 @@ TEST(BlockLayerMqTest, BarrierOnQueue0FencesLaterWriteOnQueue1) {
   EXPECT_EQ(h[2].epoch, 1u) << "and landed in the next device epoch";
 }
 
+TEST(BlockLayerMqTest, OrderlessPeerWriteEnqueuedBeforeBarrierTransfersBelow) {
+  // An *orderless* write on queue 1 enqueued before queue 0's barrier: the
+  // barrier's gate must wait for it (any write may carry ordered payload
+  // after a merge) and the device must fence it below — it carries the
+  // epoch it was enqueued under, not a stale 0 that would jump the fence.
+  Stack s(mq_config(4));
+  RequestPtr pre = make_write_request(s.sim, {{1, 1}});  // orderless
+  RequestPtr b = make_write_request(s.sim, {{2, 2}}, true, /*barrier=*/true);
+  RequestPtr post = make_write_request(s.sim, {{3, 3}});  // orderless
+  auto body = [&]() -> Task {
+    s.blk.submit_on(1, pre);   // peer queue, enqueued before the barrier
+    s.blk.submit_on(0, b);     // closes epoch 0
+    s.blk.submit_on(1, post);  // enqueued after: epoch 1, fenced behind it
+    co_await pre->completion.wait();
+    co_await b->completion.wait();
+    co_await post->completion.wait();
+  };
+  s.sim.spawn("t", body());
+  s.sim.run();
+  EXPECT_EQ(pre->fence_epoch, 0u);
+  EXPECT_EQ(post->fence_epoch, 1u);
+  const auto& h = s.dev.transfer_history();
+  ASSERT_EQ(h.size(), 3u);
+  EXPECT_EQ(h[0].lba, 1u) << "pre-barrier orderless write transferred below";
+  EXPECT_EQ(h[1].lba, 2u);
+  EXPECT_EQ(h[2].lba, 3u) << "post-barrier orderless write fenced above";
+  EXPECT_EQ(h[2].epoch, 1u) << "and landed in the next device epoch";
+}
+
 TEST(BlockLayerMqTest, IdleQueuesNeverStallABarrier) {
   // Three of the four queues never see a request; the barrier's submission
   // gate must treat them as drained and complete promptly.

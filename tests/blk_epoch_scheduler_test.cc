@@ -243,7 +243,7 @@ TEST(EpochSchedulerTest, MergingWithinEpochKeepsSingleBarrier) {
 
 constexpr std::uint64_t kNoPending = ~std::uint64_t{0};
 
-TEST(EpochFenceTest, StampsOrderedRequestsAndClosesEpochsAtBarriers) {
+TEST(EpochFenceTest, StampsEveryRequestAndClosesEpochsAtBarriers) {
   Simulator sim;
   EpochFence fence(sim);
   EpochScheduler s(std::make_unique<NoopScheduler>());
@@ -252,14 +252,18 @@ TEST(EpochFenceTest, StampsOrderedRequestsAndClosesEpochsAtBarriers) {
   RequestPtr b = wr(sim, 30, true, /*barrier=*/true);
   RequestPtr w2 = wr(sim, 50, true);
   RequestPtr orderless = wr(sim, 70);
+  RequestPtr rd = make_read_request(sim, 90);
   s.enqueue(w1);
   s.enqueue(b);
   s.enqueue(w2);         // staged behind the barrier, but stamped at enqueue
-  s.enqueue(orderless);  // epoch-free, never stamped
+  s.enqueue(orderless);  // stamped too: epoch order must match enqueue order
+  s.enqueue(rd);
   EXPECT_EQ(w1->fence_epoch, 0u);
   EXPECT_EQ(b->fence_epoch, 0u) << "a barrier takes the epoch it closes";
   EXPECT_EQ(w2->fence_epoch, 1u) << "post-barrier enqueue joins the new epoch";
-  EXPECT_EQ(orderless->fence_epoch, 0u);
+  EXPECT_EQ(orderless->fence_epoch, 1u)
+      << "orderless writes carry the open epoch, never a stale 0";
+  EXPECT_EQ(rd->fence_epoch, 1u) << "reads are stamped for device fencing";
   EXPECT_EQ(fence.epochs_closed(), 1u);
   EXPECT_EQ(fence.current(), 1u);
 }
@@ -289,23 +293,43 @@ TEST(EpochFenceTest, MinPendingTracksEnqueueToSubmission) {
   EXPECT_EQ(s.min_pending_fence_epoch(), kNoPending);
 }
 
-TEST(EpochFenceTest, OrderlessRequestsNeverGate) {
+TEST(EpochFenceTest, OrderlessWritesGateUntilSubmission) {
+  // Orderless writes are tracked too: a merge can fold ordered payload into
+  // one (§3.3 keeps merges ordering-preserving), so every write must gate
+  // peer barriers from enqueue until it reaches the device.
   Simulator sim;
   EpochFence fence(sim);
   EpochScheduler s(std::make_unique<NoopScheduler>());
   s.set_fence(&fence);
   s.enqueue(wr(sim, 10));
+  EXPECT_EQ(s.min_pending_fence_epoch(), 0u);
+  RequestPtr r = s.dequeue();
+  EXPECT_EQ(s.min_pending_fence_epoch(), 0u) << "popped is not submitted";
+  s.note_submitted(*r);
+  EXPECT_EQ(s.min_pending_fence_epoch(), kNoPending);
+}
+
+TEST(EpochFenceTest, ReadsAreStampedButNeverGate) {
+  Simulator sim;
+  EpochFence fence(sim);
+  EpochScheduler s(std::make_unique<NoopScheduler>());
+  s.set_fence(&fence);
+  RequestPtr rd = make_read_request(sim, 10);
+  s.enqueue(rd);
   EXPECT_EQ(s.min_pending_fence_epoch(), kNoPending);
   RequestPtr r = s.dequeue();
   s.note_submitted(*r);  // must be a no-op, not an untracked-stamp failure
   EXPECT_EQ(s.min_pending_fence_epoch(), kNoPending);
 }
 
-TEST(EpochFenceTest, ReassignedCarrierAdoptsClosingEpoch) {
-  // The carrier was enqueued under an older epoch than the barrier it
-  // replaces (a peer queue's barrier closed an epoch in between). The flag
-  // must carry the closing epoch with it, so the carrier fences — and is
-  // gated on by peers — as that epoch's barrier.
+TEST(EpochFenceTest, FencedBarrierIsHeldNotReassigned) {
+  // The last ordered request of the closing window was enqueued under an
+  // older epoch than the barrier (a peer queue's barrier closed an epoch in
+  // between). Reassigning the flag onto it would make one command both
+  // old-epoch data (must transfer before the intervening peer barrier) and
+  // the new epoch's delimiter (must transfer after that barrier's payload).
+  // Under a fence the barrier is therefore held aside: the older write
+  // dispatches first with its true stamp, then the barrier with its own.
   Simulator sim;
   EpochFence fence(sim);
   EpochScheduler s(std::make_unique<ElevatorScheduler>());
@@ -316,19 +340,113 @@ TEST(EpochFenceTest, ReassignedCarrierAdoptsClosingEpoch) {
   RequestPtr b = wr(sim, 10, true, /*barrier=*/true);  // closes epoch 1
   s.enqueue(b);
   EXPECT_EQ(b->fence_epoch, 1u);
+  EXPECT_TRUE(s.blocked());
 
-  // Elevator order: the stripped barrier (lba 10) leaves first, so lba 50
-  // is the epoch's last ordered request and becomes the barrier.
   RequestPtr first = s.dequeue();
-  EXPECT_EQ(first->first_lba(), 10u);
-  EXPECT_FALSE(first->barrier);
-  RequestPtr carrier = s.dequeue();
-  EXPECT_EQ(carrier->first_lba(), 50u);
-  EXPECT_TRUE(carrier->barrier);
-  EXPECT_EQ(carrier->fence_epoch, 1u) << "flag carries its closing epoch";
-  EXPECT_EQ(s.min_pending_fence_epoch(), 1u) << "old stamp 0 was retired";
+  EXPECT_EQ(first->first_lba(), 50u) << "epoch-0 write drains first";
+  EXPECT_FALSE(first->barrier) << "the flag never migrates under a fence";
+  EXPECT_EQ(first->fence_epoch, 0u) << "and it keeps its true stamp";
+  RequestPtr barrier = s.dequeue();
+  EXPECT_EQ(barrier->first_lba(), 10u);
+  EXPECT_TRUE(barrier->barrier);
+  EXPECT_EQ(barrier->fence_epoch, 1u);
+  EXPECT_FALSE(s.blocked());
+  EXPECT_EQ(s.barrier_reassignments(), 0u);
+  EXPECT_EQ(s.min_pending_fence_epoch(), 0u) << "both popped, none submitted";
   s.note_submitted(*first);
-  s.note_submitted(*carrier);
+  EXPECT_EQ(s.min_pending_fence_epoch(), 1u)
+      << "the old stamp gated peers until the write reached the device";
+  s.note_submitted(*barrier);
+  EXPECT_EQ(s.min_pending_fence_epoch(), kNoPending);
+}
+
+TEST(EpochFenceTest, HeldBarrierWaitsForOrderlessWritesToo) {
+  // The held barrier leaves only once the base queue fully drained: an
+  // orderless write enqueued before the barrier holds a (tracked) stamp,
+  // and letting the barrier jump it would let a lower-epoch peer barrier
+  // gate on work stuck behind this queue's own gating barrier — a cycle.
+  Simulator sim;
+  EpochFence fence(sim);
+  EpochScheduler s(std::make_unique<NoopScheduler>());
+  s.set_fence(&fence);
+  s.enqueue(wr(sim, 10));                       // orderless, epoch 0
+  s.enqueue(wr(sim, 30, true, /*barrier=*/true));  // closes epoch 0
+  RequestPtr first = s.dequeue();
+  EXPECT_EQ(first->first_lba(), 10u) << "orderless write leaves first";
+  RequestPtr b = s.dequeue();
+  EXPECT_TRUE(b->barrier);
+  EXPECT_EQ(b->first_lba(), 30u);
+}
+
+TEST(EpochFenceTest, MergingNeverCrossesFenceEpochs) {
+  // Two contiguous writes separated by a peer queue's epoch close: merging
+  // them would give both payloads one stamp — either promoting old-epoch
+  // data past the peer barrier or pulling new-epoch data below it. The
+  // merge must be refused; both dispatch (and retire) independently.
+  Simulator sim;
+  EpochFence fence(sim);
+  EpochScheduler s(std::make_unique<NoopScheduler>());
+  s.set_fence(&fence);
+  RequestPtr w1 = wr(sim, 10, true);  // epoch 0
+  s.enqueue(w1);
+  (void)fence.close_epoch();          // peer barrier closes epoch 0
+  RequestPtr w2 = wr(sim, 11, true);  // contiguous, but epoch 1
+  s.enqueue(w2);
+  EXPECT_EQ(s.size(), 2u) << "cross-epoch merge refused";
+  RequestPtr a = s.dequeue();
+  RequestPtr b = s.dequeue();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->fence_epoch, 0u);
+  EXPECT_EQ(b->fence_epoch, 1u);
+  s.note_submitted(*a);
+  EXPECT_EQ(s.min_pending_fence_epoch(), 1u);
+  s.note_submitted(*b);
+  EXPECT_EQ(s.min_pending_fence_epoch(), kNoPending);
+}
+
+TEST(EpochFenceTest, FrontMergeAcrossEpochsRefused) {
+  // Elevator front-merge absorbs the *earlier*-enqueued request into the
+  // later one. Across a peer epoch close that would retire the absorbed
+  // (lower) stamp at carrier dequeue — before any data reaches the device —
+  // and transfer the old-epoch payload under the new stamp. Refused.
+  Simulator sim;
+  EpochFence fence(sim);
+  EpochScheduler s(std::make_unique<ElevatorScheduler>());
+  s.set_fence(&fence);
+  RequestPtr w1 = wr(sim, 11, true);  // epoch 0
+  s.enqueue(w1);
+  (void)fence.close_epoch();          // peer barrier closes epoch 0
+  RequestPtr w2 = wr(sim, 10, true);  // front-merge candidate, epoch 1
+  s.enqueue(w2);
+  EXPECT_EQ(s.size(), 2u) << "cross-epoch front-merge refused";
+  RequestPtr a = s.dequeue();
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(a->absorbed.empty());
+  EXPECT_EQ(s.min_pending_fence_epoch(), 0u)
+      << "the epoch-0 stamp still gates peers";
+}
+
+TEST(EpochFenceTest, OrderlessCarrierAbsorbingOrderedRetiresCleanly) {
+  // An orderless write absorbs a same-epoch ordered write (§3.3 merges keep
+  // ordering: the carrier turns ordered). Both stamps are tracked, so the
+  // absorbed one retires at dequeue and the carrier's at submission — no
+  // untracked-stamp abort, no peer gate opening early.
+  Simulator sim;
+  EpochFence fence(sim);
+  EpochScheduler s(std::make_unique<NoopScheduler>());
+  s.set_fence(&fence);
+  RequestPtr carrier = wr(sim, 10);     // orderless, epoch 0
+  RequestPtr ordered = wr(sim, 11, true);  // merges into lba 10
+  s.enqueue(carrier);
+  s.enqueue(ordered);
+  EXPECT_EQ(s.size(), 1u) << "same-epoch merge allowed";
+  RequestPtr merged = s.dequeue();
+  ASSERT_NE(merged, nullptr);
+  EXPECT_TRUE(merged->ordered) << "merge keeps ordering";
+  EXPECT_EQ(merged->blocks.size(), 2u);
+  EXPECT_EQ(s.min_pending_fence_epoch(), 0u) << "carrier still pending";
+  s.note_submitted(*merged);
   EXPECT_EQ(s.min_pending_fence_epoch(), kNoPending);
 }
 
